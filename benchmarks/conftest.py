@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Trace-driven experiments are expensive (seconds to minutes); every bench
+uses ``benchmark.pedantic(rounds=1, iterations=1)`` so the wall-clock
+equals one honest run. Closed-form theory benches use normal calibration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

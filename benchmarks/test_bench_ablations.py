@@ -1,0 +1,38 @@
+"""Benchmarks for the design-choice ablations in DESIGN.md."""
+
+import numpy as np
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_ablation_collisions(once):
+    """DBAO with the collision model disabled: the pure-contention cost."""
+    result = once(run_experiment_by_id, "abl-collisions", scale="bench")
+    failures = result.get_series("failures").y
+    # Without collisions, failures reduce to channel loss only.
+    assert failures[1] <= failures[0]
+
+
+def test_bench_ablation_overhearing(once):
+    """DBAO without overhearing: suppression's transmission savings."""
+    result = once(run_experiment_by_id, "abl-overhearing", scale="bench")
+    tx = result.get_series("tx attempts").y
+    assert tx[0] < tx[1]  # overhearing on spends fewer transmissions
+
+
+def test_bench_ablation_data_overhearing(once):
+    """Unicast channel vs data overhearing (future-work headroom)."""
+    result = once(run_experiment_by_id, "abl-data-overhearing", scale="bench")
+    delays = result.get_series("avg delay").y
+    # Overhearing never hurts delivery speed.
+    assert delays[1] <= delays[0] * 1.1
+
+
+def test_bench_ablation_opp_threshold(once):
+    """OF's opportunistic quantile: delay/energy trade."""
+    result = once(run_experiment_by_id, "abl-opp-threshold", scale="bench")
+    delays = result.get_series("avg delay").y
+    attempts = result.get_series("tx attempts").y
+    assert np.all(np.isfinite(delays))
+    # Looser gating never *reduces* transmissions.
+    assert attempts[-1] >= attempts[0] * 0.9

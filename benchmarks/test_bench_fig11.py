@@ -1,0 +1,19 @@
+"""Benchmark for Fig. 11 — transmission failures vs duty cycle.
+
+Reads the duty sweep shared with Fig. 10 (cached in-process when the
+fig10 bench ran first; otherwise this bench pays for the sweep itself).
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_fig11_failures_vs_duty(once):
+    result = once(run_experiment_by_id, "fig11", scale="bench")
+    for proto in ("opt", "dbao", "of"):
+        failures = result.get_series(f"{proto}: failures").y
+        assert np.all(failures >= 0)
+        # The paper's observation: failures stay the same order of
+        # magnitude across duty ratios (no systematic blow-up).
+        assert failures.max() <= 8 * max(failures.min(), 1.0)

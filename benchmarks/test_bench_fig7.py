@@ -1,0 +1,34 @@
+"""Benchmark for Fig. 7 — the link-loss delay predictor.
+
+Regenerates the four k-class curves over the duty-cycle sweep (eigenvalue
+root-finding plus exact recurrence iteration).
+"""
+
+import numpy as np
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_fig7_linkloss_prediction(benchmark):
+    result = benchmark(run_experiment_by_id, "fig7", scale="bench")
+    k2 = result.get_series("k=2 (link quality 50%)")
+    k125 = result.get_series("k=1.25 (link quality 80%)")
+    assert np.all(k2.y > k125.y)
+    assert k2.is_monotone_decreasing()
+    spread = k2.y - k125.y
+    assert spread[0] > spread[-1]  # loss magnifies the duty penalty
+
+
+def test_bench_growth_rate_rootfinding(benchmark):
+    """Micro-bench: the Eq. (8) eigenvalue solve across a parameter grid."""
+    from repro.core.linkloss import growth_rate
+
+    def solve_grid():
+        return [
+            growth_rate(k, T)
+            for k in (1.0, 1.25, 1.42, 1.67, 2.0)
+            for T in (5, 10, 20, 50)
+        ]
+
+    roots = benchmark(solve_grid)
+    assert all(1.0 < r <= 2.0 for r in roots)

@@ -1,0 +1,16 @@
+"""Benchmark for the Lemma 2 Monte-Carlo validation."""
+
+import numpy as np
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_lemma2_branching_ensembles(once):
+    result = once(run_experiment_by_id, "lemma2", scale="bench")
+    theory = result.get_series("E[FWL] theory (ceil form)")
+    measured = result.get_series("E[FWL] measured")
+    assert np.all(np.abs(theory.y - measured.y) <= 1.5)
+    # Lemma 1 moments.
+    table = result.tables[0]
+    t, m = table.column("theory"), table.column("measured")
+    assert abs(t[0] - m[0]) < 0.1  # E[W] = 1

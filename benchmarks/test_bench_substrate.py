@@ -1,0 +1,91 @@
+"""Micro-benchmarks for the simulator substrate's hot paths.
+
+Not paper artifacts — these track the performance of the pieces every
+trace experiment leans on (per the HPC guide: measure before optimizing,
+and keep measuring so regressions surface).
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import random_geometric_topology
+from repro.net.packet import FloodWorkload
+from repro.net.radio import RadioModel, Transmission, resolve_slot
+from repro.net.schedule import ScheduleTable
+from repro.net.trace import GreenOrbsConfig, synthesize_greenorbs
+from repro.protocols.dbao import Dbao
+from repro.protocols.opt import OptOracle, opt_radio_model
+from repro.sim.engine import SimConfig, run_flood
+
+
+@pytest.fixture(scope="module")
+def trace300():
+    return synthesize_greenorbs(seed=2011)
+
+
+def test_bench_trace_synthesis(benchmark):
+    """Cold synthetic GreenOrbs generation (298 sensors + link physics)."""
+    topo = benchmark(synthesize_greenorbs, 7,
+                     GreenOrbsConfig(max_attempts=10))
+    assert topo.n_sensors == 298
+
+
+def test_bench_schedule_wake_queries(benchmark, trace300):
+    """One simulated day of wake-list queries at 5% duty."""
+    rng = np.random.default_rng(0)
+    table = ScheduleTable.random(trace300.n_nodes, 20, rng)
+
+    def query_day():
+        total = 0
+        for t in range(5000):
+            total += table.awake_at(t).size
+        return total
+
+    total = benchmark(query_day)
+    assert total == 5000 * trace300.n_nodes // 20
+
+
+def test_bench_radio_resolution(benchmark, trace300):
+    """Channel resolution with 15 concurrent transmissions."""
+    rng = np.random.default_rng(1)
+    senders = trace300.out_neighbors(0)[:15]
+    txs = [
+        Transmission(int(s), int(trace300.out_neighbors(int(s))[0]), 0)
+        for s in senders
+        if trace300.out_neighbors(int(s)).size
+    ]
+    # Deduplicate senders (fixture guarantees none, but keep it robust).
+    seen, unique = set(), []
+    for tx in txs:
+        if tx.sender not in seen:
+            seen.add(tx.sender)
+            unique.append(tx)
+    awake = np.arange(trace300.n_nodes)
+
+    def resolve():
+        return resolve_slot(unique, trace300, awake, rng, RadioModel())
+
+    outcome = benchmark(resolve)
+    assert len(outcome.receptions) + len(outcome.failures) > 0
+
+
+def test_bench_engine_opt_flood(once, trace300):
+    """End-to-end OPT flood, M=5 at 5% duty on the 298-sensor trace."""
+    rng = np.random.default_rng(3)
+    schedules = ScheduleTable.random(trace300.n_nodes, 20, rng)
+    result = once(
+        run_flood, trace300, schedules, FloodWorkload(5), OptOracle(),
+        np.random.default_rng(4), SimConfig(radio=opt_radio_model()),
+    )
+    assert result.completed
+
+
+def test_bench_engine_dbao_flood(once, trace300):
+    """End-to-end DBAO flood, M=5 at 5% duty on the 298-sensor trace."""
+    rng = np.random.default_rng(3)
+    schedules = ScheduleTable.random(trace300.n_nodes, 20, rng)
+    result = once(
+        run_flood, trace300, schedules, FloodWorkload(5), Dbao(),
+        np.random.default_rng(4), SimConfig(),
+    )
+    assert result.completed

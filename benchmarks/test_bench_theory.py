@@ -1,0 +1,52 @@
+"""Benchmarks for the closed-form theory experiments (Figs. 3, 5, 6, Table I).
+
+These regenerate the paper's analytical figures; they are fast, so the
+benchmark also validates the headline shape of each artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fdl import knee_point
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_fig3_algorithm1(benchmark):
+    """Fig. 3: Algorithm 1 worked example (matrix evolution)."""
+    result = benchmark(run_experiment_by_id, "fig3", scale="bench")
+    assert result.metadata["achieves_lemma3"]
+
+
+def test_bench_fig3_large_instance(benchmark):
+    """Algorithm 1 at N=1024, M=32 — the executor's scaling bench."""
+    from repro.core.matrix_flood import MatrixFloodSimulator
+
+    result = benchmark(MatrixFloodSimulator(1024).run, 32)
+    assert result.achieves_lemma3
+
+
+def test_bench_fig5_theorem1(benchmark):
+    """Fig. 5: Theorem 1 FDL curves (both panels)."""
+    result = benchmark(run_experiment_by_id, "fig5", scale="bench")
+    # Knee present on panel A's N=1024 curve.
+    s = result.get_series("panelA: N=1024, T=5")
+    slopes = np.diff(s.y)
+    m = knee_point(1024)
+    assert slopes[m - 3] == pytest.approx(2 * slopes[m + 2])
+
+
+def test_bench_fig6_theorem2(benchmark):
+    """Fig. 6: Theorem 2 bound curves."""
+    result = benchmark(run_experiment_by_id, "fig6", scale="bench")
+    for n in (256, 1024):
+        lo = result.get_series(f"N={n}, lower bound")
+        hi = result.get_series(f"N={n}, upper bound")
+        assert np.all(lo.y <= hi.y)
+
+
+def test_bench_table1(benchmark):
+    """Table I: waiting patterns, cross-checked against Algorithm 1."""
+    result = benchmark(run_experiment_by_id, "table1", scale="bench")
+    assert result.metadata["algorithm1_achieves_limit"]
+    tail = result.tables[1].column("W_p")
+    assert tail[-1] == result.metadata["saturation"]

@@ -1,0 +1,14 @@
+"""Benchmark for the networking-gain trade-off instrument (future work)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_bench_gain_curve(once):
+    result = once(run_experiment_by_id, "gain", scale="bench")
+    gains = result.get_series("networking gain").y
+    best = int(np.argmax(gains))
+    # Interior maximum: extremely low duty cycles are NOT optimal.
+    assert 0 < best < gains.size - 1
+    assert 0.01 < result.metadata["optimal_duty"] <= 0.5

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Configuring the duty cycle: lifetime vs flooding delay.
+
+The paper's closing message is that an extremely low duty cycle is NOT
+always beneficial: lifetime grows only linearly while delay deteriorates
+much faster. Its future work asks for an instrument that picks the duty
+cycle maximizing the overall networking gain — this example *is* that
+instrument (see ``repro.core.tradeoff``), applied to the GreenOrbs trace:
+
+1. sweep duty ratios, tabulating analytic lifetime and predicted delay;
+2. locate the gain-maximizing duty cycle;
+3. sanity-check the analytic prediction against a short simulated flood
+   at the chosen and at an extreme duty cycle.
+
+Run: ``python examples/duty_cycle_tradeoff.py``
+"""
+
+import numpy as np
+
+from repro import ExperimentSpec, run_experiment
+from repro.core import gain_curve, optimal_duty_cycle
+from repro.net import synthesize_greenorbs
+from repro.protocols import recommended_configuration
+
+SEED = 2011
+DUTIES = (0.01, 0.02, 0.03, 0.05, 0.08, 0.10, 0.15, 0.20, 0.30, 0.50)
+
+
+def main() -> None:
+    topo = synthesize_greenorbs(seed=SEED)
+    k = topo.mean_k_class()
+    print(f"trace effective k-class (mean expected transmissions/link): {k:.2f}\n")
+
+    print(f"{'duty':>6} {'period':>7} {'lifetime':>14} {'pred. delay':>12} {'gain':>8}")
+    points = gain_curve(DUTIES, topo.n_sensors, k)
+    for pt in points:
+        print(f"{pt.duty_ratio:>6.0%} {pt.period:>7} {pt.lifetime:>14.3e} "
+              f"{pt.delay:>12.0f} {pt.gain:>8.3f}")
+
+    best = recommended_configuration(topo)
+    print(f"\ngain-maximizing configuration: duty {best.duty_ratio:.1%} "
+          f"(period T = {best.period} slots), gain {best.gain:.3f}")
+    print("note the interior maximum — going lower than this *loses* overall "
+          "benefit,\nwhich is the paper's 'not always beneficial' conclusion, "
+          "quantified.\n")
+
+    # Simulated cross-check: measured DBAO delay at the optimum vs at 1%.
+    for duty in (best.duty_ratio, 0.01):
+        summary = run_experiment(
+            topo,
+            ExperimentSpec(
+                protocol="dbao", duty_ratio=duty, n_packets=5, seed=SEED
+            ),
+        )
+        print(f"simulated DBAO at {duty:.1%} duty: "
+              f"avg delay {summary.mean_delay():.0f} slots "
+              f"(lifetime scale ~{1/duty:.0f}x the always-on baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Forest-monitoring scenario: reprogramming a GreenOrbs-scale deployment.
+
+The paper's motivating workload: a sink must disseminate a firmware/
+configuration image — here 30 packets — to all 298 forest sensors running
+at a 5% duty cycle. The script reproduces a compact version of the
+paper's Sec. V study on the synthetic GreenOrbs trace:
+
+1. trace statistics (degree/PRR spread, hop diameter);
+2. the per-packet delay curve showing the blocking effect (Fig. 9);
+3. the protocol comparison with the analytic lower bound (Fig. 10 point).
+
+Run: ``python examples/forest_monitoring.py`` (about a minute).
+"""
+
+import numpy as np
+
+from repro import ExperimentSpec, run_experiment
+from repro.analysis import analytic_lower_bound, knee_index, sparkline
+from repro.net import synthesize_greenorbs, trace_statistics
+
+SEED = 2011
+DUTY_RATIO = 0.05
+N_PACKETS = 30
+
+
+def main() -> None:
+    topo = synthesize_greenorbs(seed=SEED)
+    stats = trace_statistics(topo)
+    print("synthetic GreenOrbs trace:")
+    for key, val in stats.items():
+        print(f"  {key:<16} {val:.3f}" if isinstance(val, float) else
+              f"  {key:<16} {val}")
+
+    bound = analytic_lower_bound(topo, DUTY_RATIO)
+    print(f"\nanalytic per-packet delay lower bound at {DUTY_RATIO:.0%} duty: "
+          f"{bound:.0f} slots")
+
+    print(f"\ndisseminating a {N_PACKETS}-packet image:")
+    for proto in ("opt", "dbao", "of"):
+        summary = run_experiment(
+            topo,
+            ExperimentSpec(
+                protocol=proto,
+                duty_ratio=DUTY_RATIO,
+                n_packets=N_PACKETS,
+                seed=SEED,
+            ),
+        )
+        curve = summary.per_packet_delay()
+        knee = knee_index(curve)
+        makespan = summary.results[0].metrics.delays.makespan()
+        print(f"\n  {proto}: avg delay {summary.mean_delay():.0f} slots, "
+              f"makespan {makespan} slots, "
+              f"failures {summary.mean_failures():.0f}")
+        print(f"    per-packet delay  {sparkline(curve)}")
+        if knee is not None:
+            print(f"    blocking saturates around packet #{knee} "
+                  f"(Corollary 1's bounded window)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Explore the paper's analytical results interactively.
+
+Walks through the four theory artifacts end to end:
+
+1. **Algorithm 1** on the paper's Fig. 3 example (N = 4, M = 2),
+   printing the possession-matrix evolution;
+2. **Lemma 2** — the FWL closed form against a Galton-Watson ensemble;
+3. **Theorem 1 / Table I** — the multi-packet FDL with its knee;
+4. **Sec. IV-B** — how link loss magnifies the duty-cycle delay.
+
+Run: ``python examples/theory_explorer.py``
+"""
+
+import numpy as np
+
+from repro import MatrixFloodSimulator, fdl_theorem1, fwl_reliable
+from repro.core import (
+    delay_inflation_factor,
+    doubling_law,
+    empirical_fwl,
+    fwl_lossy,
+    growth_rate,
+    recurrence_hitting_time,
+    waiting_table,
+)
+
+RNG = np.random.default_rng(42)
+
+
+def show_algorithm1() -> None:
+    print("=" * 64)
+    print("1. Algorithm 1 on the Fig. 3 example (N=4 sensors, M=2 packets)")
+    sim = MatrixFloodSimulator(n_sensors=4)
+    result = sim.run(n_packets=2, record_history=True)
+    for c, snap in enumerate(result.possession_history):
+        rows = ["".join("1" if snap[p, v] else "." for p in range(2))
+                for v in range(5)]
+        print(f"  c={c}: " + "  ".join(f"n{v}:{r}" for v, r in enumerate(rows)))
+    print(f"  total compact slots: {result.compact_slots} "
+          f"(Lemma 3 limit M + m - 1 = {2 + result.m - 1}) "
+          f"-> achieved: {result.achieves_lemma3}")
+    print(f"  half-duplex expansion: {result.half_duplex_slots} slots")
+
+
+def show_lemma2() -> None:
+    print("=" * 64)
+    print("2. Lemma 2: E[FWL] = ceil(log2(1+N) / log2(mu))")
+    n = 1024
+    for q in (1.0, 0.8, 0.6):
+        theory = fwl_lossy(n, q)
+        measured = empirical_fwl(n, q, n_ensembles=2000, rng=RNG).mean()
+        print(f"  q={q:.1f} (mu={1+q:.1f}): theory {theory:>3}, "
+              f"measured {measured:6.2f}")
+
+
+def show_theorem1() -> None:
+    print("=" * 64)
+    print("3. Theorem 1 and Table I (N=1024, T=20)")
+    n, period = 1024, 20
+    m = fwl_reliable(n)
+    print(f"  m = {m}; knee at M = m (slope halves after it):")
+    for M in (2, 5, m, m + 5, 2 * m):
+        print(f"    M={M:>3}: E[FDL] = {fdl_theorem1(n, M, period):7.1f} slots")
+    print("  Table I waitings for M = m + 3 (blocking saturates at 2m-1 = "
+          f"{2 * m - 1}):")
+    tail = waiting_table(n, m + 3)[-5:]
+    print("    " + ", ".join(f"W_{p}={w}" for p, w in tail))
+
+
+def show_linkloss() -> None:
+    print("=" * 64)
+    print("4. Link loss magnifies the duty-cycle delay (Sec. IV-B)")
+    n = 298
+    print(f"  {'duty':>6} {'k=1':>8} {'k=1.42':>8} {'k=2':>8} "
+          f"{'inflation(k=2)':>15}")
+    for duty in (0.02, 0.05, 0.10, 0.20):
+        period = round(1 / duty)
+        delays = [recurrence_hitting_time(n, k, period) for k in (1.0, 1.42, 2.0)]
+        infl = delay_inflation_factor(2.0, period)
+        print(f"  {duty:>6.0%} {delays[0]:>8} {delays[1]:>8} {delays[2]:>8} "
+              f"{infl:>15.2f}")
+    lam = growth_rate(2.0, 20)
+    print(f"  growth factor lambda* for k=2, T=20: {lam:.5f} per slot")
+
+
+def main() -> None:
+    show_algorithm1()
+    show_lemma2()
+    show_theorem1()
+    show_linkloss()
+
+
+if __name__ == "__main__":
+    main()

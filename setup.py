@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has setuptools but not wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analysis utilities: experiment output containers, ASCII rendering,
+parameter sweeps, and theory-vs-simulation validation checks."""
+
+from .report import render_result, render_series_table, render_table, sparkline
+from .series import ExperimentResult, Series, Table
+from .shapes import CHECKS, ShapeCheck, audit
+from .stats import MeanCI, dominates_paired, mean_ci, paired_delta_ci
+from .sweep import SweepAxis, collect, sweep
+from .validate import (
+    analytic_lower_bound,
+    dominance_holds,
+    knee_index,
+    relative_spread,
+    respects_lower_bound,
+)
+
+__all__ = [
+    "render_result", "render_series_table", "render_table", "sparkline",
+    "ExperimentResult", "Series", "Table",
+    "CHECKS", "ShapeCheck", "audit",
+    "MeanCI", "dominates_paired", "mean_ci", "paired_delta_ci",
+    "SweepAxis", "collect", "sweep",
+    "analytic_lower_bound", "dominance_holds", "knee_index",
+    "relative_spread", "respects_lower_bound",
+]

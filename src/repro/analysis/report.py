@@ -1,0 +1,114 @@
+"""ASCII rendering of experiment results.
+
+The harness is terminal-first: every figure becomes an aligned data table
+(one row per x grid point, one column per series) and, where it helps, a
+crude unicode sparkline. EXPERIMENTS.md embeds these renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .series import ExperimentResult, Series, Table
+
+__all__ = ["render_series_table", "render_table", "render_result", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Compress a numeric series into a one-line unicode sparkline."""
+    vals = np.asarray(values, dtype=np.float64)
+    vals = vals[np.isfinite(vals)]
+    if vals.size == 0:
+        return "(no data)"
+    if vals.size > width:
+        # Average into `width` buckets.
+        edges = np.linspace(0, vals.size, width + 1).astype(int)
+        vals = np.asarray(
+            [vals[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi - lo < 1e-12:
+        return _SPARK[0] * vals.size
+    idx = ((vals - lo) / (hi - lo) * (len(_SPARK) - 1)).round().astype(int)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, (str, np.str_)):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    v = float(value)
+    if not np.isfinite(v):
+        return "-"
+    if v == int(v) and abs(v) < 1e9:
+        return str(int(v))
+    return f"{v:.2f}"
+
+
+def render_series_table(
+    series_list: Sequence[Series], x_label: str = "x"
+) -> str:
+    """Align multiple series that share an x grid into one text table."""
+    if not series_list:
+        raise ValueError("nothing to render")
+    base_x = series_list[0].x
+    for s in series_list[1:]:
+        if s.x.size != base_x.size or not np.array_equal(s.x, base_x):
+            raise ValueError(
+                f"series {s.label!r} is on a different x grid; render it separately"
+            )
+    headers = [x_label] + [s.label for s in series_list]
+    rows = [
+        [_fmt(base_x[i])] + [_fmt(s.y[i]) for s in series_list]
+        for i in range(base_x.size)
+    ]
+    return _render_aligned(headers, rows)
+
+
+def render_table(table: Table) -> str:
+    headers = list(table.columns)
+    rows = [
+        [_fmt(table.columns[h][i]) for h in headers] for i in range(table.n_rows)
+    ]
+    return f"{table.title}\n" + _render_aligned(headers, rows)
+
+
+def _render_aligned(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in rows)) if rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    fmt_row = lambda cells: "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult, with_sparklines: bool = True) -> str:
+    """Full text rendering of one experiment."""
+    parts = [f"== {result.experiment_id}: {result.title} =="]
+    # Group series by shared x grid, preserving order.
+    remaining = list(result.series)
+    while remaining:
+        head = remaining[0]
+        group = [
+            s
+            for s in remaining
+            if s.x.size == head.x.size and np.array_equal(s.x, head.x)
+        ]
+        remaining = [s for s in remaining if s not in group]
+        parts.append(render_series_table(group))
+        if with_sparklines:
+            for s in group:
+                parts.append(f"  {s.label:<28} {sparkline(s.y)}")
+    for table in result.tables:
+        parts.append(render_table(table))
+    if result.metadata:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(result.metadata.items()))
+        parts.append(f"[{meta}]")
+    return "\n\n".join(parts)

@@ -1,0 +1,105 @@
+"""Typed containers for experiment outputs.
+
+Every experiment in :mod:`repro.experiments` returns a
+:class:`ExperimentResult`: named :class:`Series` (x/y arrays, one per
+curve of the paper figure) plus free-form metadata. The containers are
+deliberately dumb — they exist so benchmarks, tests, and EXPERIMENTS.md
+generation all consume one shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Series", "Table", "ExperimentResult"]
+
+
+@dataclass
+class Series:
+    """One labeled curve: ``y`` against ``x``."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y)
+        if self.x.ndim != 1 or self.y.ndim != 1:
+            raise ValueError("series axes must be 1-D")
+        if self.x.size != self.y.size:
+            raise ValueError(
+                f"series {self.label!r}: x has {self.x.size} points, "
+                f"y has {self.y.size}"
+            )
+        if self.x.size == 0:
+            raise ValueError(f"series {self.label!r} is empty")
+
+    def __len__(self) -> int:
+        return int(self.x.size)
+
+    def at(self, x_value) -> float:
+        """The y value at an exact x grid point."""
+        idx = np.flatnonzero(self.x == x_value)
+        if idx.size == 0:
+            raise KeyError(f"x = {x_value!r} not on the grid of {self.label!r}")
+        return float(self.y[idx[0]])
+
+    def is_monotone_decreasing(self, strict: bool = False) -> bool:
+        d = np.diff(self.y.astype(np.float64))
+        return bool(np.all(d < 0) if strict else np.all(d <= 0))
+
+    def is_monotone_increasing(self, strict: bool = False) -> bool:
+        d = np.diff(self.y.astype(np.float64))
+        return bool(np.all(d > 0) if strict else np.all(d >= 0))
+
+
+@dataclass
+class Table:
+    """A labeled table: named columns of equal length."""
+
+    title: str
+    columns: Dict[str, np.ndarray]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise ValueError("table needs at least one column")
+        lengths = {name: np.asarray(col).size for name, col in self.columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"ragged table {self.title!r}: {lengths}")
+        self.columns = {
+            name: np.asarray(col) for name, col in self.columns.items()
+        }
+
+    @property
+    def n_rows(self) -> int:
+        return int(next(iter(self.columns.values())).size)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    tables: List[Table] = field(default_factory=list)
+    metadata: Dict = field(default_factory=dict)
+
+    def get_series(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no series {label!r} in {self.experiment_id}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]

@@ -1,0 +1,213 @@
+"""Shape audit: the paper's qualitative claims as checkable predicates.
+
+DESIGN.md §5 lists what each figure must *look like* (who wins, where the
+knee falls, what grows and what stays flat). This module turns that list
+into code: one :class:`ShapeCheck` per claim, evaluated against
+:class:`~repro.analysis.series.ExperimentResult` objects, so EXPERIMENTS.md's
+"shape holds" column is produced by the machine rather than by eyeball.
+
+Usage::
+
+    from repro.analysis.shapes import audit
+    report = audit({"fig10": result10, "fig11": result11})
+    for check in report:
+        print(check.claim, "->", "PASS" if check.passed else "FAIL", check.detail)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from .series import ExperimentResult
+from .validate import relative_spread
+
+__all__ = ["ShapeCheck", "audit", "CHECKS"]
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of one audited claim."""
+
+    experiment_id: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+def _check_fig5(result: ExperimentResult) -> List[ShapeCheck]:
+    checks = []
+    # Larger N strictly above smaller N at the same T.
+    s256 = result.get_series("panelA: N=256, T=5").y
+    s1024 = result.get_series("panelA: N=1024, T=5").y
+    s4096 = result.get_series("panelA: N=4096, T=5").y
+    checks.append(ShapeCheck(
+        "fig5", "FDL increases with N at fixed T",
+        bool(np.all(s256 < s1024) and np.all(s1024 < s4096)),
+    ))
+    # Knee: slope halves after M = m.
+    slopes = np.diff(s1024)
+    m = 11
+    ok = np.isclose(slopes[m - 3], 2 * slopes[m + 2])
+    checks.append(ShapeCheck(
+        "fig5", "per-packet marginal delay halves at the knee M = m",
+        bool(ok), f"slope before {slopes[m-3]:.2f}, after {slopes[m+2]:.2f}",
+    ))
+    # Panel B: lower duty strictly slower.
+    b10 = result.get_series("panelB: N=1024, duty=10%").y
+    b20 = result.get_series("panelB: N=1024, duty=20%").y
+    b100 = result.get_series("panelB: N=1024, duty=100%").y
+    checks.append(ShapeCheck(
+        "fig5", "FDL ordered by duty ratio (10% > 20% > 100%)",
+        bool(np.all(b10 > b20) and np.all(b20 > b100)),
+    ))
+    return checks
+
+
+def _check_fig6(result: ExperimentResult) -> List[ShapeCheck]:
+    checks = []
+    for n in (256, 1024):
+        lo = result.get_series(f"N={n}, lower bound").y
+        hi = result.get_series(f"N={n}, upper bound").y
+        checks.append(ShapeCheck(
+            "fig6", f"bounds bracket correctly for N={n}",
+            bool(np.all(lo <= hi)),
+        ))
+    return checks
+
+
+def _check_fig7(result: ExperimentResult) -> List[ShapeCheck]:
+    k2 = result.get_series("k=2 (link quality 50%)")
+    k125 = result.get_series("k=1.25 (link quality 80%)")
+    spread = k2.y - k125.y
+    return [
+        ShapeCheck("fig7", "delay decreases with duty cycle",
+                   k2.is_monotone_decreasing() and k125.is_monotone_decreasing()),
+        ShapeCheck("fig7", "worse links strictly slower",
+                   bool(np.all(k2.y > k125.y))),
+        ShapeCheck("fig7", "loss magnifies the duty penalty (spread widens)",
+                   bool(spread[0] > spread[-1]),
+                   f"spread {spread[0]} at 2% vs {spread[-1]} at 20%"),
+    ]
+
+
+def _check_fig9(result: ExperimentResult) -> List[ShapeCheck]:
+    checks = []
+    for proto in ("dbao", "of"):
+        total = result.get_series(f"{proto}: total delay").y
+        third = max(len(total) // 3, 1)
+        head, tail = np.nanmean(total[:third]), np.nanmean(total[-third:])
+        checks.append(ShapeCheck(
+            "fig9", f"{proto}: blocking grows with packet index",
+            bool(tail > head), f"head {head:.0f} vs tail {tail:.0f}",
+        ))
+        trans = result.get_series(f"{proto}: transmission delay").y
+        checks.append(ShapeCheck(
+            "fig9", f"{proto}: transmission delay below blocked total",
+            bool(np.nanmean(trans) < tail),
+        ))
+    return checks
+
+
+def _check_fig10(result: ExperimentResult) -> List[ShapeCheck]:
+    opt = result.get_series("opt: avg delay").y
+    dbao = result.get_series("dbao: avg delay").y
+    of = result.get_series("of: avg delay").y
+    bound = result.get_series("predicted lower bound").y
+    return [
+        ShapeCheck("fig10", "delay deteriorates at low duty (all protocols)",
+                   bool(opt[0] > opt[-1] and dbao[0] > dbao[-1]
+                        and of[0] > of[-1])),
+        ShapeCheck("fig10", "OPT <= DBAO at every duty ratio",
+                   bool(np.all(opt <= dbao * 1.15))),
+        ShapeCheck("fig10", "OPT <= OF at every duty ratio",
+                   bool(np.all(opt <= of * 1.15))),
+        ShapeCheck("fig10", "DBAO <= OF at every duty ratio",
+                   bool(np.all(dbao <= of * 1.25))),
+        ShapeCheck("fig10", "analytic prediction below OPT",
+                   bool(np.all(bound <= opt * 1.1))),
+    ]
+
+
+def _check_fig11(result: ExperimentResult) -> List[ShapeCheck]:
+    checks = []
+    opt = result.get_series("opt: failures").y
+    checks.append(ShapeCheck(
+        "fig11", "OPT failures roughly constant across duty ratios",
+        relative_spread(opt) < 0.5,
+        f"relative spread {relative_spread(opt):.2f}",
+    ))
+    for proto in ("dbao", "of"):
+        f = result.get_series(f"{proto}: failures").y
+        checks.append(ShapeCheck(
+            "fig11", f"{proto} failures within one order of magnitude",
+            bool(f.max() <= 10 * max(f.min(), 1.0)),
+            f"min {f.min():.0f}, max {f.max():.0f}",
+        ))
+    return checks
+
+
+def _check_gain(result: ExperimentResult) -> List[ShapeCheck]:
+    gains = result.get_series("networking gain").y
+    best = int(np.argmax(gains))
+    return [
+        ShapeCheck("gain", "interior gain maximum (extremely low duty is "
+                           "not optimal)",
+                   bool(0 < best < gains.size - 1),
+                   f"optimum at duty {result.metadata.get('optimal_duty')}"),
+    ]
+
+
+def _check_skew(result: ExperimentResult) -> List[ShapeCheck]:
+    delays = result.get_series("avg delay").y
+    misses = result.get_series("sleep misses").y
+    return [
+        ShapeCheck("skew", "delay degrades with clock skew",
+                   bool(delays[-1] > delays[0])),
+        ShapeCheck("skew", "sleep misses monotone in skew",
+                   bool(misses[0] == 0 and np.all(np.diff(misses) >= 0))),
+    ]
+
+
+def _check_hetero(result: ExperimentResult) -> List[ShapeCheck]:
+    het = result.get_series("heterogeneous trace").y
+    hom = result.get_series("homogenized twin").y
+    bound = result.get_series("analytic lower bound").y
+    return [
+        ShapeCheck("hetero", "both variants above the analytic bound",
+                   bool(np.all(het >= bound * 0.75)
+                        and np.all(hom >= bound * 0.75))),
+    ]
+
+
+CHECKS: Dict[str, Callable[[ExperimentResult], List[ShapeCheck]]] = {
+    "fig5": _check_fig5,
+    "fig6": _check_fig6,
+    "fig7": _check_fig7,
+    "fig9": _check_fig9,
+    "fig10": _check_fig10,
+    "fig11": _check_fig11,
+    "gain": _check_gain,
+    "skew": _check_skew,
+    "hetero": _check_hetero,
+}
+
+
+def audit(results: Mapping[str, ExperimentResult]) -> List[ShapeCheck]:
+    """Evaluate every registered claim against available results.
+
+    Experiments without results are skipped; unknown ids are an error
+    (a typo would otherwise silently audit nothing).
+    """
+    out: List[ShapeCheck] = []
+    for eid, result in results.items():
+        checker = CHECKS.get(eid)
+        if checker is None:
+            raise KeyError(
+                f"no shape checks registered for {eid!r}; "
+                f"known: {sorted(CHECKS)}"
+            )
+        out.extend(checker(result))
+    return out

@@ -1,0 +1,74 @@
+"""Parameter-sweep utilities.
+
+Thin declarative layer over :func:`repro.sim.runner.run_experiment` used
+by the experiment harness: build a grid of specs, run them (optionally
+memoized within a process), collect named scalar metrics into arrays.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.topology import Topology
+from ..sim.runner import ExperimentSpec, RunSummary, run_experiment
+
+__all__ = ["SweepAxis", "sweep", "collect"]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: an ``ExperimentSpec`` field name and values."""
+
+    field: str
+    values: Tuple
+
+    def __init__(self, field: str, values: Iterable):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError(f"axis {field!r} has no values")
+        if field not in ExperimentSpec.__dataclass_fields__:
+            raise ValueError(f"{field!r} is not an ExperimentSpec field")
+
+
+def sweep(
+    topo: Topology,
+    base: ExperimentSpec,
+    axes: Sequence[SweepAxis],
+    progress: Optional[Callable[[ExperimentSpec], None]] = None,
+) -> Dict[Tuple, RunSummary]:
+    """Run the full cartesian grid of ``axes`` over ``base``.
+
+    Returns a dict keyed by the value tuple (in axis order).
+    """
+    if not axes:
+        return {(): run_experiment(topo, base)}
+    out: Dict[Tuple, RunSummary] = {}
+    for combo in itertools.product(*(a.values for a in axes)):
+        spec = replace(base, **{a.field: v for a, v in zip(axes, combo)})
+        if progress is not None:
+            progress(spec)
+        out[combo] = run_experiment(topo, spec)
+    return out
+
+
+def collect(
+    grid: Dict[Tuple, RunSummary],
+    metric: Callable[[RunSummary], float],
+    axis_index: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract ``(x, y)`` arrays along one axis of a 1-D sweep grid.
+
+    Only valid for grids produced from a single axis (keys of length 1)
+    unless ``axis_index`` selects which key element is the x value and the
+    rest are expected constant.
+    """
+    xs, ys = [], []
+    for key in sorted(grid):
+        xs.append(key[axis_index])
+        ys.append(metric(grid[key]))
+    return np.asarray(xs), np.asarray(ys)

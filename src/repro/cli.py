@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show all registered experiments.
+``run EXPERIMENT [--scale SCALE] [--no-sparklines]``
+    Run one experiment and render it as text.
+``trace [--seed N] [--out PATH]``
+    Synthesize the GreenOrbs-like trace, print its statistics, optionally
+    save it as ``.npz``.
+``recommend [--seed N]``
+    Print the gain-maximizing duty-cycle configuration for the trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Understanding the Flooding in Low-Duty-Cycle "
+            "Wireless Sensor Networks' (ICPP 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment and render it")
+    run.add_argument("experiment", help="experiment id (e.g. fig10)")
+    run.add_argument("--scale", default="bench",
+                     choices=("smoke", "bench", "full"))
+    run.add_argument("--no-sparklines", action="store_true")
+
+    trace = sub.add_parser("trace", help="synthesize the GreenOrbs trace")
+    trace.add_argument("--seed", type=int, default=2011)
+    trace.add_argument("--out", default=None, help="save as .npz")
+
+    rec = sub.add_parser("recommend",
+                         help="gain-maximizing duty cycle for the trace")
+    rec.add_argument("--seed", type=int, default=2011)
+
+    aud = sub.add_parser(
+        "audit",
+        help="run experiments and check every paper shape claim",
+    )
+    aud.add_argument("--scale", default="bench",
+                     choices=("smoke", "bench", "full"))
+    aud.add_argument("experiments", nargs="*",
+                     help="experiment ids to audit (default: all with checks)")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import experiment_ids
+
+    for eid in experiment_ids():
+        print(eid)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis import render_result
+    from .experiments import run_experiment_by_id
+
+    try:
+        result = run_experiment_by_id(args.experiment, scale=args.scale)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_result(result, with_sparklines=not args.no_sparklines))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .net.trace import save_trace, synthesize_greenorbs, trace_statistics
+
+    topo = synthesize_greenorbs(seed=args.seed)
+    for key, val in trace_statistics(topo).items():
+        print(f"{key:<16} {val:.3f}" if isinstance(val, float) else
+              f"{key:<16} {val}")
+    if args.out:
+        save_trace(topo, args.out)
+        print(f"saved -> {args.out}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .net.trace import synthesize_greenorbs
+    from .protocols.crosslayer import recommended_configuration
+
+    topo = synthesize_greenorbs(seed=args.seed)
+    best = recommended_configuration(topo)
+    print(f"effective k-class : {topo.mean_k_class():.3f}")
+    print(f"optimal duty cycle: {best.duty_ratio:.2%} (period T={best.period})")
+    print(f"predicted delay   : {best.delay:.0f} slots/packet")
+    print(f"lifetime          : {best.lifetime:.3e} slots")
+    print(f"networking gain   : {best.gain:.4f}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .analysis.shapes import CHECKS, audit
+    from .experiments import run_experiment_by_id
+
+    ids = args.experiments or sorted(CHECKS)
+    unknown = [eid for eid in ids if eid not in CHECKS]
+    if unknown:
+        print(f"no shape checks for: {unknown}", file=sys.stderr)
+        return 2
+    results = {}
+    for eid in ids:
+        print(f"running {eid} at scale {args.scale} ...", flush=True)
+        results[eid] = run_experiment_by_id(eid, scale=args.scale)
+    checks = audit(results)
+    failed = 0
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        failed += not check.passed
+        detail = f"  ({check.detail})" if check.detail else ""
+        print(f"[{status}] {check.experiment_id}: {check.claim}{detail}")
+    print(f"\n{len(checks) - failed}/{len(checks)} shape claims hold")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

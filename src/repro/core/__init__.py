@@ -1,0 +1,82 @@
+"""The paper's analytical contribution: FWL/FDL theory, Algorithm 1,
+branching-process machinery, link-loss recurrence, and the duty-cycle
+trade-off instrument."""
+
+from .branching import (
+    OffspringLaw,
+    doubling_law,
+    hitting_time,
+    limit_tail_bound,
+    limit_variance,
+    simulate_normalized_limit,
+    simulate_population,
+)
+from .compact_time import CompactTimeline, expected_fdl_from_fwl, max_fdl_from_fwl
+from .fdl import (
+    FdlBounds,
+    fdl_theorem1,
+    fdl_theorem1_series,
+    fdl_theorem2_bounds,
+    fdl_theorem2_series,
+    fwl_multi,
+    knee_point,
+    packet_waiting,
+    single_packet_waitings,
+    waiting_table,
+)
+from .fwl import blocking_window, empirical_fwl, fwl_lossy, fwl_mu, fwl_reliable
+from .linkloss import (
+    delay_inflation_factor,
+    delay_vs_duty_cycle,
+    effective_k,
+    growth_rate,
+    pipeline_saturated,
+    predicted_delay,
+    predicted_delay_asymptotic,
+    recurrence_hitting_time,
+    simulate_recurrence,
+)
+from .exact import DelayPmf, ExactTreeDelay
+from .queueing import (
+    dd1_queue_waits,
+    dd1_start_times,
+    expected_queue_wait,
+    queue_is_stable,
+    saturation_interval,
+)
+from .matrix_flood import (
+    MatrixFloodResult,
+    MatrixFloodSimulator,
+    classify_slot,
+    split_half_duplex,
+)
+from .tradeoff import (
+    EnergyModel,
+    GainWeights,
+    TradeoffPoint,
+    gain_curve,
+    lifetime_slots,
+    networking_gain,
+    optimal_duty_cycle,
+)
+
+__all__ = [
+    "OffspringLaw", "doubling_law", "hitting_time", "limit_tail_bound",
+    "limit_variance", "simulate_normalized_limit", "simulate_population",
+    "CompactTimeline", "expected_fdl_from_fwl", "max_fdl_from_fwl",
+    "FdlBounds", "fdl_theorem1", "fdl_theorem1_series", "fdl_theorem2_bounds",
+    "fdl_theorem2_series", "fwl_multi", "knee_point", "packet_waiting",
+    "single_packet_waitings", "waiting_table",
+    "blocking_window", "empirical_fwl", "fwl_lossy", "fwl_mu", "fwl_reliable",
+    "delay_inflation_factor", "delay_vs_duty_cycle", "effective_k",
+    "growth_rate", "pipeline_saturated", "predicted_delay",
+    "predicted_delay_asymptotic", "recurrence_hitting_time",
+    "simulate_recurrence",
+    "DelayPmf", "ExactTreeDelay",
+    "dd1_queue_waits", "dd1_start_times", "expected_queue_wait",
+    "queue_is_stable", "saturation_interval",
+    "MatrixFloodResult", "MatrixFloodSimulator", "classify_slot",
+    "split_half_duplex",
+    "EnergyModel", "GainWeights", "TradeoffPoint", "gain_curve",
+    "lifetime_slots", "networking_gain", "optimal_duty_cycle",
+]

@@ -1,0 +1,214 @@
+"""Galton-Watson branching machinery behind Lemma 1 and Lemma 2.
+
+The compact-time dissemination of one packet forms a Galton-Watson
+process: the population at compact slot ``c`` is the number of nodes that
+hold the packet, and each holder independently "reproduces" by keeping its
+copy and delivering (or failing to deliver) one new copy. With link
+success probability ``q``, each individual has offspring 2 with
+probability ``q`` and offspring 1 otherwise, so the offspring mean is
+``mu = 1 + q`` — exactly the paper's ``1 < mu <= 2``.
+
+Lemma 1 (the Kesten-Stigum/L2 normalization theorem for supercritical
+processes): ``X_c / mu^c`` converges a.s. to a random variable ``W`` with
+``E[W] = 1`` and ``Var[W] = sigma^2 / (mu^2 - mu)``. This module provides:
+
+* exact offspring-law bookkeeping (:class:`OffspringLaw`),
+* a vectorized ensemble simulator (:func:`simulate_population`,
+  :func:`simulate_normalized_limit`),
+* hitting-time estimation (:func:`hitting_time`) used to check Lemma 2's
+  ``E[FWL] = ceil(log2(1+N) / log2(mu))`` empirically, and
+* the Chebyshev tail bound the paper invokes
+  (:func:`limit_tail_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "OffspringLaw",
+    "doubling_law",
+    "simulate_population",
+    "simulate_normalized_limit",
+    "hitting_time",
+    "limit_variance",
+    "limit_tail_bound",
+]
+
+
+@dataclass(frozen=True)
+class OffspringLaw:
+    """Discrete offspring distribution of a Galton-Watson process.
+
+    Attributes
+    ----------
+    counts:
+        Support (non-negative integers).
+    probs:
+        Probabilities matching ``counts`` (must sum to 1).
+    """
+
+    counts: Tuple[int, ...]
+    probs: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.counts) != len(self.probs) or not self.counts:
+            raise ValueError("counts and probs must be equal-length and non-empty")
+        if any(c < 0 for c in self.counts):
+            raise ValueError("offspring counts must be non-negative")
+        if any(p < 0 for p in self.probs):
+            raise ValueError("probabilities must be non-negative")
+        total = float(sum(self.probs))
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+
+    @property
+    def mean(self) -> float:
+        """Offspring mean ``mu``."""
+        return float(sum(c * p for c, p in zip(self.counts, self.probs)))
+
+    @property
+    def variance(self) -> float:
+        """Offspring variance ``sigma^2``."""
+        mu = self.mean
+        return float(sum(p * (c - mu) ** 2 for c, p in zip(self.counts, self.probs)))
+
+    @property
+    def is_supercritical(self) -> bool:
+        """Whether the process grows (``mu > 1``)."""
+        return self.mean > 1.0
+
+    def sample_totals(
+        self, population: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Total offspring of ``population[i]`` parents in ensemble ``i``.
+
+        Vectorized: for each support atom ``c`` we draw a binomial split of
+        the parents, then weight by ``c``. This is exact (multinomial
+        thinning) and avoids per-individual sampling.
+        """
+        population = np.asarray(population, dtype=np.int64)
+        remaining = population.copy()
+        totals = np.zeros_like(population)
+        prob_left = 1.0
+        for c, p in zip(self.counts[:-1], self.probs[:-1]):
+            if prob_left <= 0:
+                break
+            take = rng.binomial(remaining, min(p / prob_left, 1.0))
+            totals += c * take
+            remaining -= take
+            prob_left -= p
+        totals += self.counts[-1] * remaining
+        return totals
+
+
+def doubling_law(success_prob: float) -> OffspringLaw:
+    """The flooding offspring law: duplicate w.p. ``q``, persist otherwise.
+
+    Every holder keeps its copy and adds one more when its transmission
+    succeeds, so offspring is 2 w.p. ``q`` and 1 w.p. ``1-q``; the mean is
+    ``mu = 1 + q`` in (1, 2], matching the paper's definition.
+    """
+    if not (0.0 < success_prob <= 1.0):
+        raise ValueError(f"success probability must be in (0, 1], got {success_prob}")
+    if success_prob == 1.0:
+        return OffspringLaw(counts=(2,), probs=(1.0,))
+    return OffspringLaw(counts=(1, 2), probs=(1.0 - success_prob, success_prob))
+
+
+def simulate_population(
+    law: OffspringLaw,
+    n_generations: int,
+    n_ensembles: int,
+    rng: np.random.Generator,
+    initial: int = 1,
+) -> np.ndarray:
+    """Simulate population trajectories.
+
+    Returns an ``(n_generations + 1, n_ensembles)`` int array; row ``c`` is
+    the population at compact slot ``c`` in each ensemble (row 0 is the
+    initial population).
+    """
+    if n_generations < 0:
+        raise ValueError("n_generations must be non-negative")
+    if n_ensembles < 1:
+        raise ValueError("need at least one ensemble")
+    if initial < 1:
+        raise ValueError("initial population must be at least 1")
+    out = np.empty((n_generations + 1, n_ensembles), dtype=np.int64)
+    out[0] = initial
+    for c in range(n_generations):
+        out[c + 1] = law.sample_totals(out[c], rng)
+    return out
+
+
+def simulate_normalized_limit(
+    law: OffspringLaw,
+    n_generations: int,
+    n_ensembles: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Samples of the Lemma 1 limit ``W ~ lim X_c / mu^c``.
+
+    Runs the ensemble for ``n_generations`` and returns
+    ``X_c / mu^c`` at the final generation; for supercritical laws this is
+    an (asymptotically unbiased) sample of ``W``.
+    """
+    if not law.is_supercritical:
+        raise ValueError("normalized limit requires a supercritical law (mu > 1)")
+    pops = simulate_population(law, n_generations, n_ensembles, rng)
+    return pops[-1].astype(np.float64) / (law.mean**n_generations)
+
+
+def hitting_time(
+    law: OffspringLaw,
+    target: int,
+    n_ensembles: int,
+    rng: np.random.Generator,
+    max_generations: int = 10_000,
+) -> np.ndarray:
+    """First compact slot at which the population reaches ``target``.
+
+    This is the empirical FWL of Lemma 2 for a population-capped flood:
+    ``min { c : X_c >= 1 + N }`` with ``target = 1 + N``.
+
+    Returns an ``(n_ensembles,)`` int array; ensembles that never reach
+    the target within ``max_generations`` get ``-1`` (impossible for
+    supercritical laws with ``counts >= 1``).
+    """
+    if target < 1:
+        raise ValueError("target population must be >= 1")
+    population = np.ones(n_ensembles, dtype=np.int64)
+    times = np.full(n_ensembles, -1, dtype=np.int64)
+    times[population >= target] = 0
+    pending = times < 0
+    for c in range(1, max_generations + 1):
+        if not pending.any():
+            break
+        population[pending] = law.sample_totals(population[pending], rng)
+        newly = pending & (population >= target)
+        times[newly] = c
+        pending &= ~newly
+    return times
+
+
+def limit_variance(law: OffspringLaw) -> float:
+    """Lemma 1's variance of the a.s. limit: ``sigma^2 / (mu^2 - mu)``."""
+    mu = law.mean
+    if mu <= 1.0:
+        raise ValueError("limit variance is defined for supercritical laws only")
+    return law.variance / (mu**2 - mu)
+
+
+def limit_tail_bound(law: OffspringLaw, alpha: float) -> float:
+    """The paper's Chebyshev bound: ``Pr{W > alpha} < sigma^2 / ((alpha-1)^2 (mu^2-mu))``.
+
+    Used to argue ``log2((1+N)/W) ~ log2(1+N)`` w.h.p.; note the bound is
+    vacuous (>= 1) for alpha close to 1, exactly as in the paper.
+    """
+    if alpha <= 1.0:
+        raise ValueError("the bound applies for alpha > 1 (E[W] = 1)")
+    return limit_variance(law) / ((alpha - 1.0) ** 2)

@@ -1,0 +1,192 @@
+"""Flooding Delay Limit (FDL) — Theorem 1, Theorem 2, Table I, Corollary 1.
+
+All quantities are in original-time slots; ``m = ceil(log2(1+N))`` is the
+reliable-link FWL of a single packet and ``T`` the duty-cycle period.
+
+* **Theorem 1** (half-duplex, ``N = 2^n``, ideal links):
+
+    ``E[FDL] = T (m/2 + M - 1)``        if ``M <  m``
+    ``E[FDL] = T (m + M/2 - 1)``        if ``M >= m``
+
+* **Theorem 2** (arbitrary ``N``): tight bounds
+
+    ``M <  m``: lower ``T (m/2 + M - 1)``, upper ``T (m + 3M/2 - 3/2)``
+    ``M >= m``: lower ``T (m + M/2 - 1)``, upper ``T (2m + M/2 - 1)``
+
+* **Table I** tabulates the per-packet waitings ``W_p``:
+
+    ``M <  m``: ``W_p = m + p``
+    ``M >= m``: ``W_p = m + p`` for ``p < m`` and ``W_p = 2m - 1`` after —
+    the knee where blocking saturates (Corollary 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .fwl import fwl_reliable
+
+__all__ = [
+    "single_packet_waitings",
+    "packet_waiting",
+    "waiting_table",
+    "fwl_multi",
+    "fdl_theorem1",
+    "fdl_theorem1_series",
+    "fdl_theorem2_bounds",
+    "fdl_theorem2_series",
+    "knee_point",
+    "FdlBounds",
+]
+
+
+def single_packet_waitings(n_sensors: int) -> int:
+    """``m = ceil(log2(1+N))``: compact slots to flood one packet."""
+    return fwl_reliable(n_sensors)
+
+
+def packet_waiting(packet_index: int, n_sensors: int, n_packets: int) -> int:
+    """Table I: total waitings ``W_p`` of packet ``p`` in an ``M``-packet flood.
+
+    For ``p < m`` the packet's dissemination still overlaps the start-up
+    ramp and waits ``m + p``; once ``p >= m`` the blocking saturates at
+    ``m + (m - 1)`` — the bounded blocking effect of Corollary 1.
+    """
+    if not (0 <= packet_index < n_packets):
+        raise IndexError(f"packet {packet_index} outside [0, {n_packets})")
+    m = single_packet_waitings(n_sensors)
+    return m + min(packet_index, m - 1)
+
+
+def waiting_table(n_sensors: int, n_packets: int) -> List[Tuple[int, int]]:
+    """Materialized Table I: ``[(p, W_p)]`` for ``p = 0..M-1``."""
+    if n_packets < 1:
+        raise ValueError(f"need at least one packet, got {n_packets}")
+    return [
+        (p, packet_waiting(p, n_sensors, n_packets)) for p in range(n_packets)
+    ]
+
+
+def fwl_multi(n_sensors: int, n_packets: int) -> int:
+    """Multi-packet FWL: ``min_p (K_p + W_p)`` under Algorithm 1's schedule.
+
+    With sequential injection ``K_p = p``; the proof of Theorem 1 computes
+    ``FWL = (M-1) + W_{M-1}``:
+
+      ``M <  m``:  ``m + 2M - 2``
+      ``M >= m``:  ``(M-1) + m + (m-1) = 2m + M - 2``
+    """
+    if n_packets < 1:
+        raise ValueError(f"need at least one packet, got {n_packets}")
+    m = single_packet_waitings(n_sensors)
+    return (n_packets - 1) + m + min(n_packets - 1, m - 1)
+
+
+def fdl_theorem1(n_sensors: int, n_packets: int, period: int) -> float:
+    """Theorem 1's average FDL in original-time slots.
+
+    >>> fdl_theorem1(1024, 5, 5)     # M=5 < m=11: T(m/2 + M - 1)
+    47.5
+    >>> fdl_theorem1(1024, 20, 5)    # M=20 >= m=11: T(m + M/2 - 1)
+    100.0
+    """
+    if n_packets < 1:
+        raise ValueError(f"need at least one packet, got {n_packets}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    m = single_packet_waitings(n_sensors)
+    if n_packets < m:
+        return period * (0.5 * m + n_packets - 1)
+    return period * (m + 0.5 * n_packets - 1)
+
+
+def fdl_theorem1_series(
+    n_sensors: int, n_packets_range: np.ndarray, period: int
+) -> np.ndarray:
+    """Vectorized Theorem 1 over a range of ``M`` (used by Fig. 5)."""
+    ms = np.asarray(n_packets_range, dtype=np.float64)
+    if np.any(ms < 1):
+        raise ValueError("all packet counts must be >= 1")
+    m = single_packet_waitings(n_sensors)
+    below = period * (0.5 * m + ms - 1)
+    above = period * (m + 0.5 * ms - 1)
+    return np.where(ms < m, below, above)
+
+
+@dataclass(frozen=True)
+class FdlBounds:
+    """Theorem 2's lower/upper FDL bounds (original-time slots)."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self):
+        if self.lower > self.upper:
+            raise ValueError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def fdl_theorem2_bounds(n_sensors: int, n_packets: int, period: int) -> FdlBounds:
+    """Theorem 2: FDL bounds for arbitrary ``N``.
+
+    >>> b = fdl_theorem2_bounds(1000, 20, 5)
+    >>> b.lower <= fdl_theorem1(1000, 20, 5) <= b.upper
+    True
+    """
+    if n_packets < 1:
+        raise ValueError(f"need at least one packet, got {n_packets}")
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    m = single_packet_waitings(n_sensors)
+    if n_packets < m:
+        return FdlBounds(
+            lower=period * (0.5 * m + n_packets - 1),
+            upper=period * (m + 1.5 * n_packets - 1.5),
+        )
+    return FdlBounds(
+        lower=period * (m + 0.5 * n_packets - 1),
+        upper=period * (2 * m + 0.5 * n_packets - 1),
+    )
+
+
+def fdl_theorem2_series(
+    n_sensors: int, n_packets_range: np.ndarray, period: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized Theorem 2 bounds (lower, upper) over ``M`` (Fig. 6)."""
+    ms = np.asarray(n_packets_range, dtype=np.float64)
+    if np.any(ms < 1):
+        raise ValueError("all packet counts must be >= 1")
+    m = single_packet_waitings(n_sensors)
+    lower = np.where(
+        ms < m,
+        period * (0.5 * m + ms - 1),
+        period * (m + 0.5 * ms - 1),
+    )
+    upper = np.where(
+        ms < m,
+        period * (m + 1.5 * ms - 1.5),
+        period * (2 * m + 0.5 * ms - 1),
+    )
+    return lower, upper
+
+
+def knee_point(n_sensors: int) -> int:
+    """``M`` at which each FDL curve changes slope: the knee ``M = m``.
+
+    Before the knee the per-packet marginal delay is ``T``; after it,
+    ``T/2`` — late packets only pay for the bounded blocking window
+    (Corollary 1).
+    """
+    return single_packet_waitings(n_sensors)

@@ -1,0 +1,109 @@
+"""Flooding Waiting Limit (FWL) — Lemma 2 and its empirical estimator.
+
+FWL counts the minimum number of FCFS-imposed waitings needed before the
+last copy of a packet is received (compact-time slots). Lemma 2:
+
+    ``E[FWL] = ceil( log2(1+N) / log2(mu) )``
+
+with ``mu = E[X_1] in (1, 2]`` the branching mean (``mu = 1 + q`` for
+per-transmission success probability ``q``). For reliable links
+(``mu = 2``) this collapses to the w.h.p. bound of Eq. (6):
+
+    ``FWL = ceil( log2(1+N) )``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .branching import OffspringLaw, doubling_law, hitting_time
+
+__all__ = [
+    "fwl_reliable",
+    "fwl_lossy",
+    "fwl_mu",
+    "empirical_fwl",
+    "blocking_window",
+]
+
+
+def fwl_reliable(n_sensors: int) -> int:
+    """Eq. (6): ``FWL = ceil(log2(1+N))`` for reliable links.
+
+    >>> fwl_reliable(1024)
+    11
+    >>> fwl_reliable(1)
+    1
+    """
+    if n_sensors < 1:
+        raise ValueError(f"need at least one sensor, got {n_sensors}")
+    return math.ceil(math.log2(1 + n_sensors))
+
+
+def fwl_mu(n_sensors: int, mu: float) -> int:
+    """Lemma 2: ``E[FWL] = ceil(log2(1+N) / log2(mu))`` for branching mean ``mu``.
+
+    ``mu`` must lie in (1, 2]: at least some transmissions succeed
+    (``mu > 1``) and at most one new copy is spawned per holder per slot
+    (``mu <= 2``).
+
+    >>> fwl_mu(1024, 2.0)
+    11
+    >>> fwl_mu(1024, 1.5)
+    18
+    """
+    if n_sensors < 1:
+        raise ValueError(f"need at least one sensor, got {n_sensors}")
+    if not (1.0 < mu <= 2.0):
+        raise ValueError(f"mu must be in (1, 2], got {mu}")
+    return math.ceil(math.log2(1 + n_sensors) / math.log2(mu))
+
+
+def fwl_lossy(n_sensors: int, success_prob: float) -> int:
+    """FWL for homogeneous per-transmission success probability ``q``.
+
+    Plugs ``mu = 1 + q`` into Lemma 2. As ``q -> 0`` the FWL diverges —
+    the paper's remark that lossy links make FWL unbounded.
+
+    >>> fwl_lossy(1024, 1.0)
+    11
+    """
+    if not (0.0 < success_prob <= 1.0):
+        raise ValueError(f"success probability must be in (0, 1], got {success_prob}")
+    return fwl_mu(n_sensors, 1.0 + success_prob)
+
+
+def empirical_fwl(
+    n_sensors: int,
+    success_prob: float,
+    n_ensembles: int,
+    rng: np.random.Generator,
+    law: Optional[OffspringLaw] = None,
+) -> np.ndarray:
+    """Monte-Carlo FWL samples from the branching model.
+
+    Simulates the Galton-Watson population until it reaches ``1 + N`` and
+    returns the hitting times; their mean validates Lemma 2 (tests check
+    agreement within the lemma's ceil-rounding slack).
+    """
+    if law is None:
+        law = doubling_law(success_prob)
+    times = hitting_time(law, target=1 + n_sensors, n_ensembles=n_ensembles, rng=rng)
+    if np.any(times < 0):
+        raise RuntimeError("some ensembles failed to reach the target population")
+    return times
+
+
+def blocking_window(n_sensors: int) -> int:
+    """Corollary 1's bounded blocking window: ``ceil(log2(1+N)) - 1``.
+
+    A packet's flooding delay is affected only by this many packets
+    immediately before it; beyond that, multi-packet flooding pipelines.
+
+    >>> blocking_window(1024)
+    10
+    """
+    return max(fwl_reliable(n_sensors) - 1, 0)

@@ -1,0 +1,196 @@
+"""Duty-cycle / lifetime / delay trade-off (paper Sec. V-C and future work).
+
+The paper's closing observation: as the duty ratio shrinks, system
+lifetime grows only *linearly* (energy spent is roughly proportional to
+radio-on time plus a near-constant transmission-failure cost, Fig. 11),
+while flooding delay grows much faster (Figs. 7 and 10). The overall
+networking benefit therefore *decreases* beyond some point — it is not
+always beneficial to choose an extremely low duty cycle.
+
+The paper leaves "how to configure the duty cycle length so that the
+networking gain is maximized" as future work; this module implements that
+missing instrument:
+
+* an energy/lifetime model whose structure matches the paper's accounting
+  (receiver energy ~ duty ratio; per-flood transmission energy ~ constant
+  across duty ratios),
+* the analytic delay model from :mod:`repro.core.linkloss`, and
+* a networking-gain objective with a grid/refine optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .linkloss import recurrence_hitting_time
+
+__all__ = [
+    "EnergyModel",
+    "lifetime_slots",
+    "GainWeights",
+    "networking_gain",
+    "gain_curve",
+    "optimal_duty_cycle",
+    "TradeoffPoint",
+]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-node power/energy constants (normalized units).
+
+    Attributes
+    ----------
+    battery_capacity:
+        Total energy budget per node.
+    active_power:
+        Power while the radio is on (listening/receiving), per slot.
+    sleep_power:
+        Power while dormant, per slot (timers only; orders of magnitude
+        below ``active_power``).
+    tx_energy:
+        Energy per transmission attempt (success or failure).
+    flood_tx_per_slot:
+        Average transmission attempts per node per slot attributable to
+        flooding traffic. Fig. 11 shows failure counts are nearly constant
+        in the duty ratio, so this is modeled independent of duty.
+    """
+
+    battery_capacity: float = 1.0e6
+    active_power: float = 1.0
+    sleep_power: float = 0.01
+    tx_energy: float = 1.5
+    flood_tx_per_slot: float = 0.01
+
+    def __post_init__(self):
+        if self.battery_capacity <= 0:
+            raise ValueError("battery capacity must be positive")
+        if self.active_power <= 0:
+            raise ValueError("active power must be positive")
+        if not (0 <= self.sleep_power <= self.active_power):
+            raise ValueError("sleep power must be in [0, active power]")
+        if self.tx_energy < 0 or self.flood_tx_per_slot < 0:
+            raise ValueError("transmission costs must be non-negative")
+
+    def power_draw(self, duty_ratio: float) -> float:
+        """Average per-slot energy drain at the given duty ratio."""
+        if not (0.0 < duty_ratio <= 1.0):
+            raise ValueError(f"duty ratio must be in (0, 1], got {duty_ratio}")
+        radio = duty_ratio * self.active_power + (1 - duty_ratio) * self.sleep_power
+        return radio + self.flood_tx_per_slot * self.tx_energy
+
+
+def lifetime_slots(duty_ratio: float, model: Optional[EnergyModel] = None) -> float:
+    """Expected node lifetime in slots at a given duty ratio.
+
+    Linear-in-1/duty to leading order, matching the paper's "the system
+    lifetime linearly increases as the duty cycle becomes small".
+    """
+    model = model or EnergyModel()
+    return model.battery_capacity / model.power_draw(duty_ratio)
+
+
+@dataclass(frozen=True)
+class GainWeights:
+    """Weights of the networking-gain objective.
+
+    ``gain = lifetime_weight * log(lifetime) - delay_weight * log(delay)``
+
+    The log-log form makes the objective scale-free: it rewards relative
+    lifetime improvements and punishes relative delay deterioration, which
+    is the natural reading of the paper's "overall benefit decreases
+    exponentially" remark.
+    """
+
+    lifetime_weight: float = 1.0
+    delay_weight: float = 1.0
+
+    def __post_init__(self):
+        if self.lifetime_weight < 0 or self.delay_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if self.lifetime_weight == 0 and self.delay_weight == 0:
+            raise ValueError("at least one weight must be positive")
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One evaluated duty ratio on the trade-off curve."""
+
+    duty_ratio: float
+    period: int
+    lifetime: float
+    delay: float
+    gain: float
+
+
+def networking_gain(
+    duty_ratio: float,
+    n_sensors: int,
+    k: float,
+    weights: Optional[GainWeights] = None,
+    energy: Optional[EnergyModel] = None,
+) -> TradeoffPoint:
+    """Evaluate the gain objective at one duty ratio."""
+    weights = weights or GainWeights()
+    period = max(int(round(1.0 / duty_ratio)), 1)
+    life = lifetime_slots(duty_ratio, energy)
+    delay = float(recurrence_hitting_time(n_sensors, k, period))
+    gain = weights.lifetime_weight * math.log(life) - weights.delay_weight * math.log(
+        max(delay, 1.0)
+    )
+    return TradeoffPoint(
+        duty_ratio=duty_ratio, period=period, lifetime=life, delay=delay, gain=gain
+    )
+
+
+def gain_curve(
+    duty_ratios: Sequence[float],
+    n_sensors: int,
+    k: float,
+    weights: Optional[GainWeights] = None,
+    energy: Optional[EnergyModel] = None,
+) -> list:
+    """Evaluate the gain objective over a duty-ratio sweep."""
+    return [
+        networking_gain(d, n_sensors, k, weights, energy) for d in duty_ratios
+    ]
+
+
+def optimal_duty_cycle(
+    n_sensors: int,
+    k: float,
+    weights: Optional[GainWeights] = None,
+    energy: Optional[EnergyModel] = None,
+    duty_min: float = 0.01,
+    duty_max: float = 0.5,
+    n_grid: int = 64,
+) -> TradeoffPoint:
+    """The paper's missing instrument: the gain-maximizing duty ratio.
+
+    Grid search over a log-spaced duty-ratio range (delay is only defined
+    at integer periods, so the objective is piecewise constant and
+    derivative-free search is the right tool), then local refinement over
+    the neighboring integer periods.
+    """
+    if not (0.0 < duty_min < duty_max <= 1.0):
+        raise ValueError("need 0 < duty_min < duty_max <= 1")
+    if n_grid < 2:
+        raise ValueError("grid needs at least two points")
+    grid = np.geomspace(duty_min, duty_max, n_grid)
+    points = gain_curve(grid, n_sensors, k, weights, energy)
+    best = max(points, key=lambda pt: pt.gain)
+    # Refine over adjacent integer periods (duty = 1/T).
+    for period in (best.period - 1, best.period + 1):
+        if period < 1:
+            continue
+        duty = 1.0 / period
+        if not (duty_min <= duty <= duty_max):
+            continue
+        cand = networking_gain(duty, n_sensors, k, weights, energy)
+        if cand.gain > best.gain:
+            best = cand
+    return best

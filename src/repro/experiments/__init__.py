@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Each experiment's ``run(scale=...)`` returns an
+:class:`~repro.analysis.series.ExperimentResult`; the registry in
+:mod:`repro.experiments.registry` maps experiment ids to those callables.
+"""
+
+from .registry import EXPERIMENTS, experiment_ids, run_experiment_by_id
+
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment_by_id"]

@@ -1,0 +1,37 @@
+"""Shared trace-driven duty-cycle sweep backing Figs. 10 and 11.
+
+Both figures come from the same simulation grid (protocols x duty
+ratios on the GreenOrbs trace), so the sweep runs once per (scale, seed)
+and is memoized in-process; fig10 reads the delay columns, fig11 the
+failure columns.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..sim.runner import RunSummary, run_protocol_sweep
+from ._common import DEFAULT_SEED, get_trace, resolve_scale
+
+__all__ = ["trace_duty_sweep", "PROTOCOLS"]
+
+#: The paper's three evaluation protocols, best-expected first.
+PROTOCOLS = ("opt", "dbao", "of")
+
+
+@lru_cache(maxsize=4)
+def trace_duty_sweep(
+    scale: str = "full", seed: int = DEFAULT_SEED
+) -> Dict[str, Dict[float, RunSummary]]:
+    """Protocols x duty ratios grid on the trace topology (memoized)."""
+    ts = resolve_scale(scale)
+    topo = get_trace(scale, seed)
+    return run_protocol_sweep(
+        topo,
+        protocols=PROTOCOLS,
+        duty_ratios=ts.duty_ratios,
+        n_packets=ts.n_packets,
+        seed=seed,
+        n_replications=ts.n_replications,
+    )

@@ -1,0 +1,52 @@
+"""Fig. 10 — average flooding delay versus duty cycle.
+
+The paper sweeps the duty cycle from 2% to 20% on the GreenOrbs trace and
+plots the average per-packet flooding delay of OPT, DBAO and OF, together
+with the analytic lower bound from the Sec. IV-B recurrence. Shape
+expectations: every protocol's delay explodes as the duty cycle shrinks;
+OPT <= DBAO <= OF throughout; the prediction stays below all three.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series
+from ..analysis.validate import analytic_lower_bound
+from ._common import DEFAULT_SEED, get_trace, resolve_scale
+from ._trace_sweep import PROTOCOLS, trace_duty_sweep
+
+__all__ = ["run"]
+
+
+def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    ts = resolve_scale(scale)
+    topo = get_trace(scale, seed)
+    grid = trace_duty_sweep(scale, seed)
+    duties = np.asarray(ts.duty_ratios)
+
+    series = []
+    for proto in PROTOCOLS:
+        delays = np.asarray([grid[proto][d].mean_delay() for d in ts.duty_ratios])
+        series.append(Series(label=f"{proto}: avg delay", x=duties, y=delays))
+    bound = np.asarray(
+        [analytic_lower_bound(topo, d) for d in ts.duty_ratios], dtype=np.float64
+    )
+    series.append(Series(label="predicted lower bound", x=duties, y=bound))
+
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Average flooding delay vs duty cycle",
+        series=series,
+        metadata={
+            "n_packets": ts.n_packets,
+            "n_sensors": topo.n_sensors,
+            "completion": {
+                proto: {
+                    float(d): grid[proto][d].completion_rate()
+                    for d in ts.duty_ratios
+                }
+                for proto in PROTOCOLS
+            },
+        },
+    )

@@ -1,0 +1,45 @@
+"""Fig. 11 — transmission failures versus duty cycle.
+
+Same sweep as Fig. 10, but counting failed transmissions (loss +
+collisions). The paper's observation: the failure count stays nearly
+constant as the duty ratio changes, implying per-node energy scales
+linearly with the duty ratio — which, combined with Fig. 10's exponential
+delay growth, means an extremely low duty cycle is *not* always
+beneficial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series
+from ..analysis.validate import relative_spread
+from ._common import DEFAULT_SEED, get_trace, resolve_scale
+from ._trace_sweep import PROTOCOLS, trace_duty_sweep
+
+__all__ = ["run"]
+
+
+def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    ts = resolve_scale(scale)
+    grid = trace_duty_sweep(scale, seed)
+    duties = np.asarray(ts.duty_ratios)
+
+    series = []
+    spreads = {}
+    for proto in PROTOCOLS:
+        failures = np.asarray(
+            [grid[proto][d].mean_failures() for d in ts.duty_ratios]
+        )
+        series.append(Series(label=f"{proto}: failures", x=duties, y=failures))
+        spreads[proto] = relative_spread(failures)
+
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Transmission failures vs duty cycle",
+        series=series,
+        metadata={
+            "n_packets": ts.n_packets,
+            "relative_spread": spreads,
+        },
+    )

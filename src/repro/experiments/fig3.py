@@ -1,0 +1,70 @@
+"""Fig. 3 — the worked example of Algorithm 1.
+
+The paper illustrates the matrix-based flooding on a network of one
+source and N = 4 sensors flooding M = 2 packets, showing the possession
+matrices ``X^{(c)}`` at each compact slot and that every packet meets the
+Eq. (6) waiting limit. This experiment replays the algorithm with history
+recording and emits those matrices plus the per-packet waitings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series, Table
+from ..core.matrix_flood import MatrixFloodSimulator
+
+__all__ = ["run"]
+
+
+def run(scale: str = "full", n_sensors: int = 4, n_packets: int = 2) -> ExperimentResult:
+    """Replay Algorithm 1 on the paper's example (any ``N = 2^n`` works).
+
+    ``scale`` is accepted for registry uniformity; the example is tiny at
+    every scale.
+    """
+    sim = MatrixFloodSimulator(n_sensors)
+    result = sim.run(n_packets, record_history=True)
+
+    tables = []
+    assert result.possession_history is not None
+    for c, snapshot in enumerate(result.possession_history):
+        # One column per packet, matching the paper's layout.
+        cols = {"node": np.arange(1 + n_sensors)}
+        for p in range(n_packets):
+            cols[f"packet{p}"] = snapshot[p].astype(np.int64)
+        tables.append(Table(title=f"X at compact slot c={c}", columns=cols))
+
+    waitings = result.per_packet_waitings()
+    tables.append(
+        Table(
+            title="Per-packet compact waitings (Lemma 3: each equals m)",
+            columns={
+                "packet": np.arange(n_packets),
+                "waitings": waitings,
+                "limit_m": np.full(n_packets, result.m),
+            },
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Algorithm 1 worked example (matrix evolution)",
+        series=[
+            Series(
+                label="coverage of packet 0 over compact slots",
+                x=np.arange(len(result.possession_history)),
+                y=np.asarray(
+                    [snap[0].sum() for snap in result.possession_history]
+                ),
+            )
+        ],
+        tables=tables,
+        metadata={
+            "n_sensors": n_sensors,
+            "n_packets": n_packets,
+            "compact_slots": result.compact_slots,
+            "lemma3_limit": n_packets + result.m - 1,
+            "achieves_lemma3": result.achieves_lemma3,
+        },
+    )

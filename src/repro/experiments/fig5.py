@@ -1,0 +1,64 @@
+"""Fig. 5 — Theorem 1's flooding delay limit.
+
+Two panels:
+
+* **Panel A**: ``T = 5`` fixed, network sizes ``N`` in {256, 1024, 4096},
+  FDL versus the number of flooded packets ``M = 1..20``.
+* **Panel B**: ``N = 1024`` fixed, duty ratios {10%, 20%, 100%}
+  (``T`` = 10, 5, 1), FDL versus ``M``.
+
+Shape expectations (checked in EXPERIMENTS.md): every curve has a knee at
+``M = m = ceil(log2(1+N))`` where the slope halves (per-packet marginal
+delay drops from ``T`` to ``T/2``), and the curves scale linearly in ``T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series
+from ..core.fdl import fdl_theorem1_series, knee_point
+
+__all__ = ["run"]
+
+PANEL_A_SIZES = (256, 1024, 4096)
+PANEL_A_PERIOD = 5
+PANEL_B_SENSORS = 1024
+PANEL_B_DUTIES = (0.10, 0.20, 1.00)
+
+
+def run(scale: str = "full", max_packets: int = 20) -> ExperimentResult:
+    """Evaluate both panels (closed forms; instant at every scale)."""
+    if max_packets < 2:
+        raise ValueError("need at least two packet counts for a curve")
+    ms = np.arange(1, max_packets + 1)
+
+    series = []
+    for n in PANEL_A_SIZES:
+        series.append(
+            Series(
+                label=f"panelA: N={n}, T={PANEL_A_PERIOD}",
+                x=ms,
+                y=fdl_theorem1_series(n, ms, PANEL_A_PERIOD),
+            )
+        )
+    for duty in PANEL_B_DUTIES:
+        period = max(int(round(1.0 / duty)), 1)
+        series.append(
+            Series(
+                label=f"panelB: N={PANEL_B_SENSORS}, duty={duty:.0%}",
+                x=ms,
+                y=fdl_theorem1_series(PANEL_B_SENSORS, ms, period),
+            )
+        )
+
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Theorem 1: multi-packet flooding delay limit",
+        series=series,
+        metadata={
+            "knees_panelA": {n: knee_point(n) for n in PANEL_A_SIZES},
+            "knee_panelB": knee_point(PANEL_B_SENSORS),
+            "max_packets": max_packets,
+        },
+    )

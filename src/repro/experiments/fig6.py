@@ -1,0 +1,37 @@
+"""Fig. 6 — Theorem 2's lower/upper FDL bounds for arbitrary ``N``.
+
+The paper plots the bounds for ``N`` in {256, 1024} against
+``M = 2..20`` (with ``T = 5``, the same normalization as Fig. 5's panel
+A). Shape expectations: each pair of bounds brackets the Theorem 1 value,
+both kinked at ``M = m``, with the band width growing linearly before the
+knee and staying ``T*m``-wide after it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series
+from ..core.fdl import fdl_theorem2_series, knee_point
+
+__all__ = ["run"]
+
+SIZES = (256, 1024)
+PERIOD = 5
+
+
+def run(scale: str = "full", max_packets: int = 20) -> ExperimentResult:
+    if max_packets < 2:
+        raise ValueError("need at least two packet counts for a curve")
+    ms = np.arange(2, max_packets + 1)
+    series = []
+    for n in SIZES:
+        lower, upper = fdl_theorem2_series(n, ms, PERIOD)
+        series.append(Series(label=f"N={n}, lower bound", x=ms, y=lower))
+        series.append(Series(label=f"N={n}, upper bound", x=ms, y=upper))
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Theorem 2: FDL bounds for arbitrary N",
+        series=series,
+        metadata={"period": PERIOD, "knees": {n: knee_point(n) for n in SIZES}},
+    )

@@ -1,0 +1,102 @@
+"""Heterogeneous link quality vs the homogeneous k-class analysis.
+
+Sec. IV-B derives the delay prediction for a *homogeneous* network where
+every link has the same k-class, then extends to the heterogeneous case
+"by the simulation". This experiment is that extension:
+
+* the GreenOrbs trace (heterogeneous PRR spread) is flooded as-is;
+* a *homogenized* twin — same adjacency, every link set to the trace's
+  mean PRR — is flooded with the same seeds;
+* both are compared against the recurrence prediction evaluated at the
+  network-mean k-class and at the optimistic best-link k-class.
+
+Expected shape — and it is *not* the naive Jensen argument: although the
+heterogeneous ensemble has the worse average retransmission count
+(``E[1/q] > 1/E[q]``), a link-aware protocol like DBAO floods the
+heterogeneous trace *faster* than its mean-matched twin, because it
+cherry-picks the near-perfect links (the trace's PRR median is ~0.99)
+and the weak tail is discounted by the 99% coverage rule. Homogenizing
+removes the good-link subgraph protocols actually ride on. Both variants
+stay above the analytic lower bound. The Jensen penalty applies to
+*fixed-path* forwarding — visible in the DCA baseline, not in DBAO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series, Table
+from ..analysis.validate import analytic_lower_bound
+from ..core.linkloss import effective_k, recurrence_hitting_time
+from ..net.topology import Topology
+from ..sim.runner import ExperimentSpec, run_experiment
+from ._common import DEFAULT_SEED, get_trace, resolve_scale
+
+__all__ = ["run", "homogenize"]
+
+DUTY_RATIOS = (0.05, 0.10, 0.20)
+
+
+def homogenize(topo: Topology) -> Topology:
+    """Same adjacency, every link at the network-mean PRR."""
+    mean_prr = topo.mean_prr()
+    prr = np.where(topo.adjacency, mean_prr, 0.0)
+    return Topology(
+        prr,
+        positions=topo.positions,
+        neighbor_threshold=min(topo.neighbor_threshold, mean_prr),
+        rssi=topo.rssi,
+    )
+
+
+def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    ts = resolve_scale(scale)
+    hetero_topo = get_trace(scale, seed)
+    homog_topo = homogenize(hetero_topo)
+    duties = DUTY_RATIOS if scale != "smoke" else (0.05, 0.2)
+
+    series_data = {"heterogeneous": [], "homogenized": [], "prediction": []}
+    for duty in duties:
+        for label, topo in (
+            ("heterogeneous", hetero_topo),
+            ("homogenized", homog_topo),
+        ):
+            summary = run_experiment(topo, ExperimentSpec(
+                protocol="dbao",
+                duty_ratio=duty,
+                n_packets=ts.n_packets,
+                seed=seed,
+                n_replications=ts.n_replications,
+            ))
+            series_data[label].append(summary.mean_delay())
+        series_data["prediction"].append(
+            analytic_lower_bound(hetero_topo, duty)
+        )
+
+    x = np.asarray(duties)
+    mean_k = effective_k(hetero_topo.prr[hetero_topo.adjacency])
+    homog_k = 1.0 / hetero_topo.mean_prr()
+    return ExperimentResult(
+        experiment_id="hetero",
+        title="Heterogeneous vs homogenized link quality (Sec. IV-B extension)",
+        series=[
+            Series(label="heterogeneous trace", x=x,
+                   y=np.asarray(series_data["heterogeneous"])),
+            Series(label="homogenized twin", x=x,
+                   y=np.asarray(series_data["homogenized"])),
+            Series(label="analytic lower bound", x=x,
+                   y=np.asarray(series_data["prediction"])),
+        ],
+        tables=[
+            Table(
+                title="Effective k-classes",
+                columns={
+                    "model": np.asarray(
+                        ["heterogeneous E[1/q]", "homogenized 1/E[q]"]
+                    ),
+                    "k": np.asarray([mean_k, homog_k]),
+                },
+            )
+        ],
+        metadata={"protocol": "dbao", "n_packets": ts.n_packets},
+    )

@@ -1,0 +1,53 @@
+"""Experiment registry: one callable per paper artifact.
+
+``run_experiment_by_id("fig10", scale="bench")`` is how benchmarks,
+tests, and the EXPERIMENTS.md generator all invoke experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..analysis.series import ExperimentResult
+from . import ablations, fig3, fig5, fig6, fig7, fig9, fig10, fig11
+from . import hetero, lemma2, skew, slot_split, table1, tradeoff_gain
+
+__all__ = ["EXPERIMENTS", "run_experiment_by_id", "experiment_ids"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "table1": table1.run,
+    "lemma2": lemma2.run,
+    "gain": tradeoff_gain.run,
+    "abl-collisions": ablations.run_collisions,
+    "abl-overhearing": ablations.run_overhearing,
+    "abl-opp-threshold": ablations.run_opp_threshold,
+    "abl-data-overhearing": ablations.run_data_overhearing,
+    "abl-bursty": ablations.run_bursty_links,
+    "skew": skew.run,
+    "hetero": hetero.run,
+    "slot-split": slot_split.run,
+}
+
+
+def run_experiment_by_id(
+    experiment_id: str, scale: str = "full", **kwargs
+) -> ExperimentResult:
+    """Run one registered experiment."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(scale=scale, **kwargs)
+
+
+def experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,50 @@
+"""Networking-gain trade-off (the paper's future-work direction 1).
+
+Sweeps the duty ratio, evaluating the analytic lifetime model against the
+link-loss delay predictor, and reports the gain-maximizing duty cycle —
+the "instruction to configure the duty cycle length" the paper says is
+missing. The curve's interior maximum is the quantitative form of the
+conclusion that an extremely low duty cycle is not always beneficial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.series import ExperimentResult, Series
+from ..core.tradeoff import gain_curve, optimal_duty_cycle
+from ._common import DEFAULT_SEED, get_trace
+
+__all__ = ["run"]
+
+DUTY_GRID = (
+    0.01, 0.02, 0.03, 0.04, 0.05, 0.0667, 0.08, 0.10, 0.125, 0.1667, 0.20,
+    0.25, 0.3333, 0.50,
+)
+
+
+def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    topo = get_trace(scale, seed)
+    k = topo.mean_k_class()
+    points = gain_curve(DUTY_GRID, topo.n_sensors, k)
+    duties = np.asarray([pt.duty_ratio for pt in points])
+    best = optimal_duty_cycle(topo.n_sensors, k)
+
+    return ExperimentResult(
+        experiment_id="gain",
+        title="Networking gain vs duty cycle (future-work instrument)",
+        series=[
+            Series(label="lifetime (slots)", x=duties,
+                   y=np.asarray([pt.lifetime for pt in points])),
+            Series(label="predicted delay (slots)", x=duties,
+                   y=np.asarray([pt.delay for pt in points])),
+            Series(label="networking gain", x=duties,
+                   y=np.asarray([pt.gain for pt in points])),
+        ],
+        metadata={
+            "effective_k": round(k, 3),
+            "optimal_duty": best.duty_ratio,
+            "optimal_period": best.period,
+            "optimal_gain": round(best.gain, 4),
+        },
+    )

@@ -1,0 +1,68 @@
+"""Network substrate: topologies, link models, schedules, packets, radio."""
+
+from .generators import (
+    binary_tree_topology,
+    grid_topology,
+    line_topology,
+    positions_to_topology,
+    random_geometric_topology,
+    star_topology,
+)
+from .links import (
+    LinkQuality,
+    RadioParameters,
+    distance_to_prr,
+    expected_transmissions,
+    k_class_to_prr,
+    prr_to_k_class,
+    rssi_to_prr,
+)
+from .packet import FcfsBuffer, FloodWorkload, Packet
+from .radio import (
+    RadioModel,
+    Reception,
+    SlotOutcome,
+    Transmission,
+    carrier_sense_groups,
+    resolve_slot,
+)
+from .schedule import (
+    ScheduleTable,
+    WorkingSchedule,
+    duty_ratio_to_period,
+    period_to_duty_ratio,
+    random_schedules,
+)
+from .sync import LocalSyncService
+from .topology import SOURCE, Topology
+from .trace import (
+    GreenOrbsConfig,
+    load_trace,
+    save_trace,
+    synthesize_greenorbs,
+    trace_statistics,
+)
+
+__all__ = [
+    "binary_tree_topology", "grid_topology", "line_topology",
+    "positions_to_topology", "random_geometric_topology", "star_topology",
+    "LinkQuality", "RadioParameters", "distance_to_prr",
+    "expected_transmissions", "k_class_to_prr", "prr_to_k_class",
+    "rssi_to_prr",
+    "FcfsBuffer", "FloodWorkload", "Packet",
+    "RadioModel", "Reception", "SlotOutcome", "Transmission",
+    "carrier_sense_groups", "resolve_slot",
+    "ScheduleTable", "WorkingSchedule", "duty_ratio_to_period",
+    "period_to_duty_ratio", "random_schedules",
+    "LocalSyncService", "SOURCE", "Topology",
+    "GreenOrbsConfig", "load_trace", "save_trace", "synthesize_greenorbs",
+    "trace_statistics",
+]
+
+from .dynamics import GilbertElliott
+
+__all__.append("GilbertElliott")
+
+from .multislot import MultiSlotScheduleTable
+
+__all__.append("MultiSlotScheduleTable")

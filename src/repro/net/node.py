@@ -1,0 +1,120 @@
+"""Object-level sensor node state.
+
+The vectorized simulator (:mod:`repro.sim.engine`) keeps network state in
+flat arrays for speed; :class:`SensorNode` is the readable object-level
+counterpart used by the quickstart API, small-network tests, and the
+reference implementations that the array engine is validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .packet import FcfsBuffer
+from .schedule import WorkingSchedule
+
+__all__ = ["SensorNode", "NodeEnergyCounters"]
+
+
+@dataclass
+class NodeEnergyCounters:
+    """Per-node energy-relevant event counts (Sec. V-C accounting).
+
+    The paper's energy argument: receiver-side energy is set by the duty
+    cycle (radio-on slots), sender-side energy by transmissions, and the
+    *wasted* part by failed transmissions. We count all three.
+    """
+
+    tx_attempts: int = 0
+    tx_failures: int = 0
+    rx_successes: int = 0
+    radio_on_slots: int = 0
+
+    @property
+    def tx_successes(self) -> int:
+        return self.tx_attempts - self.tx_failures
+
+    def merge(self, other: "NodeEnergyCounters") -> None:
+        self.tx_attempts += other.tx_attempts
+        self.tx_failures += other.tx_failures
+        self.rx_successes += other.rx_successes
+        self.radio_on_slots += other.radio_on_slots
+
+
+class SensorNode:
+    """Runtime state of one sensor: schedule, buffer, neighbor beliefs.
+
+    Parameters
+    ----------
+    node_id:
+        Network-wide id; 0 is the source.
+    schedule:
+        The node's working schedule.
+    is_source:
+        Source nodes generate packets instead of relaying them.
+    """
+
+    def __init__(
+        self, node_id: int, schedule: WorkingSchedule, is_source: bool = False
+    ):
+        if node_id < 0:
+            raise ValueError(f"node id must be non-negative, got {node_id}")
+        self.node_id = int(node_id)
+        self.schedule = schedule
+        self.is_source = bool(is_source)
+        self.buffer = FcfsBuffer()
+        self.energy = NodeEnergyCounters()
+        #: Which packets this node believes each neighbor already holds
+        #: (learned from its own acknowledged transmissions and from
+        #: overhearing). Maps neighbor id -> set of packet indices.
+        self.believed_coverage: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Packet state
+    # ------------------------------------------------------------------
+
+    def has_packet(self, packet_index: int) -> bool:
+        return packet_index in self.buffer
+
+    def receive(self, packet_index: int, slot: int) -> bool:
+        """Deliver a packet to this node; returns False on duplicate."""
+        fresh = self.buffer.add(packet_index, slot)
+        if fresh:
+            self.energy.rx_successes += 1
+        return fresh
+
+    def head_packet_for(self, neighbor_holdings: Set[int]) -> Optional[int]:
+        """FCFS head-of-line packet for a receiver holding ``neighbor_holdings``."""
+        needed = [p for p in self.buffer.packets if p not in neighbor_holdings]
+        return self.buffer.head_for(needed)
+
+    # ------------------------------------------------------------------
+    # Belief tracking (used by DBAO-style protocols)
+    # ------------------------------------------------------------------
+
+    def note_neighbor_has(self, neighbor: int, packet_index: int) -> None:
+        """Record evidence that ``neighbor`` possesses ``packet_index``."""
+        self.believed_coverage.setdefault(neighbor, set()).add(packet_index)
+
+    def believes_neighbor_has(self, neighbor: int, packet_index: int) -> bool:
+        return packet_index in self.believed_coverage.get(neighbor, ())
+
+    # ------------------------------------------------------------------
+    # Schedule helpers
+    # ------------------------------------------------------------------
+
+    def is_active(self, t: int) -> bool:
+        """Whether the node can receive at slot ``t``."""
+        return self.schedule.is_active(t)
+
+    def next_wakeup(self, t: int) -> int:
+        """Earliest slot >= t at which this node can receive."""
+        return self.schedule.next_active(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        role = "source" if self.is_source else "sensor"
+        return (
+            f"SensorNode(id={self.node_id}, {role}, "
+            f"buffered={len(self.buffer)}, duty={self.schedule.duty_ratio:.2%})"
+        )

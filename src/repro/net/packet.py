@@ -1,0 +1,141 @@
+"""Packets, FCFS buffers, and flood workloads.
+
+The paper's queueing discipline (Sec. III-C) is FCFS everywhere: the
+source injects packets sequentially, and every relay forwards the packet
+that *arrived at it* earliest among those the intended receiver still
+needs. :class:`FcfsBuffer` implements exactly that discipline for the
+object-level API; the vectorized simulator keeps the equivalent state in
+arrays (see :mod:`repro.sim.engine`) but is tested against this reference
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+__all__ = ["Packet", "FcfsBuffer", "FloodWorkload"]
+
+
+@dataclass(frozen=True, order=True)
+class Packet:
+    """One flooded packet.
+
+    Ordering is by ``index`` (the source injection order ``p = 0..M-1``),
+    which matches FCFS at the source.
+    """
+
+    index: int
+    generated_at: int = 0
+
+    def __post_init__(self):
+        if self.index < 0:
+            raise ValueError(f"packet index must be non-negative, got {self.index}")
+        if self.generated_at < 0:
+            raise ValueError(
+                f"generation slot must be non-negative, got {self.generated_at}"
+            )
+
+
+class FcfsBuffer:
+    """Arrival-ordered packet buffer of one node.
+
+    Packets are queued in the order they arrived at *this* node. For a
+    given receiver, the head-of-line packet is the earliest-arrived packet
+    the receiver still needs — later packets may not overtake it (the
+    FCFS policy the paper's waiting analysis is built on).
+    """
+
+    def __init__(self):
+        self._order: List[int] = []  # packet indices, arrival order
+        self._arrival: Dict[int, int] = {}
+
+    def __contains__(self, packet_index: int) -> bool:
+        return packet_index in self._arrival
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    @property
+    def packets(self) -> List[int]:
+        """Packet indices in arrival order (a copy)."""
+        return list(self._order)
+
+    def arrival_slot(self, packet_index: int) -> int:
+        """Slot at which the packet arrived here."""
+        try:
+            return self._arrival[packet_index]
+        except KeyError:
+            raise KeyError(f"packet {packet_index} not in buffer") from None
+
+    def add(self, packet_index: int, slot: int) -> bool:
+        """Record arrival of a packet; returns False for duplicates.
+
+        Duplicate receptions (possible via overhearing) are ignored — the
+        first arrival fixes the FCFS position.
+        """
+        if packet_index in self._arrival:
+            return False
+        if self._order and slot < self._arrival[self._order[-1]]:
+            # Arrivals within one slot are fine; going backwards is a bug.
+            if slot < max(self._arrival.values()) - 0:
+                pass  # equal-slot arrivals keep insertion order
+        self._order.append(packet_index)
+        self._arrival[packet_index] = int(slot)
+        return True
+
+    def head_for(self, needed: Iterable[int]) -> Optional[int]:
+        """Earliest-arrived packet among ``needed`` (None if none held).
+
+        ``needed`` is the set of packets the intended receiver lacks.
+        """
+        needed_set = set(needed)
+        for p in self._order:
+            if p in needed_set:
+                return p
+        return None
+
+
+class FloodWorkload:
+    """The source's injection plan: ``M`` packets with generation slots.
+
+    ``generation_interval`` spaces out the injections (``gen[p] = p * g``).
+    The paper's experiments use back-to-back injection (``g = 0``): all
+    packets are ready at slot 0 and serialize purely through FCFS and the
+    one-transmission-per-slot radio constraint.
+    """
+
+    def __init__(self, n_packets: int, generation_interval: int = 0):
+        if n_packets < 1:
+            raise ValueError(f"need at least one packet, got {n_packets}")
+        if generation_interval < 0:
+            raise ValueError("generation interval must be non-negative")
+        self.n_packets = int(n_packets)
+        self.generation_interval = int(generation_interval)
+
+    def generation_slot(self, packet_index: int) -> int:
+        """Slot at which packet ``p`` becomes available at the source."""
+        if not (0 <= packet_index < self.n_packets):
+            raise IndexError(
+                f"packet index {packet_index} outside [0, {self.n_packets})"
+            )
+        return packet_index * self.generation_interval
+
+    def generation_slots(self) -> np.ndarray:
+        """Vector of generation slots for all packets."""
+        return np.arange(self.n_packets, dtype=np.int64) * self.generation_interval
+
+    def packets(self) -> List[Packet]:
+        """Materialized packet objects in injection order."""
+        return [
+            Packet(index=p, generated_at=self.generation_slot(p))
+            for p in range(self.n_packets)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"FloodWorkload(M={self.n_packets}, "
+            f"interval={self.generation_interval})"
+        )

@@ -1,0 +1,402 @@
+"""Semi-duplex radio: contention, collisions, capture, and loss.
+
+The radio layer takes the set of transmissions a protocol committed to in
+one slot and resolves what every awake receiver actually hears:
+
+* **Semi-duplex** — a transmitting node never receives in the same slot
+  (the engine removes senders from the awake set before resolution).
+* **Collisions** — when two or more in-range transmissions overlap at an
+  awake receiver, they destroy each other (hidden-terminal losses arise
+  exactly this way: two senders outside carrier-sense range of each other
+  address the same receiver).
+* **Capture effect** (optional) — the strongest overlapping signal
+  survives a collision if it dominates the next-strongest sufficiently;
+  disabled by default to match the paper's model, but exposed because the
+  related work (Flash flooding) builds on it.
+* **Bernoulli loss** — a transmission that survives contention is received
+  with probability equal to the link PRR (this is the paper's k-class
+  behaviour: a PRR-q link needs on average 1/q attempts).
+* **Overhearing** (optional) — an awake node in range of a transmission
+  addressed to somebody else may still receive the packet; DBAO's
+  suppression machinery relies on this.
+
+Carrier sense is *not* the radio's job: it happens before commitment, in
+the protocols (see :func:`carrier_sense_groups` used by DBAO/OF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = [
+    "Transmission",
+    "Reception",
+    "SlotOutcome",
+    "RadioModel",
+    "resolve_slot",
+    "carrier_sense_groups",
+    "csma_select",
+]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One committed unicast: ``sender`` sends ``packet`` to ``receiver``."""
+
+    sender: int
+    receiver: int
+    packet: int
+
+    def __post_init__(self):
+        if self.sender == self.receiver:
+            raise ValueError("sender and receiver must differ")
+        if self.packet < 0:
+            raise ValueError(f"packet index must be non-negative, got {self.packet}")
+
+
+@dataclass(frozen=True)
+class Reception:
+    """A successful packet reception at ``receiver``.
+
+    ``overheard`` is True when the packet was addressed to another node.
+    """
+
+    receiver: int
+    sender: int
+    packet: int
+    overheard: bool = False
+
+
+@dataclass
+class SlotOutcome:
+    """Everything that happened in one slot at the radio level."""
+
+    receptions: List[Reception] = field(default_factory=list)
+    #: Transmissions whose *intended* receiver did not get the packet.
+    failures: List[Transmission] = field(default_factory=list)
+    #: Subset of failures destroyed by a collision (vs. plain link loss).
+    collisions: List[Transmission] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
+
+    @property
+    def n_collisions(self) -> int:
+        return len(self.collisions)
+
+    def delivered_to(self, receiver: int) -> List[Reception]:
+        return [r for r in self.receptions if r.receiver == receiver]
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """Physical-layer behaviour switches.
+
+    Parameters
+    ----------
+    collisions:
+        Whether overlapping in-range transmissions destroy each other.
+        The OPT oracle runs with this off.
+    capture_guard:
+        Preamble-capture window. Every transmission starts at a random
+        sub-slot phase in ``[0, 1)`` (CSMA jitter); a receiver locks onto
+        the earliest in-range frame and decodes it if the next frame
+        starts at least ``capture_guard`` later — otherwise the overlap
+        destroys both. Without this effect, deterministic protocols on
+        deterministic schedules can livelock: the same hidden-terminal
+        pair collides at the same wake slot every period, forever. Set to
+        ``1.0`` to disable capture entirely (every overlap collides).
+    capture_margin_db:
+        SIR power capture for topologies that carry RSSI data: the
+        strongest overlapping signal survives when it exceeds the
+        runner-up by at least this many dB — every real receiver exhibits
+        this, and without it a weak fringe interferer would "destroy" a
+        frame arriving 30 dB hotter. ``None`` disables SIR capture.
+    capture_ratio:
+        Power-capture fallback for PRR-only topologies (no RSSI): the
+        strongest signal survives when its PRR is at least
+        ``capture_ratio`` times the runner-up's. Crude — PRR saturates at
+        1 — but better than nothing. ``None`` disables the fallback.
+    overhearing:
+        Whether awake third parties can receive *data* frames addressed to
+        others. Default **off**, matching the paper's unicast model
+        (Sec. III-B assumes simultaneous neighbor wake-ups are rare and
+        models flooding as pure unicasts; data overhearing would let one
+        transmission spawn several copies, breaking the ``mu <= 2``
+        branching bound behind Lemma 2 and the Sec. IV-B recurrence).
+        DBAO's "overhearing" is different — it is ACK-based suppression,
+        handled inside the protocol. The cross-layer future-work sketch
+        turns data overhearing on deliberately.
+    lossless:
+        Force every surviving transmission to succeed (ideal networks of
+        Sec. IV-A).
+    """
+
+    collisions: bool = True
+    capture_guard: float = 0.3
+    capture_margin_db: Optional[float] = 4.0
+    capture_ratio: Optional[float] = 2.0
+    overhearing: bool = False
+    lossless: bool = False
+
+    def __post_init__(self):
+        if not (0.0 < self.capture_guard <= 1.0):
+            raise ValueError("capture guard must be in (0, 1]")
+        if self.capture_margin_db is not None and self.capture_margin_db < 0:
+            raise ValueError("capture margin must be non-negative")
+        if self.capture_ratio is not None and self.capture_ratio < 1.0:
+            raise ValueError("capture ratio must be >= 1")
+
+
+def _signal_success(
+    prr: float, rng: np.random.Generator, model: RadioModel
+) -> bool:
+    """Bernoulli reception draw for a contention-surviving signal."""
+    if model.lossless:
+        return True
+    return bool(rng.random() < prr)
+
+
+def _resolve_contention(
+    in_range: List[Transmission],
+    addressed: List[Transmission],
+    r: int,
+    topo: Topology,
+    jitter: Dict[Transmission, float],
+    model: RadioModel,
+) -> Tuple[Optional[Transmission], List[Transmission]]:
+    """Pick the frame (if any) receiver ``r`` decodes from >= 2 overlaps.
+
+    Resolution order mirrors real receivers:
+
+    1. **SIR power capture** — the strongest signal survives if it clears
+       the runner-up by ``capture_margin_db`` (needs RSSI data; falls
+       back to the PRR-ratio rule on PRR-only topologies).
+    2. **Preamble capture** — the earliest frame survives if the next one
+       starts at least ``capture_guard`` later (the receiver finished
+       synchronizing before the interferer appeared).
+    3. Otherwise the overlap destroys every addressed frame.
+
+    Returns ``(surviving, collided_addressed)``.
+    """
+    # 1. Power capture.
+    if topo.rssi is not None and model.capture_margin_db is not None:
+        strengths = sorted(
+            in_range, key=lambda tx: topo.link_rssi(tx.sender, r), reverse=True
+        )
+        strongest, runner_up = strengths[0], strengths[1]
+        gap = topo.link_rssi(strongest.sender, r) - topo.link_rssi(
+            runner_up.sender, r
+        )
+        if gap >= model.capture_margin_db:
+            return strongest, [tx for tx in addressed if tx is not strongest]
+    elif topo.rssi is None and model.capture_ratio is not None:
+        strengths = sorted(
+            in_range, key=lambda tx: topo.link_prr(tx.sender, r), reverse=True
+        )
+        strongest, runner_up = strengths[0], strengths[1]
+        if topo.link_prr(runner_up.sender, r) > 0 and topo.link_prr(
+            strongest.sender, r
+        ) >= model.capture_ratio * topo.link_prr(runner_up.sender, r):
+            return strongest, [tx for tx in addressed if tx is not strongest]
+
+    # 2. Preamble capture.
+    if model.capture_guard < 1.0:
+        by_start = sorted(in_range, key=lambda tx: (jitter[tx], tx.sender))
+        first, second = by_start[0], by_start[1]
+        if jitter[second] - jitter[first] >= model.capture_guard:
+            return first, [tx for tx in addressed if tx is not first]
+
+    # 3. Destructive collision.
+    return None, list(addressed)
+
+
+def resolve_slot(
+    transmissions: Sequence[Transmission],
+    topo: Topology,
+    awake: Iterable[int],
+    rng: np.random.Generator,
+    model: RadioModel = RadioModel(),
+    dynamics=None,
+) -> SlotOutcome:
+    """Resolve one slot of concurrent transmissions.
+
+    Parameters
+    ----------
+    transmissions:
+        Committed unicasts; at most one per sender (validated).
+    topo:
+        The static topology (adjacency decides interference range).
+    awake:
+        Node ids able to receive this slot. Senders are removed
+        automatically (semi-duplex).
+    rng:
+        Loss/capture randomness stream.
+    model:
+        Radio behaviour switches.
+    dynamics:
+        Optional :class:`~repro.net.dynamics.GilbertElliott` link state;
+        when present, the per-transmission success draw uses the link's
+        *current effective* PRR (contention and capture still use the
+        long-term figures — interference physics does not change with a
+        momentary fade, only decodability does).
+    """
+    outcome = SlotOutcome()
+    if not transmissions:
+        return outcome
+
+    senders: Set[int] = set()
+    for tx in transmissions:
+        if tx.sender in senders:
+            raise ValueError(f"node {tx.sender} committed two transmissions in one slot")
+        senders.add(tx.sender)
+
+    receivers = set(awake) - senders
+    delivered_intended: Set[Tuple[int, int]] = set()  # (sender, receiver)
+
+    # CSMA start-phase jitter, one draw per transmission per slot, shared
+    # by every receiver (a frame starts when it starts). Drawn in a fixed
+    # (sender-sorted) order for reproducibility.
+    jitter: Dict[Transmission, float] = {}
+    if model.collisions:
+        for tx in sorted(transmissions, key=lambda tx: tx.sender):
+            jitter[tx] = float(rng.random())
+
+    for r in sorted(receivers):
+        in_range = [tx for tx in transmissions if topo.has_link(tx.sender, r)]
+        if not in_range:
+            continue
+        addressed = [tx for tx in in_range if tx.receiver == r]
+
+        if len(in_range) == 1:
+            surviving: Optional[Transmission] = in_range[0]
+            collided: List[Transmission] = []
+        elif not model.collisions:
+            # Collision-free oracle: every addressed signal is independent;
+            # the receiver can decode at most one per slot — the best
+            # addressed one, or (overhearing permitting) the best bystander
+            # frame when nothing is addressed to it.
+            surviving = max(
+                addressed, key=lambda tx: topo.link_prr(tx.sender, r), default=None
+            )
+            if surviving is None and model.overhearing:
+                surviving = max(
+                    in_range, key=lambda tx: topo.link_prr(tx.sender, r)
+                )
+            collided = []
+        else:
+            surviving, collided = _resolve_contention(
+                in_range, addressed, r, topo, jitter, model
+            )
+
+        for tx in collided:
+            outcome.collisions.append(tx)
+
+        if surviving is None:
+            continue
+        is_addressed = surviving.receiver == r
+        if not is_addressed and not model.overhearing:
+            continue
+        prr = topo.link_prr(surviving.sender, r)
+        if dynamics is not None:
+            prr *= dynamics.gain(surviving.sender, r)
+        if prr <= 0.0:
+            continue
+        if _signal_success(prr, rng, model):
+            outcome.receptions.append(
+                Reception(
+                    receiver=r,
+                    sender=surviving.sender,
+                    packet=surviving.packet,
+                    overheard=not is_addressed,
+                )
+            )
+            if is_addressed:
+                delivered_intended.add((surviving.sender, r))
+
+    for tx in transmissions:
+        if (tx.sender, tx.receiver) not in delivered_intended:
+            outcome.failures.append(tx)
+
+    return outcome
+
+
+def csma_select(
+    ranked_senders: Sequence[int], topo: Topology
+) -> Tuple[List[int], Dict[int, List[int]]]:
+    """Physical carrier sense: who actually transmits, who defers to whom.
+
+    Senders are processed in back-off order (``ranked_senders[0]`` has the
+    shortest back-off). A sender transmits unless it can *hear* an
+    earlier-ranked sender that already started — direct audibility only,
+    so spatially-separated senders reuse the channel even when chained
+    through common neighbors (the standard CSMA spatial-reuse behaviour).
+    Hidden terminals — senders that cannot hear any active transmitter —
+    proceed and may collide at shared receivers; that is the radio
+    resolver's business.
+
+    Returns
+    -------
+    (winners, deferrals):
+        ``winners`` in rank order; ``deferrals[w]`` lists the senders that
+        stayed silent because they heard ``w`` (attributed to the first
+        audible winner). Deferring senders remain awake through the slot —
+        they are the overhearing audience DBAO's suppression uses.
+    """
+    seen = set()
+    for s in ranked_senders:
+        if s in seen:
+            raise ValueError(f"duplicate sender {s} in ranked list")
+        seen.add(s)
+    audible = lambda a, b: topo.has_link(a, b) or topo.has_link(b, a)
+    winners: List[int] = []
+    deferrals: Dict[int, List[int]] = {}
+    for s in ranked_senders:
+        silencer = next((w for w in winners if audible(s, w)), None)
+        if silencer is None:
+            winners.append(s)
+            deferrals[s] = []
+        else:
+            deferrals[silencer].append(s)
+    return winners, deferrals
+
+
+def carrier_sense_groups(
+    senders: Sequence[int], topo: Topology
+) -> List[List[int]]:
+    """Partition would-be senders into mutually-audible groups.
+
+    Two senders belong to the same group when they are connected through a
+    chain of audible (in-range) sender pairs. Within a group, a MAC layer
+    with carrier sense can serialize transmissions; across groups it
+    cannot — those are each other's hidden terminals.
+
+    Returns groups as lists of node ids, each sorted ascending; groups are
+    ordered by their smallest member.
+    """
+    remaining = set(senders)
+    if len(remaining) != len(senders):
+        raise ValueError("duplicate sender ids")
+    audible = lambda a, b: topo.has_link(a, b) or topo.has_link(b, a)
+    groups: List[List[int]] = []
+    while remaining:
+        seed = min(remaining)
+        group = {seed}
+        frontier = [seed]
+        remaining.discard(seed)
+        while frontier:
+            cur = frontier.pop()
+            heard = [s for s in remaining if audible(cur, s)]
+            for s in heard:
+                remaining.discard(s)
+                group.add(s)
+                frontier.append(s)
+        groups.append(sorted(group))
+    groups.sort(key=lambda g: g[0])
+    return groups

@@ -1,0 +1,123 @@
+"""Neighbor-coverage beliefs shared by the practical protocols.
+
+A sender in a real low-duty-cycle network does not know which packets its
+neighbors hold; it knows only what it can infer from link-layer
+acknowledgements of its own transmissions and from ACKs it overhears
+while awake in transmit mode. :class:`NeighborBelief` stores exactly that
+inference — per node, a boolean matrix over (packet, out-neighbor).
+
+Beliefs are *sound under our update rules* (only confirmed receptions are
+recorded), so a sender may waste transmissions on packets the receiver
+already has, but never wrongly skips a needed packet. The DBAO and OF
+implementations both rely on this one-sided-error property for their
+coverage guarantees; a property test enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..net.topology import Topology
+
+__all__ = ["NeighborBelief"]
+
+
+class NeighborBelief:
+    """Per-node beliefs about out-neighbors' packet possession.
+
+    Parameters
+    ----------
+    topo:
+        The network; belief is kept only for graph out-neighbors.
+    n_packets:
+        Flood size ``M``.
+    """
+
+    def __init__(self, topo: Topology, n_packets: int):
+        if n_packets < 1:
+            raise ValueError("need at least one packet")
+        self._topo = topo
+        self._n_packets = int(n_packets)
+        self._col: List[Dict[int, int]] = []
+        self._belief: List[np.ndarray] = []
+        for node in range(topo.n_nodes):
+            nbs = topo.out_neighbors(node)
+            self._col.append({int(r): i for i, r in enumerate(nbs.tolist())})
+            self._belief.append(np.zeros((n_packets, nbs.size), dtype=bool))
+
+    def believes_has(self, observer: int, receiver: int, packet: int) -> bool:
+        """Whether ``observer`` believes ``receiver`` holds ``packet``."""
+        col = self._col[observer].get(receiver)
+        if col is None:
+            raise KeyError(f"node {receiver} is not an out-neighbor of {observer}")
+        return bool(self._belief[observer][packet, col])
+
+    def believed_needs(self, observer: int, receiver: int) -> np.ndarray:
+        """(M,) mask of packets ``observer`` believes ``receiver`` lacks."""
+        col = self._col[observer].get(receiver)
+        if col is None:
+            raise KeyError(f"node {receiver} is not an out-neighbor of {observer}")
+        return ~self._belief[observer][:, col]
+
+    def needs_matrix(self, receiver: int, observers) -> np.ndarray:
+        """(M, len(observers)) stacked :meth:`believed_needs` columns.
+
+        Column ``i`` is what ``observers[i]`` believes ``receiver``
+        lacks — the batch input for ``SimView.fcfs_heads_batch``.
+        """
+        cols = np.empty((self._n_packets, len(observers)), dtype=bool)
+        for i, obs in enumerate(observers):
+            col = self._col[int(obs)].get(receiver)
+            if col is None:
+                raise KeyError(
+                    f"node {receiver} is not an out-neighbor of {obs}"
+                )
+            cols[:, i] = ~self._belief[int(obs)][:, col]
+        return cols
+
+    def confirm(self, observer: int, receiver: int, packet: int) -> None:
+        """Record confirmed possession (own ACK or overheard ACK)."""
+        col = self._col[observer].get(receiver)
+        if col is None:
+            return  # evidence about a non-neighbor is useless — drop it
+        self._belief[observer][packet, col] = True
+
+    def confirm_for_witnesses(
+        self, witnesses, receiver: int, packet: int
+    ) -> None:
+        """Let every node in ``witnesses`` record the same ACK evidence."""
+        for w in witnesses:
+            self.confirm(int(w), receiver, packet)
+
+    def sync_possession(self, observer: int, receiver: int, held) -> None:
+        """Absorb a possession summary advertised by ``receiver``.
+
+        Link-layer ACKs in dissemination protocols piggyback the
+        receiver's packet summary (Deluge-style version vectors); a
+        sender that hears one learns the receiver's *entire* buffer state
+        at once, not just the fate of its own frame. Without this,
+        belief lag makes every clique member retransmit every packet the
+        receiver obtained elsewhere — one wasted unicast per
+        (sender, packet) pair — and the redundant contention snowballs
+        into collisions.
+
+        ``held`` is an iterable of packet indices the receiver holds;
+        the summary is still sound (receivers advertise only what they
+        have), so the one-sided-error property is preserved.
+        """
+        col = self._col[observer].get(receiver)
+        if col is None:
+            return
+        self._belief[observer][list(held), col] = True
+
+    def sync_for_witnesses(self, witnesses, receiver: int, held) -> None:
+        """Broadcast one possession summary to several overhearers."""
+        held = list(held)
+        for w in witnesses:
+            self.sync_possession(int(w), receiver, held)
+
+    def believed_coverage_count(self, observer: int, packet: int) -> int:
+        """How many out-neighbors ``observer`` believes hold ``packet``."""
+        return int(self._belief[observer][packet].sum())

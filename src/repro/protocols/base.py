@@ -1,0 +1,201 @@
+"""Flooding-protocol interface and registry.
+
+A protocol's job each slot: given which nodes are awake (able to receive),
+decide which covered nodes transmit what to whom. Everything else —
+injection, channel resolution, possession bookkeeping, metrics — is the
+engine's. Protocols see network state only through :class:`SimView`,
+which exposes *exactly* the information the paper's model grants a node:
+its own buffer, its neighbors' schedules (local synchronization), and
+whatever it learned from acknowledged or overheard transmissions.
+
+The one deliberate exception is :class:`~repro.protocols.opt.OptOracle`,
+which reads ground-truth possession — that is the point of OPT.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from ..net.packet import FloodWorkload
+from ..net.radio import SlotOutcome, Transmission
+from ..net.schedule import ScheduleTable
+from ..net.topology import Topology
+
+__all__ = ["SimView", "FloodingProtocol", "register_protocol", "make_protocol",
+           "available_protocols"]
+
+#: Sentinel arrival for absent packets in FCFS computations (hoisted —
+#: ``np.iinfo`` on every call shows up hard in profiles).
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+class SimView:
+    """Read-only window onto simulation state handed to protocols.
+
+    Parameters
+    ----------
+    topo, schedules, workload:
+        The static substrate.
+    has:
+        ``(M, n_nodes)`` ground-truth possession matrix. Protocols other
+        than OPT must only read *their own* columns (a node knows its own
+        buffer) — the engine cannot enforce this, but the test suite
+        audits each protocol's information usage on crafted scenarios.
+    arrival:
+        ``(M, n_nodes)`` arrival slots (``-1`` if absent); defines FCFS
+        order at each node.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        schedules: ScheduleTable,
+        workload: FloodWorkload,
+        has: np.ndarray,
+        arrival: np.ndarray,
+    ):
+        self.topo = topo
+        self.schedules = schedules
+        self.workload = workload
+        self._has = has
+        self._arrival = arrival
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topo.n_nodes
+
+    @property
+    def n_packets(self) -> int:
+        return self.workload.n_packets
+
+    def holds(self, node: int, packet: int) -> bool:
+        """Whether ``node`` has ``packet`` (a node's own-buffer query)."""
+        return bool(self._has[packet, node])
+
+    def held_packets(self, node: int) -> np.ndarray:
+        """Packet indices in ``node``'s buffer (ascending index)."""
+        return np.flatnonzero(self._has[:, node])
+
+    def arrival_slot(self, node: int, packet: int) -> int:
+        """When ``packet`` arrived at ``node`` (-1 if absent)."""
+        return int(self._arrival[packet, node])
+
+    def fcfs_head(self, sender: int, needed_mask: np.ndarray) -> Optional[int]:
+        """Earliest-arrived packet at ``sender`` among ``needed_mask``.
+
+        ``needed_mask`` is an ``(M,)`` boolean mask of packets the
+        intended receiver lacks *according to the sender's information*.
+        Returns the packet index or None.
+        """
+        cand = self._has[:, sender] & needed_mask
+        if not cand.any():
+            return None
+        arrivals = np.where(cand, self._arrival[:, sender], _INT64_MAX)
+        return int(arrivals.argmin())
+
+    def fcfs_heads_batch(
+        self, senders: np.ndarray, needs_matrix: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`fcfs_head` for many senders of one receiver.
+
+        ``needs_matrix`` is ``(M, len(senders))`` — column ``i`` is the
+        needs mask *as believed by* ``senders[i]``. Returns
+        ``(heads, valid)``: per-sender head packet indices (undefined
+        where ``valid`` is False). One NumPy pass instead of a Python
+        call per neighbor — the simulator's hottest path.
+        """
+        senders = np.asarray(senders)
+        cand = self._has[:, senders] & needs_matrix
+        arrivals = np.where(cand, self._arrival[:, senders], _INT64_MAX)
+        return arrivals.argmin(axis=0), cand.any(axis=0)
+
+    def candidate_senders(
+        self, neighbors: np.ndarray, needed_mask: np.ndarray
+    ) -> np.ndarray:
+        """Subset of ``neighbors`` holding at least one packet in ``needed_mask``.
+
+        Vectorized hot-path helper: one boolean sub-matrix slice instead of
+        a per-neighbor Python loop.
+        """
+        neighbors = np.asarray(neighbors)
+        if neighbors.size == 0 or not needed_mask.any():
+            return neighbors[:0]
+        sub = self._has[:, neighbors] & needed_mask[:, None]
+        return neighbors[sub.any(axis=0)]
+
+    # -- Oracle-only accessors (used by OPT; audited in tests) ---------
+
+    def oracle_needed(self, receiver: int) -> np.ndarray:
+        """(M,) mask of packets ``receiver`` truly lacks. OPT only."""
+        return ~self._has[:, receiver]
+
+    def oracle_possession(self) -> np.ndarray:
+        """Ground-truth possession matrix (read-only view). OPT only."""
+        view = self._has.view()
+        view.flags.writeable = False
+        return view
+
+
+class FloodingProtocol(ABC):
+    """Base class for flooding protocols.
+
+    Lifecycle: ``prepare`` once per run, then per slot ``propose`` followed
+    by ``observe`` with the channel outcome.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def prepare(
+        self,
+        topo: Topology,
+        schedules: ScheduleTable,
+        workload: FloodWorkload,
+        rng: np.random.Generator,
+    ) -> None:
+        """One-time setup (tree construction, backoff ranks, beliefs)."""
+
+    @abstractmethod
+    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+        """Transmissions to commit at slot ``t``.
+
+        Constraints the engine enforces: at most one transmission per
+        sender; the sender must hold the packet; the receiver must be
+        awake. Sending a packet the receiver already has is allowed
+        (belief-limited protocols do it), it just wastes a slot.
+        """
+
+    def observe(self, t: int, outcome: SlotOutcome, view: SimView) -> None:
+        """Learn from the slot's outcome (ACKs, overheard receptions)."""
+
+
+_REGISTRY: Dict[str, Type[FloodingProtocol]] = {}
+
+
+def register_protocol(cls: Type[FloodingProtocol]) -> Type[FloodingProtocol]:
+    """Class decorator adding a protocol to the name registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"protocol name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_protocol(name: str, **kwargs) -> FloodingProtocol:
+    """Instantiate a registered protocol by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_protocols() -> List[str]:
+    """Names of all registered protocols."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,178 @@
+"""DBAO: Deterministic Back-off Assignment + Overhearing (paper Sec. V-A).
+
+DBAO is the authors' WASA'11 protocol, used in the paper as the best
+*practical* approximation of OPT. Two mechanisms:
+
+* **Deterministic back-off assignment.** Each sensor maintains a
+  *forwarder subset* of its neighbors in which every member can hear
+  every other (a mutually-audible clique, built greedily best-link
+  first); only subset members forward to it. Because the subset is a
+  clique, carrier sense fully serializes its contention: back-off ranks
+  are assigned deterministically — best link quality to the intended
+  receiver first, node id as tie-break — and only the rank-0 sender
+  transmits while the rest defer silently. Collisions therefore only
+  arise between senders serving *different* receivers that happen to
+  interfere (cross-receiver hidden terminals), which is exactly the
+  residual gap to OPT the paper points out in Fig. 10.
+
+* **Overhearing.** Deferring group members stay awake through the slot,
+  hear the winner's frame and the receiver's ACK, and record the
+  confirmed reception in their coverage beliefs — suppressing their own
+  now-redundant retransmissions of the same packet.
+
+Senders have no oracle: they target packets their *beliefs* say the
+receiver lacks, so early transmissions can be redundant; the belief
+update rules only record confirmed receptions, keeping beliefs sound
+(never wrongly marking a packet as delivered).
+
+``overhearing=False`` ablates the second mechanism (bench
+``abl-overhearing``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..net.radio import Transmission, csma_select
+from ..net.topology import SOURCE
+from ._belief import NeighborBelief
+from .base import FloodingProtocol, SimView, register_protocol
+
+__all__ = ["Dbao", "forwarder_clique"]
+
+
+def forwarder_clique(topo, receiver: int, anchor: int = -1) -> List[int]:
+    """The receiver's forwarder subset: a greedy mutually-audible clique.
+
+    In-neighbors are considered best-link-first; a candidate joins only
+    if it can hear (or be heard by) every member already in the clique.
+    The result is the paper's "subset of neighbors in which those
+    neighbors can hear each other": contention inside it is fully
+    serialized by carrier sense.
+
+    ``anchor`` (if >= 0) is seeded into the clique before the greedy pass.
+    DBAO anchors each receiver's ETX-tree parent so the clique-edge
+    subgraph provably keeps every node reachable from the source — an
+    arbitrary clique could otherwise cut a node's only upstream path.
+    """
+    audible = lambda a, b: topo.has_link(a, b) or topo.has_link(b, a)
+    nbs = topo.in_neighbors(receiver)
+    order = sorted(nbs.tolist(), key=lambda s: (-topo.link_prr(s, receiver), s))
+    clique: List[int] = []
+    if anchor >= 0:
+        if anchor not in order:
+            raise ValueError(
+                f"anchor {anchor} is not an in-neighbor of {receiver}"
+            )
+        clique.append(anchor)
+    for s in order:
+        if s not in clique and all(audible(s, member) for member in clique):
+            clique.append(s)
+    return clique
+
+
+@register_protocol
+class Dbao(FloodingProtocol):
+    """Deterministic back-off + overhearing flooding."""
+
+    name = "dbao"
+
+    def __init__(self, overhearing: bool = True):
+        self.overhearing = bool(overhearing)
+        self.init_kwargs = {"overhearing": self.overhearing}
+        self._belief: NeighborBelief = None  # type: ignore[assignment]
+        self._topo = None
+        self._forwarders: List[List[int]] = []
+        #: Senders that contended (won or deferred) in the last slot, per
+        #: receiver — the overhearing audience for that receiver's ACK.
+        self._last_contenders: Dict[int, List[int]] = {}
+
+    def prepare(self, topo, schedules, workload, rng):
+        from .tree import build_etx_tree
+
+        self._topo = topo
+        self._belief = NeighborBelief(topo, workload.n_packets)
+        self._last_contenders = {}
+        tree = build_etx_tree(topo, schedules.period)
+        self._forwarders = [
+            forwarder_clique(topo, r, anchor=int(tree.parent[r]))
+            for r in range(topo.n_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _sender_choices(
+        self, awake: np.ndarray, view: SimView
+    ) -> Dict[int, Tuple[int, int, float]]:
+        """Each potential sender's best (receiver, packet, prr) this slot.
+
+        A sender with multiple waking neighbors in need picks the one it
+        has the best link to — the deterministic choice every node can
+        compute locally from its schedule table and beliefs.
+        """
+        topo = self._topo
+        choices: Dict[int, Tuple[int, int, float]] = {}
+        # A node at its own active slot with an incomplete buffer stays in
+        # RX mode (see FlashFlooding.propose — the same rule prevents
+        # schedule-aligned neighbor pairs from starving each other).
+        listening = {
+            int(v) for v in awake.tolist()
+            if v != SOURCE and view.held_packets(int(v)).size < view.n_packets
+        }
+        for r in awake.tolist():
+            if r == SOURCE:
+                continue
+            forwarders = self._forwarders[r]
+            if not forwarders:
+                continue
+            needs = self._belief.needs_matrix(r, forwarders)
+            heads, valid = view.fcfs_heads_batch(
+                np.asarray(forwarders), needs
+            )
+            for i, s in enumerate(forwarders):
+                if not valid[i] or s in listening:
+                    continue
+                prr = topo.link_prr(s, r)
+                prev = choices.get(s)
+                if prev is None or prr > prev[2] or (prr == prev[2] and r < prev[0]):
+                    choices[s] = (r, int(heads[i]), prr)
+        return choices
+
+    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+        choices = self._sender_choices(awake, view)
+        self._last_contenders = {}
+        if not choices:
+            return []
+
+        # Deterministic back-off rank: best link first, id tie-break.
+        ranked = sorted(choices, key=lambda s: (-choices[s][2], s))
+        winners, _ = csma_select(ranked, self._topo)
+        txs: List[Transmission] = []
+        for winner in winners:
+            r, pkt, _ = choices[winner]
+            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
+        if self.overhearing:
+            # Every contender that chose receiver r is awake, within range
+            # of r (it wanted to transmit to r), and hears r's link-layer
+            # ACK — winner or not. They all learn from a success.
+            for s, (r, _, _) in choices.items():
+                self._last_contenders.setdefault(r, []).append(s)
+        return txs
+
+    def observe(self, t, outcome, view):
+        # Transmitting senders always learn from their own ACK, which
+        # piggybacks the receiver's possession summary; deferring group
+        # members pick the same ACK up by overhearing (when enabled).
+        for rec in outcome.receptions:
+            if rec.overheard:
+                # The overhearing third party now *holds* the packet (the
+                # engine recorded that); its own belief tables need no
+                # update — beliefs are about neighbors.
+                continue
+            held = view.held_packets(rec.receiver)
+            self._belief.sync_possession(rec.sender, rec.receiver, held)
+            if self.overhearing:
+                audience = self._last_contenders.get(rec.receiver, ())
+                self._belief.sync_for_witnesses(audience, rec.receiver, held)

@@ -1,0 +1,84 @@
+"""Naive duty-cycle-oblivious flooding baseline.
+
+The "classic flooding ported to unicasts" strawman the paper's
+introduction argues against: every node holding a packet a waking
+neighbor needs transmits immediately — no carrier sense, no back-off, no
+coverage beliefs beyond its own ACKs. The result is heavy contention:
+whenever several covered senders share a waking receiver, they collide,
+and the packet waits a full period for the retry.
+
+Useful as the lower anchor of protocol comparisons and in tests that
+check the engine's collision accounting actually bites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..net.radio import Transmission
+from ..net.topology import SOURCE
+from ._belief import NeighborBelief
+from .base import FloodingProtocol, SimView, register_protocol
+
+__all__ = ["NaiveFlooding"]
+
+
+@register_protocol
+class NaiveFlooding(FloodingProtocol):
+    """Uncoordinated p-persistent flooding.
+
+    ``persistence`` is the classic p-persistent knob: a sender with an
+    opportunity transmits with probability ``p`` and stays silent
+    otherwise. ``p = 1`` is the pure transmit-always strawman, which on
+    dense networks collides essentially forever; the default 0.35 keeps
+    the baseline terrible-but-terminating.
+    """
+
+    name = "naive"
+
+    def __init__(self, persistence: float = 0.35):
+        if not (0.0 < persistence <= 1.0):
+            raise ValueError(f"persistence must be in (0, 1], got {persistence}")
+        self.persistence = float(persistence)
+        self.init_kwargs = {"persistence": self.persistence}
+        self._topo = None
+        self._belief: NeighborBelief = None  # type: ignore[assignment]
+        self._rng: np.random.Generator = None  # type: ignore[assignment]
+
+    def prepare(self, topo, schedules, workload, rng):
+        self._topo = topo
+        self._rng = rng
+        self._belief = NeighborBelief(topo, workload.n_packets)
+
+    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+        # Each sender independently picks one waking neighbor it believes
+        # needs something — uniformly at random among its options, with no
+        # coordination whatsoever.
+        options: Dict[int, List[Tuple[int, int]]] = {}
+        for r in awake.tolist():
+            if r == SOURCE:
+                continue
+            for s in self._topo.in_neighbors(r).tolist():
+                head = view.fcfs_head(s, self._belief.believed_needs(s, r))
+                if head is not None:
+                    options.setdefault(s, []).append((r, head))
+
+        txs: List[Transmission] = []
+        for s in sorted(options):
+            if self.persistence < 1.0 and self._rng.random() >= self.persistence:
+                continue
+            cands = options[s]
+            r, pkt = cands[int(self._rng.integers(len(cands)))]
+            txs.append(Transmission(sender=s, receiver=r, packet=pkt))
+        return txs
+
+    def observe(self, t, outcome, view):
+        # Even the naive baseline reads the ACK's possession summary —
+        # its problem is contention, not bookkeeping.
+        for rec in outcome.receptions:
+            if not rec.overheard:
+                self._belief.sync_possession(
+                    rec.sender, rec.receiver, view.held_packets(rec.receiver)
+                )

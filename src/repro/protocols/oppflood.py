@@ -1,0 +1,137 @@
+"""OF: Opportunistic Flooding (Guo et al., MobiCom'09; paper Sec. V-A).
+
+OF floods over an energy-optimal (ETX) tree and augments it with
+*opportunistic* forwarding over non-tree links, gated by a sender-side
+statistical-delay decision:
+
+* **Tree forwarding** — a node always forwards a needed packet to a
+  waking tree child (standard tree flooding).
+* **Opportunistic forwarding** — when a non-tree out-neighbor ``r``
+  wakes, the sender forwards packet ``p`` only if the copy is
+  *statistically early*: its age plus the expected hop delay beats the
+  ``q``-quantile of ``r``'s tree-path delay distribution. Late copies are
+  suppressed — the tree will deliver them about as fast anyway, and
+  transmitting them would only waste energy and cause collisions.
+* **Random back-off** — contending senders that hear each other pick a
+  winner by random back-off (OF has no deterministic rank assignment);
+  hidden senders still collide.
+
+The quantile threshold ``opp_quantile`` is OF's key knob (the MobiCom
+paper's forwarding-probability threshold); the ablation bench sweeps it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..net.radio import Transmission, csma_select
+from ..net.topology import SOURCE
+from ._belief import NeighborBelief
+from .base import FloodingProtocol, SimView, register_protocol
+from .tree import EtxTree, build_etx_tree, hop_delay_moments
+
+__all__ = ["OpportunisticFlooding"]
+
+
+@register_protocol
+class OpportunisticFlooding(FloodingProtocol):
+    """ETX-tree flooding with statistically-gated opportunistic links."""
+
+    name = "of"
+
+    def __init__(self, opp_quantile: float = 0.8):
+        if not (0.0 < opp_quantile < 1.0):
+            raise ValueError(
+                f"opportunistic quantile must be in (0, 1), got {opp_quantile}"
+            )
+        self.opp_quantile = float(opp_quantile)
+        self.init_kwargs = {"opp_quantile": self.opp_quantile}
+        self._topo = None
+        self._tree: EtxTree = None  # type: ignore[assignment]
+        self._belief: NeighborBelief = None  # type: ignore[assignment]
+        self._rng: np.random.Generator = None  # type: ignore[assignment]
+        self._period = 0
+        self._gen_slots: np.ndarray = None  # type: ignore[assignment]
+        self._quantiles: np.ndarray = None  # type: ignore[assignment]
+
+    def prepare(self, topo, schedules, workload, rng):
+        self._topo = topo
+        self._period = schedules.period
+        self._rng = rng
+        self._tree = build_etx_tree(topo, schedules.period)
+        self._belief = NeighborBelief(topo, workload.n_packets)
+        self._gen_slots = workload.generation_slots()
+        self._quantiles = np.asarray(
+            [
+                self._tree.delay_quantile(v, self.opp_quantile)
+                for v in range(topo.n_nodes)
+            ]
+        )
+        # Hot-path precomputation: per-link expected hop delay (T / q) and
+        # each node's own expected tree delay, both plain array lookups.
+        with np.errstate(divide="ignore"):
+            self._hop_mean = np.where(
+                topo.prr > 0.0, schedules.period / topo.prr, np.inf
+            )
+        self._own_mean = np.asarray(self._tree.delay_mean, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+
+    def _wants_to_send(
+        self, t: int, s: int, r: int, head: int, view: SimView
+    ) -> bool:
+        """OF's forwarding rule for sender ``s`` with head packet ``head``."""
+        if self._tree.is_tree_edge(s, r):
+            return True
+        # Opportunistic link: forward only statistically-early copies. The
+        # sender estimates how long the packet has been in flight from the
+        # copy's arrival at itself: it arrived after roughly its own
+        # tree-path delay, so elapsed ~ (t - arrival_here) + E[tree delay
+        # to here]. Forward only if the extra hop still beats the
+        # receiver's tree-delay quantile.
+        own_mean = self._own_mean[s]
+        if not np.isfinite(own_mean):
+            return False
+        arrival_here = view.arrival_slot(s, head)
+        estimated_age = (t - arrival_here) + own_mean
+        return estimated_age + self._hop_mean[s, r] <= self._quantiles[r]
+
+    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+        choices: Dict[int, Tuple[int, int]] = {}
+        for r in awake.tolist():
+            if r == SOURCE:
+                continue
+            nbs = self._topo.in_neighbors(r)
+            if nbs.size == 0:
+                continue
+            needs = self._belief.needs_matrix(r, nbs)
+            heads, valid = view.fcfs_heads_batch(nbs, needs)
+            for i, s in enumerate(nbs.tolist()):
+                if not valid[i] or s in choices:
+                    continue  # nothing to offer / one TX per sender per slot
+                head = int(heads[i])
+                if self._wants_to_send(t, s, r, head, view):
+                    choices[s] = (r, head)
+        if not choices:
+            return []
+
+        # Random back-off: contenders draw ranks uniformly at random (OF
+        # has no deterministic rank assignment).
+        senders = np.asarray(sorted(choices))
+        ranked = senders[self._rng.permutation(senders.size)].tolist()
+        winners, _ = csma_select(ranked, self._topo)
+        txs: List[Transmission] = []
+        for winner in winners:
+            r, pkt = choices[winner]
+            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
+        return txs
+
+    def observe(self, t, outcome, view):
+        # The receiver's ACK piggybacks its possession summary.
+        for rec in outcome.receptions:
+            if not rec.overheard:
+                self._belief.sync_possession(
+                    rec.sender, rec.receiver, view.held_packets(rec.receiver)
+                )

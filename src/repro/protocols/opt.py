@@ -1,0 +1,216 @@
+"""OPT: the paper's oracle flooding scheme (Sec. V-A).
+
+OPT defines the delay floor the practical protocols are measured against:
+
+* each waking sensor receives from the in-neighbor **with the best link
+  quality** to it (oracle possession knowledge, perfect coordination);
+* **no collisions ever occur** (run it with
+  ``RadioModel(collisions=False)`` — :func:`opt_radio_model` builds the
+  right model);
+* link loss still applies: even the best link fails with probability
+  ``1 - PRR``, which is why OPT's failure count in Fig. 11 is nonzero.
+
+Two server policies implement two readings of "best neighbor":
+
+* ``"designated"`` (default, the paper's literal wording) — every sensor
+  has a fixed best server: the highest-PRR in-neighbor among its strict
+  upstream set (nodes with smaller ETX cost from the source; strictness
+  keeps the server graph acyclic and source-connected). Because the link
+  used per reception is fixed, the expected transmission-failure count is
+  independent of the duty ratio — exactly the Fig. 11 behaviour.
+* ``"any"`` — receive from the best *currently covered* in-neighbor.
+  More aggressive; on a complete always-on graph this reproduces the
+  per-slot population doubling of the Galton-Watson analysis, which the
+  branching-correspondence tests rely on.
+
+Packet choice follows the paper's FCFS rule: the chosen sender forwards
+its earliest-arrived packet among those the receiver lacks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..net.radio import RadioModel, Transmission
+from ..net.topology import SOURCE
+from .base import FloodingProtocol, SimView, register_protocol
+
+__all__ = ["OptOracle", "opt_radio_model"]
+
+
+def opt_radio_model(lossless: bool = False, overhearing: bool = False) -> RadioModel:
+    """The channel OPT assumes: collision-free, unicast-only.
+
+    Data overhearing stays off (the paper's unicast model — see
+    :class:`~repro.net.radio.RadioModel`); the oracle's edge over the
+    practical protocols is collision freedom and perfect link choice, and
+    all three evaluation protocols play on the same unicast channel.
+    """
+    return RadioModel(
+        collisions=False, overhearing=overhearing, lossless=lossless
+    )
+
+
+@register_protocol
+class OptOracle(FloodingProtocol):
+    """Globally-coordinated best-link reception with oracle knowledge."""
+
+    name = "opt"
+
+    def __init__(self, server_policy: str = "designated"):
+        if server_policy not in ("designated", "any"):
+            raise ValueError(
+                f"server policy must be 'designated' or 'any', got {server_policy!r}"
+            )
+        self.server_policy = server_policy
+        self.init_kwargs = {"server_policy": server_policy}
+        self._topo = None
+        self._period = 1
+        self._designated: Optional[np.ndarray] = None
+        self._etx_cost: Optional[np.ndarray] = None
+        self._ranked_in: List[np.ndarray] = []
+
+    def prepare(self, topo, schedules, workload, rng):
+        from .tree import build_etx_tree
+
+        self._topo = topo
+        self._period = schedules.period
+        # In-neighbor lists ordered by descending link quality: the
+        # oracle always tries the best link first.
+        self._ranked_in = []
+        for r in range(topo.n_nodes):
+            nbs = topo.in_neighbors(r)
+            order = np.argsort(-topo.prr[nbs, r], kind="stable")
+            self._ranked_in.append(nbs[order])
+
+        if self.server_policy == "designated":
+            tree = build_etx_tree(topo, schedules.period)
+            designated = np.full(topo.n_nodes, -1, dtype=np.int64)
+            for r in range(topo.n_nodes):
+                if r == SOURCE:
+                    continue
+                cost_r = tree.etx_cost[r]
+                if not np.isfinite(cost_r):
+                    continue  # unreachable: no server
+                best, best_prr = -1, -1.0
+                for s in topo.in_neighbors(r).tolist():
+                    if tree.etx_cost[s] < cost_r:
+                        prr = topo.link_prr(s, r)
+                        if prr > best_prr:
+                            best, best_prr = s, prr
+                # The tree parent always qualifies (its cost is strictly
+                # smaller), so reachable sensors always get a server.
+                designated[r] = best
+            self._designated = designated
+            self._etx_cost = np.asarray(tree.etx_cost, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+
+    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+        awake_set = set(awake.tolist())
+        # Starvation avoidance: drafting a node that is itself awake and
+        # still missing packets as a sender costs it its own reception
+        # (semi-duplex). With deterministic schedules a greedy would
+        # repeat the same sacrifice at the same phase every period,
+        # starving that node forever. Such nodes are last-resort senders,
+        # and even then only on alternating periods, so they receive at
+        # least every other wake-up.
+        period_parity = (t // max(self._period, 1)) % 2
+
+        def is_receiving_priority(s: int) -> bool:
+            return s in awake_set and bool(view.oracle_needed(s).any())
+
+        if self.server_policy == "designated":
+            return self._propose_designated(
+                t, awake, view, is_receiving_priority, period_parity
+            )
+        return self._propose_any(
+            t, awake, view, is_receiving_priority, period_parity
+        )
+
+    def _propose_designated(
+        self, t, awake, view, is_receiving_priority, period_parity
+    ) -> List[Transmission]:
+        # Each waking sensor asks its fixed best server. The oracle
+        # schedules the slot jointly, upstream-first (ascending ETX cost):
+        # once a server commits to a receiver, that receiver is marked
+        # busy-receiving and is excluded from transmitting in the same
+        # slot (semi-duplex), so server/dependent role conflicts never
+        # waste a transmission. Dependents of one server are served
+        # round-robin across periods so no weak-link dependent starves.
+        requests: dict = {}
+        for r in awake.tolist():
+            if r == SOURCE:
+                continue
+            s = int(self._designated[r])
+            if s < 0:
+                continue
+            if view.oracle_needed(r).any():
+                requests.setdefault(s, []).append(r)
+
+        txs: List[Transmission] = []
+        assigned = set()
+        receiving = set()
+        rotation = t // max(self._period, 1)
+        for s in sorted(requests, key=lambda s: (self._etx_cost[s], s)):
+            if s in assigned or s in receiving:
+                continue
+            deps = [r for r in requests[s] if r not in receiving]
+            if not deps:
+                continue
+            start = rotation % len(deps)
+            for i in range(len(deps)):
+                r = deps[(start + i) % len(deps)]
+                head = view.fcfs_head(s, view.oracle_needed(r))
+                if head is None:
+                    continue
+                txs.append(Transmission(sender=s, receiver=r, packet=head))
+                assigned.add(s)
+                receiving.add(r)
+                break
+        return txs
+
+    def _propose_any(
+        self, t, awake, view, is_receiving_priority, period_parity
+    ) -> List[Transmission]:
+        txs: List[Transmission] = []
+        assigned = set()
+        # Receivers are served in order of how few candidate senders they
+        # have (scarcest first), so the greedy matching wastes no sender.
+        pending = []
+        for r in awake.tolist():
+            if r == SOURCE:
+                continue
+            needed = view.oracle_needed(r)
+            if not needed.any():
+                continue
+            ranked = self._ranked_in[r]
+            candidates = view.candidate_senders(ranked, needed)
+            if candidates.size:
+                pending.append((candidates.size, r, needed, ranked))
+        pending.sort(key=lambda item: (item[0], item[1]))
+
+        for _, r, needed, ranked in pending:
+            fallback = None
+            chosen = None
+            for s in ranked.tolist():
+                if s in assigned:
+                    continue
+                head = view.fcfs_head(s, needed)
+                if head is None:
+                    continue
+                if is_receiving_priority(s):
+                    if fallback is None and (s % 2) == period_parity:
+                        fallback = (s, head)
+                    continue
+                chosen = (s, head)
+                break
+            if chosen is None:
+                chosen = fallback
+            if chosen is not None:
+                s, head = chosen
+                txs.append(Transmission(sender=s, receiver=r, packet=head))
+                assigned.add(s)
+        return txs

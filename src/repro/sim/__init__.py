@@ -1,0 +1,19 @@
+"""Discrete-event (slot-stepped) simulation engine and instrumentation."""
+
+from .clock import SlottedClock
+from .energy import EnergyLedger, energy_summary
+from .engine import FloodResult, SimConfig, run_flood, run_single_packet_floods
+from .events import EventKind, EventLog, SimEvent
+from .metrics import FloodMetrics, PacketDelays, coverage_threshold
+from .rng import RngStreams, derive_seed, spawn_generator
+from .runner import ExperimentSpec, RunSummary, run_experiment, run_protocol_sweep
+
+__all__ = [
+    "SlottedClock",
+    "EnergyLedger", "energy_summary",
+    "FloodResult", "SimConfig", "run_flood", "run_single_packet_floods",
+    "EventKind", "EventLog", "SimEvent",
+    "FloodMetrics", "PacketDelays", "coverage_threshold",
+    "RngStreams", "derive_seed", "spawn_generator",
+    "ExperimentSpec", "RunSummary", "run_experiment", "run_protocol_sweep",
+]

@@ -1,0 +1,57 @@
+"""Slotted simulation clock.
+
+The paper uses a slotted time model (Sec. III-B): the time axis is divided
+into equal-length slots, each long enough for one packet transmission. The
+clock tracks the current original-time-scale slot index ``t`` and offers
+helpers for schedule arithmetic (e.g. "the next slot >= t at which node v
+is active", which is where sleep latency comes from).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SlottedClock"]
+
+
+class SlottedClock:
+    """Monotone slot counter for the original time scale.
+
+    Parameters
+    ----------
+    start:
+        Initial slot index (defaults to 0, matching the paper's ``t = 0``).
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError(f"start slot must be non-negative, got {start}")
+        self._t = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current slot index ``t``."""
+        return self._t
+
+    def tick(self, slots: int = 1) -> int:
+        """Advance the clock by ``slots`` and return the new time."""
+        if slots < 1:
+            raise ValueError(f"tick must advance at least one slot, got {slots}")
+        self._t += int(slots)
+        return self._t
+
+    def advance_to(self, t: int) -> int:
+        """Jump forward to slot ``t`` (must not move backwards)."""
+        if t < self._t:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._t}")
+        self._t = int(t)
+        return self._t
+
+    def reset(self, start: int = 0) -> None:
+        """Reset the clock (used between independent floods)."""
+        if start < 0:
+            raise ValueError(f"start slot must be non-negative, got {start}")
+        self._t = int(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SlottedClock(t={self._t})"

@@ -1,0 +1,377 @@
+"""The slot-stepped low-duty-cycle flooding simulator.
+
+One :func:`run_flood` call simulates the paper's Sec. V setup end to end:
+the source injects ``M`` packets; every original-time slot the engine
+
+1. injects packets whose generation slot arrived,
+2. determines which sensors wake (their active slot),
+3. asks the protocol for transmissions,
+4. validates the proposals against the model's hard constraints
+   (possession, one TX per sender, receiver awake),
+5. resolves the channel (collisions, capture, Bernoulli loss,
+   overhearing) through :func:`repro.net.radio.resolve_slot`,
+6. applies receptions, updates metrics, and lets the protocol observe
+   the outcome (ACK/overhearing learning).
+
+The run ends when every packet has reached the coverage target (the
+paper's 99% rule) or the horizon expires.
+
+Hot-loop note (per the HPC guides): possession and arrival state live in
+two preallocated NumPy arrays; per-slot work touches only the waking
+nodes (``O(N/T)`` of them), and protocols use vectorized row/column masks
+rather than per-packet Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..net.packet import FloodWorkload
+from ..net.radio import RadioModel, SlotOutcome, Transmission, resolve_slot
+from ..net.schedule import ScheduleTable
+from ..net.topology import SOURCE, Topology
+from ..protocols.base import FloodingProtocol, SimView
+from .energy import EnergyLedger
+from .events import EventKind, EventLog, SimEvent
+from .metrics import FloodMetrics, PacketDelays, coverage_threshold
+
+__all__ = ["SimConfig", "FloodResult", "run_flood", "run_single_packet_floods"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine configuration.
+
+    Attributes
+    ----------
+    coverage_target:
+        Fraction of source-reachable sensors that must hold a packet for
+        it to count as delivered (paper default: 0.99).
+    max_slots:
+        Simulation horizon; ``None`` derives a generous bound from the
+        problem size.
+    radio:
+        Channel behaviour (collisions/capture/overhearing/lossless).
+    track_events:
+        Keep a full :class:`~repro.sim.events.EventLog` (memory-heavy).
+    """
+
+    coverage_target: float = 0.99
+    max_slots: Optional[int] = None
+    radio: RadioModel = field(default_factory=RadioModel)
+    track_events: bool = False
+
+    def __post_init__(self):
+        if not (0.0 < self.coverage_target <= 1.0):
+            raise ValueError(
+                f"coverage target must be in (0, 1], got {self.coverage_target}"
+            )
+        if self.max_slots is not None and self.max_slots < 1:
+            raise ValueError("horizon must be at least one slot")
+
+
+@dataclass
+class FloodResult:
+    """Everything a flood run produced."""
+
+    metrics: FloodMetrics
+    has: np.ndarray
+    arrival: np.ndarray
+    ledger: EnergyLedger
+    events: Optional[EventLog]
+    completed: bool
+
+    @property
+    def possession(self) -> np.ndarray:
+        """Alias for the final (M, n_nodes) possession matrix."""
+        return self.has
+
+
+def _default_horizon(topo: Topology, schedules: ScheduleTable, M: int) -> int:
+    """Generous default simulation horizon.
+
+    Scales with the Theorem-2 upper bound inflated by the network's mean
+    k-class (loss) plus slack for collision-heavy baselines.
+    """
+    import math
+
+    m = max(int(math.ceil(math.log2(1 + topo.n_sensors))), 1)
+    k = max(topo.mean_k_class(), 1.0)
+    bound = schedules.period * (2 * m + M) * k
+    return int(32 * bound) + 2048
+
+
+def run_flood(
+    topo: Topology,
+    schedules: ScheduleTable,
+    workload: FloodWorkload,
+    protocol: FloodingProtocol,
+    rng: np.random.Generator,
+    config: Optional[SimConfig] = None,
+    measure_transmission_delay: bool = False,
+    dynamics=None,
+    true_schedules: Optional[ScheduleTable] = None,
+    _transmission_delay: Optional[np.ndarray] = None,
+) -> FloodResult:
+    """Simulate one flood of ``workload.n_packets`` packets.
+
+    Parameters
+    ----------
+    topo, schedules, workload:
+        The static substrate; ``len(schedules)`` must match the topology.
+    protocol:
+        A fresh protocol instance (protocols carry per-run state).
+    rng:
+        Stream for channel losses and protocol randomness.
+    config:
+        Engine configuration (defaults to the paper's).
+    measure_transmission_delay:
+        Additionally flood each packet in isolation (same substrate,
+        forked loss streams) to measure the queueing-free transmission
+        delay — the Fig. 9 decomposition. Roughly doubles the run cost.
+    dynamics:
+        Optional :class:`~repro.net.dynamics.GilbertElliott` bursty-link
+        state, stepped once per slot and consulted on every success draw.
+    true_schedules:
+        Clock-skew injection: ``schedules`` is what the protocol *believes*
+        (the advertised working schedules from local synchronization);
+        ``true_schedules`` is when radios are really on. Transmissions to
+        nodes the sender believed awake but that are actually dormant are
+        counted as ``sleep_misses`` (plus ordinary failures) instead of
+        protocol errors. Default: no skew — the paper's perfectly
+        locally-synchronized model.
+    """
+    if len(schedules) != topo.n_nodes:
+        raise ValueError(
+            f"schedule table covers {len(schedules)} nodes but topology "
+            f"has {topo.n_nodes}"
+        )
+    config = config or SimConfig()
+    if true_schedules is not None and len(true_schedules) != topo.n_nodes:
+        raise ValueError("true_schedules does not match the topology")
+    actual_schedules = true_schedules if true_schedules is not None else schedules
+    n_nodes = topo.n_nodes
+    M = workload.n_packets
+    horizon = config.max_slots or _default_horizon(topo, schedules, M)
+
+    eligible = topo.reachable_from_source()
+    eligible[SOURCE] = False  # coverage counts sensors only
+    n_eligible = int(eligible.sum())
+    if n_eligible == 0:
+        raise ValueError("no sensor is reachable from the source")
+    need_count = coverage_threshold(n_eligible, config.coverage_target)
+
+    has = np.zeros((M, n_nodes), dtype=bool)
+    arrival = np.full((M, n_nodes), -1, dtype=np.int64)
+    covered = np.zeros(M, dtype=np.int64)  # eligible sensors holding p
+    generated = workload.generation_slots()
+    first_tx = np.full(M, -1, dtype=np.int64)
+    completed_at = np.full(M, -1, dtype=np.int64)
+
+    ledger = EnergyLedger(n_nodes)
+    log = EventLog() if config.track_events else None
+    view = SimView(topo, schedules, workload, has, arrival)
+    protocol.prepare(topo, schedules, workload, rng)
+
+    tx_attempts = tx_failures = collisions = duplicates = overhears = 0
+    sleep_misses = 0
+    n_pending = M  # packets not yet at coverage target
+
+    t = 0
+    while t < horizon and n_pending > 0:
+        # 0. Link dynamics advance regardless of traffic.
+        if dynamics is not None:
+            dynamics.step()
+
+        # 1. Injection.
+        to_inject = np.flatnonzero((generated <= t) & ~has[:, SOURCE])
+        for p in to_inject.tolist():
+            has[p, SOURCE] = True
+            arrival[p, SOURCE] = t
+            if log is not None:
+                log.record(SimEvent(t, EventKind.INJECT, p))
+
+        # 2. Wake sets: what the protocol believes vs what is true.
+        awake = schedules.awake_at(t)
+        actually_awake = (
+            awake if actual_schedules is schedules
+            else actual_schedules.awake_at(t)
+        )
+
+        # 3-4. Protocol proposals, validated against its *belief*.
+        if awake.size:
+            proposals = protocol.propose(t, awake, view)
+        else:
+            proposals = []
+        if proposals:
+            awake_set = set(awake.tolist())
+            seen_senders = set()
+            for tx in proposals:
+                if tx.sender in seen_senders:
+                    raise ValueError(
+                        f"protocol {protocol.name!r} scheduled two transmissions "
+                        f"for node {tx.sender} at slot {t}"
+                    )
+                seen_senders.add(tx.sender)
+                if not has[tx.packet, tx.sender]:
+                    raise ValueError(
+                        f"protocol {protocol.name!r} made node {tx.sender} send "
+                        f"packet {tx.packet} it does not hold (slot {t})"
+                    )
+                if tx.receiver not in awake_set:
+                    raise ValueError(
+                        f"protocol {protocol.name!r} targeted sleeping node "
+                        f"{tx.receiver} at slot {t}"
+                    )
+
+            # Clock skew: transmissions addressed to nodes that are not
+            # really awake hit a dormant radio.
+            if actual_schedules is not schedules:
+                actually_awake_set = set(actually_awake.tolist())
+                sleep_misses += sum(
+                    1 for tx in proposals
+                    if tx.receiver not in actually_awake_set
+                )
+
+            # 5. Channel resolution (against reality).
+            outcome = resolve_slot(
+                proposals, topo, actually_awake, rng, config.radio,
+                dynamics=dynamics,
+            )
+
+            # 6. Bookkeeping.
+            tx_attempts += len(proposals)
+            tx_failures += len(outcome.failures)
+            collisions += len(outcome.collisions)
+            for tx in proposals:
+                ledger.note_tx(tx.sender)
+                if tx.sender == SOURCE and first_tx[tx.packet] < 0:
+                    first_tx[tx.packet] = t
+                if log is not None:
+                    log.record(
+                        SimEvent(t, EventKind.TX, tx.packet, tx.sender, tx.receiver)
+                    )
+            for tx in outcome.failures:
+                ledger.note_failure(tx.sender)
+            if log is not None:
+                for tx in outcome.collisions:
+                    log.record(
+                        SimEvent(
+                            t, EventKind.COLLISION, tx.packet, tx.sender, tx.receiver
+                        )
+                    )
+
+            for rec in outcome.receptions:
+                kind = EventKind.OVERHEAR if rec.overheard else EventKind.DELIVER
+                if has[rec.packet, rec.receiver]:
+                    duplicates += not rec.overheard
+                    if log is not None and not rec.overheard:
+                        log.record(
+                            SimEvent(
+                                t,
+                                EventKind.DUPLICATE,
+                                rec.packet,
+                                rec.sender,
+                                rec.receiver,
+                            )
+                        )
+                    continue
+                overhears += rec.overheard
+                has[rec.packet, rec.receiver] = True
+                arrival[rec.packet, rec.receiver] = t
+                ledger.note_rx(rec.receiver)
+                if eligible[rec.receiver]:
+                    covered[rec.packet] += 1
+                    if (
+                        completed_at[rec.packet] < 0
+                        and covered[rec.packet] >= need_count
+                    ):
+                        completed_at[rec.packet] = t
+                        n_pending -= 1
+                        if log is not None:
+                            log.record(SimEvent(t, EventKind.COMPLETE, rec.packet))
+                if log is not None:
+                    log.record(
+                        SimEvent(t, kind, rec.packet, rec.sender, rec.receiver)
+                    )
+
+            protocol.observe(t, outcome, view)
+        t += 1
+
+    ledger.note_elapsed(t)
+    ledger.validate()
+
+    transmission_delay = _transmission_delay
+    if measure_transmission_delay and transmission_delay is None:
+        transmission_delay = run_single_packet_floods(
+            topo, schedules, workload, type(protocol), rng, config,
+            protocol_kwargs=getattr(protocol, "init_kwargs", None),
+        )
+
+    metrics = FloodMetrics(
+        delays=PacketDelays(
+            generated=generated, first_tx=first_tx, completed=completed_at
+        ),
+        tx_attempts=tx_attempts,
+        tx_failures=tx_failures,
+        collisions=collisions,
+        duplicates=duplicates,
+        overhears=overhears,
+        elapsed_slots=t,
+        coverage_per_packet=covered / n_eligible,
+        transmission_delay=transmission_delay,
+        sleep_misses=sleep_misses,
+    )
+    return FloodResult(
+        metrics=metrics,
+        has=has,
+        arrival=arrival,
+        ledger=ledger,
+        events=log,
+        completed=bool(n_pending == 0),
+    )
+
+
+def run_single_packet_floods(
+    topo: Topology,
+    schedules: ScheduleTable,
+    workload: FloodWorkload,
+    protocol_cls,
+    rng: np.random.Generator,
+    config: Optional[SimConfig] = None,
+    protocol_kwargs: Optional[dict] = None,
+    n_probes: Optional[int] = None,
+) -> np.ndarray:
+    """Queueing-free per-packet delay: flood packets in isolation.
+
+    Used for the Fig. 9 decomposition: the same substrate floods a single
+    packet at a time (independent channel draws per run), yielding the
+    pure transmission delay the blocking analysis subtracts out. Isolated
+    floods are i.i.d. across packets, so ``n_probes`` (default
+    ``min(M, 8)``) actual runs are cycled over the ``M`` packet slots
+    instead of running all ``M``.
+    """
+    from ..net.packet import FloodWorkload as _WL
+
+    M = workload.n_packets
+    if n_probes is None:
+        n_probes = min(M, 8)
+    if not (1 <= n_probes <= M):
+        raise ValueError(f"n_probes must be in [1, {M}], got {n_probes}")
+    kwargs = protocol_kwargs or {}
+    probes = np.full(n_probes, -1, dtype=np.int64)
+    for i in range(n_probes):
+        sub_rng = np.random.default_rng(rng.integers(0, 2**63))
+        result = run_flood(
+            topo,
+            schedules,
+            _WL(1),
+            protocol_cls(**kwargs),
+            sub_rng,
+            config,
+        )
+        probes[i] = result.metrics.delays.total_delay()[0]
+    return probes[np.arange(M) % n_probes]

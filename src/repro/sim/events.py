@@ -1,0 +1,86 @@
+"""Event records emitted by the simulation engine.
+
+The engine always maintains aggregate counters; full event logs are
+opt-in (``SimConfig.track_events``) because a 100-packet flood on the
+298-node trace generates hundreds of thousands of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+__all__ = ["EventKind", "SimEvent", "EventLog"]
+
+
+class EventKind(Enum):
+    """What happened."""
+
+    INJECT = "inject"  # source generated a packet
+    TX = "tx"  # a transmission was committed
+    DELIVER = "deliver"  # intended receiver got the packet (first copy)
+    DUPLICATE = "duplicate"  # intended receiver already had the packet
+    OVERHEAR = "overhear"  # a third party received the packet
+    LOSS = "loss"  # transmission failed by channel loss
+    COLLISION = "collision"  # transmission destroyed by interference
+    COMPLETE = "complete"  # a packet reached the coverage target
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One timestamped event.
+
+    ``sender``/``receiver`` are ``-1`` where not applicable (e.g. INJECT).
+    """
+
+    t: int
+    kind: EventKind
+    packet: int
+    sender: int = -1
+    receiver: int = -1
+
+    def __post_init__(self):
+        if self.t < 0:
+            raise ValueError(f"event time must be non-negative, got {self.t}")
+        if self.packet < 0:
+            raise ValueError(f"packet index must be non-negative, got {self.packet}")
+
+
+class EventLog:
+    """Append-only in-memory event log with simple query helpers."""
+
+    def __init__(self):
+        self._events: List[SimEvent] = []
+
+    def record(self, event: SimEvent) -> None:
+        if self._events and event.t < self._events[-1].t:
+            raise ValueError(
+                f"events must be recorded in time order "
+                f"({event.t} after {self._events[-1].t})"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[SimEvent]:
+        return [e for e in self._events if e.kind is kind]
+
+    def for_packet(self, packet: int) -> List[SimEvent]:
+        return [e for e in self._events if e.packet == packet]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self._events if e.kind is kind)
+
+    def busy_slots(self) -> List[int]:
+        """Original slots that carried at least one transmission.
+
+        Feed this to :class:`repro.core.compact_time.CompactTimeline` to
+        analyze a simulated flood on the compact time scale.
+        """
+        slots = sorted({e.t for e in self._events if e.kind is EventKind.TX})
+        return slots

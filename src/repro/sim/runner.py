@@ -1,0 +1,209 @@
+"""Seeded multi-run experiment runner.
+
+The Sec. V experiments sweep duty cycles and protocols over a fixed
+topology, with several replications per configuration. The runner
+standardizes that: one :class:`ExperimentSpec` per configuration, paired
+random streams across protocols (same schedules and loss draws for every
+protocol at the same replication index), and summary aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.packet import FloodWorkload
+from ..net.schedule import ScheduleTable, duty_ratio_to_period
+from ..net.topology import Topology
+from ..protocols.base import FloodingProtocol, make_protocol
+from ..protocols.opt import opt_radio_model
+from .engine import FloodResult, SimConfig, run_flood
+from .rng import RngStreams
+
+__all__ = ["ExperimentSpec", "RunSummary", "run_experiment", "run_protocol_sweep"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One simulation configuration.
+
+    ``protocol_kwargs`` are forwarded to the protocol constructor;
+    ``sim_config`` overrides engine defaults (OPT automatically gets its
+    collision-free radio unless a radio is forced).
+    """
+
+    protocol: str
+    duty_ratio: float
+    n_packets: int
+    seed: int = 0
+    n_replications: int = 1
+    coverage_target: float = 0.99
+    generation_interval: int = 0
+    protocol_kwargs: Dict = field(default_factory=dict)
+    sim_config: Optional[SimConfig] = None
+    measure_transmission_delay: bool = False
+
+    def __post_init__(self):
+        if not (0.0 < self.duty_ratio <= 1.0):
+            raise ValueError(f"duty ratio must be in (0, 1], got {self.duty_ratio}")
+        if self.n_packets < 1:
+            raise ValueError("need at least one packet")
+        if self.n_replications < 1:
+            raise ValueError("need at least one replication")
+
+
+@dataclass
+class RunSummary:
+    """Aggregated results of one spec's replications."""
+
+    spec: ExperimentSpec
+    results: List[FloodResult]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    def mean_delay(self) -> float:
+        """Average per-packet flooding delay across replications."""
+        vals = [r.metrics.average_delay() for r in self.results]
+        vals = [v for v in vals if np.isfinite(v)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def delay_ci(self, confidence: float = 0.95):
+        """Student-t confidence interval of the mean delay.
+
+        Returns an :class:`~repro.analysis.stats.MeanCI`; degenerates to
+        a point for single-replication runs.
+        """
+        from ..analysis.stats import mean_ci
+
+        vals = [r.metrics.average_delay() for r in self.results]
+        return mean_ci(vals, confidence)
+
+    def per_replication_delays(self) -> np.ndarray:
+        """Raw per-replication mean delays (for paired comparisons)."""
+        return np.asarray(
+            [r.metrics.average_delay() for r in self.results],
+            dtype=np.float64,
+        )
+
+    def mean_failures(self) -> float:
+        return float(np.mean([r.metrics.tx_failures for r in self.results]))
+
+    def mean_collisions(self) -> float:
+        return float(np.mean([r.metrics.collisions for r in self.results]))
+
+    def mean_tx_attempts(self) -> float:
+        return float(np.mean([r.metrics.tx_attempts for r in self.results]))
+
+    def completion_rate(self) -> float:
+        """Fraction of replications in which every packet hit coverage."""
+        return float(np.mean([r.completed for r in self.results]))
+
+    def per_packet_delay(self) -> np.ndarray:
+        """Replication-averaged per-packet delay curve (Fig. 9 series)."""
+        curves = []
+        for r in self.results:
+            d = r.metrics.delays.total_delay().astype(np.float64)
+            d[d < 0] = np.nan
+            curves.append(d)
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(np.vstack(curves), axis=0)
+
+    def per_packet_transmission_delay(self) -> Optional[np.ndarray]:
+        """Replication-averaged queueing-free delay curve (if measured)."""
+        curves = []
+        for r in self.results:
+            td = r.metrics.transmission_delay
+            if td is None:
+                return None
+            d = td.astype(np.float64)
+            d[d < 0] = np.nan
+            curves.append(d)
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(np.vstack(curves), axis=0)
+
+
+def _default_sim_config(spec: ExperimentSpec) -> SimConfig:
+    if spec.sim_config is not None:
+        return spec.sim_config
+    if spec.protocol == "opt":
+        # The oracle plays on a collision-free channel.
+        return SimConfig(
+            coverage_target=spec.coverage_target, radio=opt_radio_model()
+        )
+    if spec.protocol == "crosslayer":
+        # The cross-layer sketch deliberately exploits data overhearing
+        # (the paper's future-work direction 2: co-design opportunism
+        # with the duty-cycle configuration).
+        from ..net.radio import RadioModel
+
+        return SimConfig(
+            coverage_target=spec.coverage_target,
+            radio=RadioModel(overhearing=True),
+        )
+    return SimConfig(coverage_target=spec.coverage_target)
+
+
+def run_experiment(topo: Topology, spec: ExperimentSpec) -> RunSummary:
+    """Run one spec's replications on a fixed topology.
+
+    Stream pairing: schedules and channel draws are derived from
+    ``(seed, replication)`` only — two specs differing in the protocol see
+    identical wake patterns and loss randomness, so protocol comparisons
+    are paired.
+    """
+    config = _default_sim_config(spec)
+    period = duty_ratio_to_period(spec.duty_ratio)
+    results: List[FloodResult] = []
+    streams = RngStreams(spec.seed)
+    for rep in range(spec.n_replications):
+        schedule_rng = streams.get(f"schedule/{rep}")
+        channel_rng = streams.get(f"channel/{rep}")
+        schedules = ScheduleTable.random(topo.n_nodes, period, schedule_rng)
+        workload = FloodWorkload(spec.n_packets, spec.generation_interval)
+        protocol = make_protocol(spec.protocol, **spec.protocol_kwargs)
+        result = run_flood(
+            topo,
+            schedules,
+            workload,
+            protocol,
+            channel_rng,
+            config,
+            measure_transmission_delay=spec.measure_transmission_delay,
+        )
+        results.append(result)
+    return RunSummary(spec=spec, results=results)
+
+
+def run_protocol_sweep(
+    topo: Topology,
+    protocols: Sequence[str],
+    duty_ratios: Sequence[float],
+    n_packets: int,
+    seed: int = 0,
+    n_replications: int = 1,
+    coverage_target: float = 0.99,
+    protocol_kwargs: Optional[Dict[str, Dict]] = None,
+    measure_transmission_delay: bool = False,
+) -> Dict[str, Dict[float, RunSummary]]:
+    """The Fig. 10/11 grid: protocols x duty ratios on one topology."""
+    protocol_kwargs = protocol_kwargs or {}
+    out: Dict[str, Dict[float, RunSummary]] = {}
+    for proto in protocols:
+        out[proto] = {}
+        for duty in duty_ratios:
+            spec = ExperimentSpec(
+                protocol=proto,
+                duty_ratio=duty,
+                n_packets=n_packets,
+                seed=seed,
+                n_replications=n_replications,
+                coverage_target=coverage_target,
+                protocol_kwargs=protocol_kwargs.get(proto, {}),
+                measure_transmission_delay=measure_transmission_delay,
+            )
+            out[proto][duty] = run_experiment(topo, spec)
+    return out

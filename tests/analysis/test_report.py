@@ -1,0 +1,84 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    render_result,
+    render_series_table,
+    render_table,
+    sparkline,
+)
+from repro.analysis.series import ExperimentResult, Series, Table
+
+
+class TestSparkline:
+    def test_constant(self):
+        assert sparkline([1, 1, 1]) == "▁▁▁"
+
+    def test_ramp_ends(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_compression(self):
+        line = sparkline(np.arange(400), width=40)
+        assert len(line) <= 40
+
+    def test_nan_and_empty(self):
+        assert sparkline([]) == "(no data)"
+        assert sparkline([np.nan, 1.0, np.nan, 2.0]) != "(no data)"
+
+
+class TestRenderSeriesTable:
+    def test_aligned_columns(self):
+        out = render_series_table(
+            [Series("a", [1, 2], [10, 20]), Series("b", [1, 2], [30, 40])],
+            x_label="M",
+        )
+        lines = out.splitlines()
+        assert "M" in lines[0] and "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+
+    def test_mismatched_grid_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_table(
+                [Series("a", [1, 2], [1, 2]), Series("b", [3, 4], [1, 2])]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_table([])
+
+
+class TestRenderTable:
+    def test_includes_title_and_strings(self):
+        t = Table("my table", columns={
+            "name": np.asarray(["x", "y"]),
+            "value": np.asarray([1.5, 2.0]),
+        })
+        out = render_table(t)
+        assert "my table" in out
+        assert "x" in out and "1.50" in out
+
+
+class TestRenderResult:
+    def test_groups_by_x_grid(self):
+        r = ExperimentResult(
+            "fig", "title",
+            series=[
+                Series("a", [1, 2], [1, 2]),
+                Series("b", [1, 2], [3, 4]),
+                Series("c", [9, 10, 11], [0, 0, 0]),
+            ],
+            metadata={"seed": 1},
+        )
+        out = render_result(r)
+        assert "fig" in out and "title" in out
+        assert "seed=1" in out
+        # Series c rendered in its own block.
+        assert out.count("c") >= 1
+
+    def test_without_sparklines(self):
+        r = ExperimentResult("e", "t", series=[Series("a", [1], [1])])
+        out = render_result(r, with_sparklines=False)
+        assert "▁" not in out

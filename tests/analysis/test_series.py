@@ -1,0 +1,64 @@
+"""Tests for experiment output containers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series, Table
+
+
+class TestSeries:
+    def test_basic(self):
+        s = Series("delay", x=[1, 2, 3], y=[10, 20, 30])
+        assert len(s) == 3
+        assert s.at(2) == 20.0
+
+    def test_at_missing_x(self):
+        s = Series("delay", x=[1, 2], y=[1, 2])
+        with pytest.raises(KeyError):
+            s.at(5)
+
+    def test_monotonicity_checks(self):
+        inc = Series("a", x=[0, 1, 2], y=[1, 2, 3])
+        dec = Series("b", x=[0, 1, 2], y=[3, 2, 1])
+        flat = Series("c", x=[0, 1], y=[2, 2])
+        assert inc.is_monotone_increasing(strict=True)
+        assert dec.is_monotone_decreasing(strict=True)
+        assert flat.is_monotone_increasing() and flat.is_monotone_decreasing()
+        assert not flat.is_monotone_increasing(strict=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Series("bad", x=[1, 2], y=[1])
+        with pytest.raises(ValueError):
+            Series("empty", x=[], y=[])
+        with pytest.raises(ValueError):
+            Series("2d", x=np.zeros((2, 2)), y=np.zeros(4))
+
+
+class TestTable:
+    def test_basic(self):
+        t = Table("t", columns={"a": np.asarray([1, 2]), "b": np.asarray([3, 4])})
+        assert t.n_rows == 2
+        assert t.column("a").tolist() == [1, 2]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", columns={"a": np.asarray([1]), "b": np.asarray([1, 2])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", columns={})
+
+
+class TestExperimentResult:
+    def test_get_series(self):
+        r = ExperimentResult(
+            "x", "t", series=[Series("a", [1], [2]), Series("b", [1], [3])]
+        )
+        assert r.get_series("b").y.tolist() == [3]
+        assert r.labels() == ["a", "b"]
+
+    def test_missing_series(self):
+        r = ExperimentResult("x", "t")
+        with pytest.raises(KeyError):
+            r.get_series("nope")

@@ -1,0 +1,76 @@
+"""Tests for the shape-audit machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.series import ExperimentResult, Series
+from repro.analysis.shapes import CHECKS, ShapeCheck, audit
+from repro.experiments import run_experiment_by_id
+
+
+def _fig10_result(opt, dbao, of, bound, duties=(0.05, 0.2)):
+    x = np.asarray(duties)
+    return ExperimentResult(
+        "fig10", "synthetic",
+        series=[
+            Series("opt: avg delay", x, np.asarray(opt)),
+            Series("dbao: avg delay", x, np.asarray(dbao)),
+            Series("of: avg delay", x, np.asarray(of)),
+            Series("predicted lower bound", x, np.asarray(bound)),
+        ],
+    )
+
+
+class TestAuditMechanics:
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            audit({"fig99": _fig10_result([2, 1], [3, 2], [4, 3], [1, 0.5])})
+
+    def test_good_fig10_passes(self):
+        checks = audit({
+            "fig10": _fig10_result([200, 100], [400, 300], [600, 500],
+                                   [100, 50])
+        })
+        assert all(c.passed for c in checks)
+
+    def test_ordering_violation_detected(self):
+        # DBAO faster than OPT -> the OPT <= DBAO claim must fail.
+        checks = audit({
+            "fig10": _fig10_result([500, 400], [300, 200], [600, 500],
+                                   [100, 50])
+        })
+        failed = [c for c in checks if not c.passed]
+        assert any("OPT <= DBAO" in c.claim for c in failed)
+
+    def test_bound_violation_detected(self):
+        checks = audit({
+            "fig10": _fig10_result([200, 100], [400, 300], [600, 500],
+                                   [300, 200])
+        })
+        failed = [c for c in checks if not c.passed]
+        assert any("prediction below OPT" in c.claim for c in failed)
+
+
+class TestAgainstRealExperiments:
+    def test_theory_experiments_pass_their_shapes(self):
+        results = {
+            eid: run_experiment_by_id(eid, scale="smoke")
+            for eid in ("fig5", "fig6", "fig7")
+        }
+        checks = audit(results)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, failed
+
+    def test_gain_passes(self):
+        checks = audit({"gain": run_experiment_by_id("gain", scale="smoke")})
+        assert all(c.passed for c in checks)
+
+    def test_skew_passes(self):
+        checks = audit({"skew": run_experiment_by_id("skew", scale="smoke")})
+        assert all(c.passed for c in checks)
+
+    def test_every_registered_check_has_a_runner(self):
+        from repro.experiments import experiment_ids
+
+        ids = set(experiment_ids())
+        assert set(CHECKS) <= ids

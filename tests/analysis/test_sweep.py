@@ -1,0 +1,59 @@
+"""Tests for sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import SweepAxis, collect, sweep
+from repro.net.generators import line_topology
+from repro.sim.runner import ExperimentSpec
+
+
+@pytest.fixture
+def topo():
+    return line_topology(4, prr=1.0)
+
+
+@pytest.fixture
+def base():
+    return ExperimentSpec(protocol="opt", duty_ratio=0.2, n_packets=1, seed=2,
+                          coverage_target=1.0)
+
+
+class TestSweepAxis:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepAxis("duty_ratio", [])
+        with pytest.raises(ValueError):
+            SweepAxis("not_a_field", [1])
+
+
+class TestSweep:
+    def test_single_axis(self, topo, base):
+        grid = sweep(topo, base, [SweepAxis("duty_ratio", (0.1, 0.5))])
+        assert set(grid) == {(0.1,), (0.5,)}
+
+    def test_cartesian_grid(self, topo, base):
+        grid = sweep(topo, base, [
+            SweepAxis("duty_ratio", (0.1, 0.5)),
+            SweepAxis("n_packets", (1, 2)),
+        ])
+        assert len(grid) == 4
+        assert (0.5, 2) in grid
+
+    def test_no_axes_runs_base(self, topo, base):
+        grid = sweep(topo, base, [])
+        assert set(grid) == {()}
+
+    def test_progress_callback(self, topo, base):
+        seen = []
+        sweep(topo, base, [SweepAxis("duty_ratio", (0.1, 0.5))],
+              progress=seen.append)
+        assert len(seen) == 2
+
+
+class TestCollect:
+    def test_extracts_sorted_xy(self, topo, base):
+        grid = sweep(topo, base, [SweepAxis("duty_ratio", (0.5, 0.1))])
+        x, y = collect(grid, lambda s: s.mean_delay())
+        assert x.tolist() == [0.1, 0.5]
+        assert y[0] >= y[1]  # lower duty -> higher delay

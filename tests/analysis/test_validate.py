@@ -1,0 +1,89 @@
+"""Tests for theory-vs-simulation validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    analytic_lower_bound,
+    dominance_holds,
+    knee_index,
+    relative_spread,
+    respects_lower_bound,
+)
+from repro.core.linkloss import recurrence_hitting_time
+from repro.net.generators import line_topology
+
+
+class TestAnalyticLowerBound:
+    def test_perfect_chain_matches_recurrence(self, line5):
+        bound = analytic_lower_bound(line5, duty_ratio=0.2)
+        assert bound == recurrence_hitting_time(4, 1.0, 5)
+
+    def test_lossier_network_higher_bound(self, line5, lossy_line5):
+        assert analytic_lower_bound(lossy_line5, 0.1) > analytic_lower_bound(
+            line5, 0.1
+        )
+
+    def test_lower_duty_higher_bound(self, line5):
+        assert analytic_lower_bound(line5, 0.05) > analytic_lower_bound(line5, 0.2)
+
+    def test_duty_validation(self, line5):
+        with pytest.raises(ValueError):
+            analytic_lower_bound(line5, 0.0)
+
+
+class TestRespectsLowerBound:
+    def test_basic(self):
+        assert respects_lower_bound(100.0, 80.0)
+        assert not respects_lower_bound(50.0, 80.0)
+
+    def test_tolerance(self):
+        assert respects_lower_bound(76.0, 80.0, tolerance=0.1)
+
+    def test_nan_fails(self):
+        assert not respects_lower_bound(float("nan"), 10.0)
+
+
+class TestDominance:
+    def test_ordering_respected(self):
+        delays = {"opt": 100.0, "dbao": 150.0, "of": 300.0}
+        assert dominance_holds(delays, ("opt", "dbao", "of"))
+
+    def test_violation_detected(self):
+        delays = {"opt": 100.0, "dbao": 90.0, "of": 300.0}
+        assert not dominance_holds(delays, ("opt", "dbao", "of"), slack=1.0)
+
+    def test_slack_absorbs_noise(self):
+        delays = {"opt": 100.0, "dbao": 98.0}
+        assert dominance_holds(delays, ("opt", "dbao"), slack=1.05)
+
+
+class TestRelativeSpread:
+    def test_constant_is_zero(self):
+        assert relative_spread([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        assert relative_spread([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_is_inf(self):
+        assert relative_spread([]) == float("inf")
+        assert relative_spread([np.nan]) == float("inf")
+
+
+class TestKneeIndex:
+    def test_finds_synthetic_knee(self):
+        # Ramp with slope 10 for 20 packets, then slope 1.
+        y = np.concatenate([10.0 * np.arange(20), 200 + np.arange(30)])
+        knee = knee_index(y)
+        assert knee is not None
+        assert 10 <= knee <= 30
+
+    def test_pure_line_no_knee(self):
+        y = 5.0 * np.arange(60)
+        assert knee_index(y) is None
+
+    def test_too_short_returns_none(self):
+        assert knee_index(np.arange(5)) is None
+
+    def test_flat_curve_no_knee(self):
+        assert knee_index(np.full(60, 7.0)) is None

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import (
+    grid_topology,
+    line_topology,
+    random_geometric_topology,
+    star_topology,
+)
+from repro.net.schedule import ScheduleTable
+from repro.net.topology import Topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def line5():
+    """Chain: source -> 1 -> 2 -> 3 -> 4, perfect links."""
+    return line_topology(4, prr=1.0)
+
+
+@pytest.fixture
+def star8():
+    """Star: source hub with 8 sensors, perfect links."""
+    return star_topology(8, prr=1.0)
+
+
+@pytest.fixture
+def lossy_line5():
+    """Chain with PRR 0.6 links."""
+    return line_topology(4, prr=0.6)
+
+
+@pytest.fixture
+def small_rgg(rng):
+    """A ~60-sensor connected random deployment with lossy links."""
+    for attempt in range(10):
+        sub = np.random.default_rng(1000 + attempt)
+        topo = random_geometric_topology(61, area_m=300.0, rng=sub)
+        if topo.reachable_from_source().sum() >= 55:
+            return topo
+    raise RuntimeError("could not build a connected test deployment")
+
+
+@pytest.fixture
+def schedules5(rng):
+    """Schedules for a 5-node network at 20% duty (period 5)."""
+    return ScheduleTable.random(5, 5, rng)

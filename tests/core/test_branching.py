@@ -1,0 +1,167 @@
+"""Tests for the Galton-Watson machinery behind Lemma 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.branching import (
+    OffspringLaw,
+    doubling_law,
+    hitting_time,
+    limit_tail_bound,
+    limit_variance,
+    simulate_normalized_limit,
+    simulate_population,
+)
+
+
+class TestOffspringLaw:
+    def test_doubling_law_mean_is_one_plus_q(self):
+        # mu = 1 + q, the paper's "1 < mu <= 2".
+        law = doubling_law(0.7)
+        assert law.mean == pytest.approx(1.7)
+        assert 1.0 < law.mean <= 2.0
+
+    def test_doubling_law_variance(self):
+        # offspring in {1, 2}: variance = q(1-q).
+        q = 0.3
+        law = doubling_law(q)
+        assert law.variance == pytest.approx(q * (1 - q))
+
+    def test_perfect_links_always_double(self):
+        law = doubling_law(1.0)
+        assert law.counts == (2,)
+        assert law.mean == 2.0
+        assert law.variance == 0.0
+
+    def test_rejects_zero_success(self):
+        with pytest.raises(ValueError):
+            doubling_law(0.0)
+
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OffspringLaw(counts=(1, 2), probs=(0.5, 0.4))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            OffspringLaw(counts=(-1,), probs=(1.0,))
+
+    def test_supercritical_flag(self):
+        assert doubling_law(0.5).is_supercritical
+        assert not OffspringLaw(counts=(0, 1), probs=(0.5, 0.5)).is_supercritical
+
+    def test_sample_totals_exact_for_deterministic_law(self, rng):
+        law = doubling_law(1.0)
+        pops = np.asarray([1, 5, 100])
+        assert law.sample_totals(pops, rng).tolist() == [2, 10, 200]
+
+    def test_sample_totals_bounds(self, rng):
+        # Totals lie in [pop, 2*pop] for the doubling law.
+        law = doubling_law(0.5)
+        pops = np.full(1000, 10, dtype=np.int64)
+        totals = law.sample_totals(pops, rng)
+        assert np.all(totals >= 10) and np.all(totals <= 20)
+
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=30)
+    def test_sample_totals_mean_matches_mu(self, q):
+        rng = np.random.default_rng(17)
+        law = doubling_law(q)
+        pops = np.full(4000, 50, dtype=np.int64)
+        totals = law.sample_totals(pops, rng)
+        # Mean of totals/pop estimates mu within Monte-Carlo noise.
+        assert totals.mean() / 50 == pytest.approx(law.mean, abs=0.02)
+
+
+class TestSimulatePopulation:
+    def test_shape_and_initial_row(self, rng):
+        pops = simulate_population(doubling_law(0.5), 10, 7, rng, initial=3)
+        assert pops.shape == (11, 7)
+        assert np.all(pops[0] == 3)
+
+    def test_monotone_nondecreasing(self, rng):
+        # Offspring >= 1 per individual: populations never shrink.
+        pops = simulate_population(doubling_law(0.4), 20, 50, rng)
+        assert np.all(np.diff(pops, axis=0) >= 0)
+
+    def test_perfect_law_doubles_exactly(self, rng):
+        pops = simulate_population(doubling_law(1.0), 8, 3, rng)
+        assert np.array_equal(pops[:, 0], 2 ** np.arange(9))
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            simulate_population(doubling_law(0.5), -1, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_population(doubling_law(0.5), 5, 0, rng)
+        with pytest.raises(ValueError):
+            simulate_population(doubling_law(0.5), 5, 5, rng, initial=0)
+
+
+class TestLemma1:
+    def test_normalized_limit_mean_is_one(self, rng):
+        # Lemma 1: E[W] = 1.
+        w = simulate_normalized_limit(doubling_law(0.6), 25, 4000, rng)
+        assert w.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_normalized_limit_variance_formula(self, rng):
+        # Lemma 1: Var[W] = sigma^2 / (mu^2 - mu).
+        law = doubling_law(0.6)
+        w = simulate_normalized_limit(law, 25, 6000, rng)
+        assert w.var(ddof=1) == pytest.approx(limit_variance(law), rel=0.2)
+
+    def test_limit_variance_closed_form(self):
+        law = doubling_law(0.5)  # sigma^2 = 0.25, mu = 1.5
+        assert limit_variance(law) == pytest.approx(0.25 / (1.5**2 - 1.5))
+
+    def test_limit_variance_requires_supercritical(self):
+        with pytest.raises(ValueError):
+            limit_variance(OffspringLaw(counts=(0, 1), probs=(0.5, 0.5)))
+
+    def test_tail_bound_is_chebyshev(self):
+        # Pr{W > alpha} < sigma^2 / ((alpha-1)^2 (mu^2 - mu)).
+        law = doubling_law(0.5)
+        assert limit_tail_bound(law, 3.0) == pytest.approx(
+            limit_variance(law) / 4.0
+        )
+
+    def test_tail_bound_requires_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            limit_tail_bound(doubling_law(0.5), 1.0)
+
+    def test_tail_bound_actually_bounds(self, rng):
+        law = doubling_law(0.6)
+        w = simulate_normalized_limit(law, 25, 6000, rng)
+        for alpha in (2.0, 3.0):
+            bound = limit_tail_bound(law, alpha)
+            assert (w > alpha).mean() <= bound + 0.02
+
+
+class TestHittingTime:
+    def test_perfect_links_hit_exactly_log2(self, rng):
+        # Deterministic doubling: hits 2^k at generation k.
+        times = hitting_time(doubling_law(1.0), target=1024, n_ensembles=5, rng=rng)
+        assert np.all(times == 10)
+
+    def test_target_one_is_immediate(self, rng):
+        times = hitting_time(doubling_law(0.5), target=1, n_ensembles=4, rng=rng)
+        assert np.all(times == 0)
+
+    def test_monotone_in_target(self, rng):
+        law = doubling_law(0.5)
+        t_small = hitting_time(law, 64, 500, np.random.default_rng(3)).mean()
+        t_large = hitting_time(law, 4096, 500, np.random.default_rng(3)).mean()
+        assert t_large > t_small
+
+    def test_lossier_is_slower(self):
+        t_good = hitting_time(
+            doubling_law(0.9), 1025, 500, np.random.default_rng(5)
+        ).mean()
+        t_bad = hitting_time(
+            doubling_law(0.4), 1025, 500, np.random.default_rng(5)
+        ).mean()
+        assert t_bad > t_good
+
+    def test_rejects_bad_target(self, rng):
+        with pytest.raises(ValueError):
+            hitting_time(doubling_law(0.5), 0, 5, rng)

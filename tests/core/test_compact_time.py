@@ -1,0 +1,106 @@
+"""Tests for the compact time-scale mapping (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compact_time import (
+    CompactTimeline,
+    expected_fdl_from_fwl,
+    max_fdl_from_fwl,
+)
+
+
+class TestCompactTimeline:
+    def test_paper_example_mapping(self):
+        # Busy slots with gaps d1..d7 as in Fig. 2: compact indices are
+        # consecutive while original slots skip the idle stretches.
+        tl = CompactTimeline([0, 3, 4, 9])
+        assert len(tl) == 4
+        assert tl.to_original(0) == 0
+        assert tl.to_original(2) == 4
+        assert tl.to_compact(9) == 3
+
+    def test_idle_slot_has_no_image(self):
+        tl = CompactTimeline([0, 3])
+        with pytest.raises(KeyError):
+            tl.to_compact(1)
+
+    def test_is_busy(self):
+        tl = CompactTimeline([2, 5])
+        assert tl.is_busy(2) and tl.is_busy(5)
+        assert not tl.is_busy(0) and not tl.is_busy(3) and not tl.is_busy(7)
+
+    def test_gaps_match_eq1_decomposition(self):
+        # FDL = sum (d_h + 1): gaps + one slot per transmission.
+        tl = CompactTimeline([1, 2, 6])
+        gaps = tl.gaps()
+        assert gaps.tolist() == [1, 0, 3]
+        assert tl.total_span() == int(gaps.sum()) + len(tl)
+
+    def test_from_activity_mask(self):
+        tl = CompactTimeline.from_activity([True, False, False, True, True])
+        assert tl.busy_slots == [0, 3, 4]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            CompactTimeline([3, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            CompactTimeline([1, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CompactTimeline([-1, 2])
+
+    def test_empty_timeline(self):
+        tl = CompactTimeline([])
+        assert len(tl) == 0
+        assert tl.total_span() == 0
+        assert tl.gaps().size == 0
+
+    def test_index_bounds(self):
+        tl = CompactTimeline([5])
+        with pytest.raises(IndexError):
+            tl.to_original(1)
+        with pytest.raises(IndexError):
+            tl.to_original(-1)
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=60, unique=True))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, slots):
+        slots = sorted(slots)
+        tl = CompactTimeline(slots)
+        for c, t in enumerate(slots):
+            assert tl.to_compact(t) == c
+            assert tl.to_original(c) == t
+
+    @given(st.lists(st.integers(0, 300), min_size=1, max_size=50, unique=True))
+    @settings(max_examples=60)
+    def test_span_equals_gaps_plus_transmissions(self, slots):
+        tl = CompactTimeline(sorted(slots))
+        assert tl.total_span() == int(tl.gaps().sum()) + len(tl)
+
+
+class TestFdlFromFwl:
+    def test_expected_value_is_half_period_times_fwl(self):
+        # E[FDL | FWL] = T/2 * FWL (Theorem 1's proof).
+        assert expected_fdl_from_fwl(10, 20) == 100.0
+
+    def test_max_is_twice_expected(self):
+        # "Only a factor 2 difference between average and maximum FDL."
+        fwl, period = 7, 12
+        assert max_fdl_from_fwl(fwl, period) == 2 * expected_fdl_from_fwl(fwl, period)
+
+    def test_zero_fwl(self):
+        assert expected_fdl_from_fwl(0, 5) == 0.0
+        assert max_fdl_from_fwl(0, 5) == 0
+
+    @pytest.mark.parametrize("bad_fwl,bad_period", [(-1, 5), (3, 0)])
+    def test_rejects_bad_args(self, bad_fwl, bad_period):
+        with pytest.raises(ValueError):
+            expected_fdl_from_fwl(bad_fwl, bad_period)
+        with pytest.raises(ValueError):
+            max_fdl_from_fwl(bad_fwl, bad_period)

@@ -1,0 +1,179 @@
+"""Tests for Theorem 1, Theorem 2, Table I and Corollary 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fdl import (
+    FdlBounds,
+    fdl_theorem1,
+    fdl_theorem1_series,
+    fdl_theorem2_bounds,
+    fdl_theorem2_series,
+    fwl_multi,
+    knee_point,
+    packet_waiting,
+    single_packet_waitings,
+    waiting_table,
+)
+
+
+class TestTheorem1:
+    def test_below_knee_formula(self):
+        # M < m: T(m/2 + M - 1). N=1024 -> m=11.
+        assert fdl_theorem1(1024, 5, 10) == pytest.approx(10 * (5.5 + 4))
+
+    def test_above_knee_formula(self):
+        # M >= m: T(m + M/2 - 1).
+        assert fdl_theorem1(1024, 20, 10) == pytest.approx(10 * (11 + 9))
+
+    def test_knee_continuity(self):
+        # Both branches agree at M = m.
+        n, period = 1024, 5
+        m = single_packet_waitings(n)
+        below = period * (0.5 * m + m - 1)
+        above = period * (m + 0.5 * m - 1)
+        assert below == pytest.approx(above)
+        assert fdl_theorem1(n, m, period) == pytest.approx(above)
+
+    def test_marginal_delay_halves_after_knee(self):
+        n, period = 1024, 20
+        m = knee_point(n)
+        before = fdl_theorem1(n, m - 1, period) - fdl_theorem1(n, m - 2, period)
+        after = fdl_theorem1(n, m + 5, period) - fdl_theorem1(n, m + 4, period)
+        assert before == pytest.approx(period)
+        assert after == pytest.approx(period / 2)
+
+    def test_linear_in_period(self):
+        assert fdl_theorem1(256, 10, 10) == pytest.approx(
+            2 * fdl_theorem1(256, 10, 5)
+        )
+
+    def test_series_matches_scalar(self):
+        ms = np.arange(1, 25)
+        series = fdl_theorem1_series(512, ms, 7)
+        for i, M in enumerate(ms):
+            assert series[i] == pytest.approx(fdl_theorem1(512, int(M), 7))
+
+    @given(st.integers(2, 4096), st.integers(1, 60), st.integers(1, 100))
+    @settings(max_examples=100)
+    def test_positive_and_monotone_in_m(self, n, M, period):
+        val = fdl_theorem1(n, M, period)
+        nxt = fdl_theorem1(n, M + 1, period)
+        assert val > 0
+        assert nxt > val
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fdl_theorem1(100, 0, 5)
+        with pytest.raises(ValueError):
+            fdl_theorem1(100, 5, 0)
+
+
+class TestTheorem2:
+    def test_bounds_bracket_theorem1(self):
+        # Theorem 1's exact value (power-of-two case) must lie within the
+        # arbitrary-N bounds.
+        for n in (256, 1024):
+            for M in (2, 5, 11, 20, 40):
+                b = fdl_theorem2_bounds(n, M, 5)
+                assert b.lower <= fdl_theorem1(n, M, 5) <= b.upper
+
+    def test_lower_equals_theorem1(self):
+        # The paper's lower bounds coincide with the Theorem 1 forms.
+        for M in (3, 15):
+            assert fdl_theorem2_bounds(1000, M, 8).lower == pytest.approx(
+                fdl_theorem1(1000, M, 8)
+            )
+
+    def test_paper_branch_formulas(self):
+        n, period = 1000, 5
+        m = single_packet_waitings(n)  # 10 for N=1000
+        b_small = fdl_theorem2_bounds(n, m - 2, period)
+        assert b_small.upper == pytest.approx(period * (m + 1.5 * (m - 2) - 1.5))
+        b_large = fdl_theorem2_bounds(n, m + 2, period)
+        assert b_large.upper == pytest.approx(period * (2 * m + 0.5 * (m + 2) - 1))
+
+    def test_series_matches_scalar(self):
+        ms = np.arange(2, 21)
+        lower, upper = fdl_theorem2_series(300, ms, 5)
+        for i, M in enumerate(ms):
+            b = fdl_theorem2_bounds(300, int(M), 5)
+            assert lower[i] == pytest.approx(b.lower)
+            assert upper[i] == pytest.approx(b.upper)
+
+    @given(st.integers(2, 4096), st.integers(1, 60), st.integers(1, 50))
+    @settings(max_examples=100)
+    def test_band_is_valid(self, n, M, period):
+        b = fdl_theorem2_bounds(n, M, period)
+        assert b.lower <= b.upper
+        assert b.width >= 0
+
+    def test_fdlbounds_validation(self):
+        with pytest.raises(ValueError):
+            FdlBounds(lower=5.0, upper=1.0)
+        assert FdlBounds(1.0, 2.0).contains(1.5)
+        assert not FdlBounds(1.0, 2.0).contains(3.0)
+
+
+class TestTableI:
+    def test_small_m_column(self):
+        # M < m: W_p = m + p.
+        n = 1024
+        m = single_packet_waitings(n)
+        table = waiting_table(n, m - 1)
+        assert [w for _, w in table] == [m + p for p in range(m - 1)]
+
+    def test_large_m_saturates(self):
+        # M >= m: W_p = m + (m-1) for p >= m - 1.
+        n = 1024
+        m = single_packet_waitings(n)
+        table = waiting_table(n, m + 10)
+        tail = [w for p, w in table if p >= m - 1]
+        assert all(w == 2 * m - 1 for w in tail)
+
+    def test_packet_waiting_bounds(self):
+        with pytest.raises(IndexError):
+            packet_waiting(5, 100, 5)
+        with pytest.raises(IndexError):
+            packet_waiting(-1, 100, 5)
+
+    @given(st.integers(2, 5000), st.integers(1, 80))
+    @settings(max_examples=80)
+    def test_waitings_monotone_then_flat(self, n, M):
+        ws = [w for _, w in waiting_table(n, M)]
+        diffs = np.diff(ws)
+        assert np.all((diffs == 0) | (diffs == 1))
+        # Once flat, stays flat.
+        if 0 in diffs:
+            first_flat = int(np.flatnonzero(diffs == 0)[0])
+            assert np.all(diffs[first_flat:] == 0)
+
+
+class TestFwlMulti:
+    def test_small_m_formula(self):
+        # FWL = m + 2M - 2 for M < m.
+        n = 1024
+        m = single_packet_waitings(n)
+        assert fwl_multi(n, 4) == m + 2 * 4 - 2
+
+    def test_large_m_formula(self):
+        # FWL = 2m + M - 2 for M >= m.
+        n = 1024
+        m = single_packet_waitings(n)
+        assert fwl_multi(n, m + 7) == 2 * m + (m + 7) - 2
+
+    def test_single_packet_reduces_to_m(self):
+        assert fwl_multi(511, 1) == single_packet_waitings(511)
+
+
+class TestKneePoint:
+    def test_equals_m(self):
+        assert knee_point(1024) == 11
+        assert knee_point(256) == 9
+
+    @given(st.integers(1, 10**5))
+    @settings(max_examples=40)
+    def test_matches_single_packet_waitings(self, n):
+        assert knee_point(n) == single_packet_waitings(n)

@@ -1,0 +1,107 @@
+"""Tests for the FWL closed forms (Lemma 2, Eq. 6, Corollary 1 window)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fwl import (
+    blocking_window,
+    empirical_fwl,
+    fwl_lossy,
+    fwl_mu,
+    fwl_reliable,
+)
+
+
+class TestFwlReliable:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 1), (3, 2), (4, 3), (7, 3), (255, 8), (256, 9), (1023, 10),
+         (1024, 11), (4096, 13)],
+    )
+    def test_known_values(self, n, expected):
+        assert fwl_reliable(n) == expected
+
+    def test_rejects_zero_sensors(self):
+        with pytest.raises(ValueError):
+            fwl_reliable(0)
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=100)
+    def test_equals_ceil_log2(self, n):
+        assert fwl_reliable(n) == math.ceil(math.log2(1 + n))
+
+    @given(st.integers(1, 10**5))
+    @settings(max_examples=60)
+    def test_monotone_in_n(self, n):
+        assert fwl_reliable(n + 1) >= fwl_reliable(n)
+
+
+class TestFwlMu:
+    def test_reduces_to_reliable_at_mu_two(self):
+        for n in (5, 100, 1024):
+            assert fwl_mu(n, 2.0) == fwl_reliable(n)
+
+    def test_paper_fig_semantics_lossier_needs_more_waitings(self):
+        assert fwl_mu(1024, 1.2) > fwl_mu(1024, 1.5) > fwl_mu(1024, 2.0)
+
+    def test_unbounded_as_mu_approaches_one(self):
+        # "FWL is not upper bounded since links can be unlimited lossy."
+        assert fwl_mu(1024, 1.001) > 1000
+
+    @pytest.mark.parametrize("mu", [0.5, 1.0, 2.1])
+    def test_rejects_mu_outside_range(self, mu):
+        with pytest.raises(ValueError):
+            fwl_mu(100, mu)
+
+    @given(st.integers(1, 10**5), st.floats(1.01, 2.0))
+    @settings(max_examples=80)
+    def test_closed_form(self, n, mu):
+        assert fwl_mu(n, mu) == math.ceil(math.log2(1 + n) / math.log2(mu))
+
+
+class TestFwlLossy:
+    def test_is_mu_form_with_one_plus_q(self):
+        assert fwl_lossy(511, 0.5) == fwl_mu(511, 1.5)
+
+    def test_perfect_matches_reliable(self):
+        assert fwl_lossy(511, 1.0) == fwl_reliable(511)
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ValueError):
+            fwl_lossy(10, 0.0)
+        with pytest.raises(ValueError):
+            fwl_lossy(10, 1.5)
+
+
+class TestEmpiricalFwl:
+    def test_matches_lemma2_within_rounding(self):
+        # Lemma 2 holds up to the ceil: the MC mean must fall within one
+        # compact slot of the closed form.
+        rng = np.random.default_rng(99)
+        for q in (0.5, 0.8, 1.0):
+            measured = empirical_fwl(1024, q, n_ensembles=1500, rng=rng).mean()
+            theory = fwl_lossy(1024, q)
+            assert abs(measured - theory) <= 1.0
+
+    def test_perfect_links_deterministic(self):
+        rng = np.random.default_rng(0)
+        times = empirical_fwl(255, 1.0, n_ensembles=10, rng=rng)
+        assert np.all(times == fwl_reliable(255))
+
+
+class TestBlockingWindow:
+    def test_corollary1_value(self):
+        # ceil(log2(1+N)) - 1 packets of bounded blocking.
+        assert blocking_window(1024) == 10
+
+    def test_single_sensor(self):
+        assert blocking_window(1) == 0
+
+    @given(st.integers(1, 10**5))
+    @settings(max_examples=50)
+    def test_nonnegative_and_one_less_than_m(self, n):
+        assert blocking_window(n) == max(fwl_reliable(n) - 1, 0)

@@ -1,0 +1,174 @@
+"""Tests for the Sec. IV-B link-loss recurrence and delay predictor."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linkloss import (
+    delay_inflation_factor,
+    delay_vs_duty_cycle,
+    effective_k,
+    growth_rate,
+    pipeline_saturated,
+    predicted_delay,
+    predicted_delay_asymptotic,
+    recurrence_hitting_time,
+    simulate_recurrence,
+)
+
+
+class TestGrowthRate:
+    def test_golden_ratio_base_case(self):
+        # kT = 1: lambda^2 = lambda + 1 -> golden ratio.
+        assert growth_rate(1.0, 1) == pytest.approx((1 + math.sqrt(5)) / 2)
+
+    def test_root_satisfies_characteristic_equation(self):
+        for k, T in [(1.25, 20), (2.0, 50), (1.0, 5)]:
+            lam = growth_rate(k, T)
+            lag = round(k * T)
+            assert lam ** (lag + 1) == pytest.approx(lam**lag + 1, rel=1e-9)
+
+    def test_in_valid_range(self):
+        for k, T in [(1.0, 1), (2.0, 100)]:
+            lam = growth_rate(k, T)
+            assert 1.0 < lam <= 2.0
+
+    @given(st.floats(1.0, 3.0), st.integers(1, 100))
+    @settings(max_examples=60)
+    def test_decreasing_in_lag(self, k, T):
+        # Larger kT -> slower growth.
+        lam = growth_rate(k, T)
+        lam_worse = growth_rate(k, T + 5)
+        assert lam_worse < lam
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            growth_rate(0.5, 10)
+        with pytest.raises(ValueError):
+            growth_rate(1.5, 0)
+
+
+class TestRecurrence:
+    def test_trajectory_matches_manual_iteration(self):
+        # lag = 2: X = 1,1,1,2,3,5,8 (Fibonacci with delay 2 -> Padovan-ish).
+        x = simulate_recurrence(1.0, 2, 6)
+        assert x.tolist() == [1, 1, 1, 2, 3, 4, 6]
+
+    def test_constant_before_lag(self):
+        x = simulate_recurrence(2.0, 5, 12)
+        assert np.all(x[:11] == 1.0)
+
+    def test_monotone_nondecreasing(self):
+        x = simulate_recurrence(1.5, 4, 60)
+        assert np.all(np.diff(x) >= 0)
+
+    def test_growth_matches_eigenvalue_asymptotically(self):
+        k, T = 1.0, 3
+        lam = growth_rate(k, T)
+        x = simulate_recurrence(k, T, 400)
+        ratio = x[-1] / x[-2]
+        assert ratio == pytest.approx(lam, rel=1e-3)
+
+
+class TestHittingTime:
+    def test_rejects_zero_sensors(self):
+        with pytest.raises(ValueError):
+            recurrence_hitting_time(0, 1.0, 5)
+
+    def test_consistent_with_trajectory(self):
+        n, k, T = 100, 1.5, 10
+        t_hit = recurrence_hitting_time(n, k, T)
+        x = simulate_recurrence(k, T, t_hit + 5)
+        assert x[t_hit] >= 1 + n
+        assert x[t_hit - 1] < 1 + n
+
+    def test_alias(self):
+        assert predicted_delay(298, 2.0, 20) == recurrence_hitting_time(
+            298, 2.0, 20
+        )
+
+    @given(st.integers(1, 5000), st.floats(1.0, 3.0), st.integers(1, 50))
+    @settings(max_examples=60, deadline=2000)
+    def test_monotone_in_all_parameters(self, n, k, T):
+        base = recurrence_hitting_time(n, k, T)
+        assert recurrence_hitting_time(n + 100, k, T) >= base
+        assert recurrence_hitting_time(n, k + 0.5, T) >= base
+        assert recurrence_hitting_time(n, k, T + 5) >= base
+
+    def test_asymptotic_tracks_exact(self):
+        for k, T in [(1.25, 20), (2.0, 10)]:
+            exact = recurrence_hitting_time(4096, k, T)
+            approx = predicted_delay_asymptotic(4096, k, T)
+            lag = round(k * T)
+            # Exact includes the warm-up transient (~lag slots).
+            assert abs(exact - approx) <= lag + 2
+
+
+class TestFig7Series:
+    def test_shape_matches_paper(self):
+        duties = (0.02, 0.05, 0.10, 0.20)
+        ks = (1.25, 1.42, 1.67, 2.0)
+        grid = delay_vs_duty_cycle(298, duties, ks)
+        assert grid.shape == (4, 4)
+        # Worse links strictly above better links everywhere.
+        assert np.all(np.diff(grid, axis=0) > 0)
+        # Delay falls as the duty cycle rises.
+        assert np.all(np.diff(grid, axis=1) < 0)
+        # The k-spread widens as duty shrinks (loss magnifies duty delay).
+        spread = grid[-1] - grid[0]
+        assert spread[0] > spread[-1]
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            delay_vs_duty_cycle(10, (0.0,), (1.5,))
+
+
+class TestEffectiveK:
+    def test_homogeneous(self):
+        assert effective_k(np.asarray([0.5, 0.5])) == pytest.approx(2.0)
+
+    def test_mean_of_inverse(self):
+        prr = np.asarray([1.0, 0.5])
+        assert effective_k(prr) == pytest.approx(1.5)
+
+    def test_ignores_zeros(self):
+        prr = np.asarray([0.0, 0.5])
+        assert effective_k(prr) == pytest.approx(2.0)
+
+    def test_rejects_empty_or_invalid(self):
+        with pytest.raises(ValueError):
+            effective_k(np.asarray([0.0]))
+        with pytest.raises(ValueError):
+            effective_k(np.asarray([1.5]))
+
+
+class TestPipelineSaturation:
+    def test_back_to_back_injection_always_saturates(self):
+        # Generation gap 0: service can never keep up slot-for-slot.
+        assert pipeline_saturated(298, 1.0, 20, 0)
+
+    def test_slow_injection_not_saturated(self):
+        assert not pipeline_saturated(298, 1.0, 20, 1000)
+
+    def test_loss_pushes_into_saturation(self):
+        # A gap that perfect links sustain but k = 2 does not.
+        T = 20
+        gap = round(1.5 * T)
+        assert not pipeline_saturated(298, 1.0, T, gap)
+        assert pipeline_saturated(298, 2.0, T, gap)
+
+
+class TestInflation:
+    def test_no_inflation_for_perfect_links(self):
+        assert delay_inflation_factor(1.0, 20) == pytest.approx(1.0)
+
+    def test_grows_with_k(self):
+        assert (
+            delay_inflation_factor(2.0, 20)
+            > delay_inflation_factor(1.5, 20)
+            > delay_inflation_factor(1.1, 20)
+            > 1.0
+        )

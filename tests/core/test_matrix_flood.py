@@ -1,0 +1,170 @@
+"""Tests for Algorithm 1 (matrix-based flooding) and the half-duplex split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fdl import fwl_multi
+from repro.core.fwl import fwl_reliable
+from repro.core.matrix_flood import (
+    MatrixFloodSimulator,
+    classify_slot,
+    split_half_duplex,
+)
+
+
+class TestLemma3:
+    @pytest.mark.parametrize("n_sensors", [2, 4, 8, 16, 32, 64])
+    @pytest.mark.parametrize("n_packets", [1, 2, 5, 12])
+    def test_achieves_limit_for_powers_of_two(self, n_sensors, n_packets):
+        # Lemma 3: M + m - 1 compact slots, exactly.
+        result = MatrixFloodSimulator(n_sensors).run(n_packets)
+        assert result.achieves_lemma3
+        assert result.compact_slots == n_packets + result.m - 1
+
+    @pytest.mark.parametrize("n_sensors", [4, 16, 64])
+    def test_every_packet_takes_exactly_m_slots(self, n_sensors):
+        # Packet p is injected at c = p and completes at c = p + m - 1.
+        result = MatrixFloodSimulator(n_sensors).run(8)
+        expected = np.arange(8) + result.m - 1
+        assert np.array_equal(result.completion_slot, expected)
+        assert np.all(result.per_packet_waitings() == result.m)
+
+    def test_single_sensor_network(self):
+        result = MatrixFloodSimulator(1).run(3)
+        assert result.compact_slots == 3  # one delivery per slot
+
+    def test_paper_fig3_example(self):
+        # N = 4, M = 2: four compact slots total (M + m - 1 = 2 + 3 - 1).
+        result = MatrixFloodSimulator(4).run(2, record_history=True)
+        assert result.m == 3
+        assert result.compact_slots == 4
+        history = result.possession_history
+        # c=0: only the source holds packet 0.
+        assert history[0][0].tolist() == [True, False, False, False, False]
+        # Final snapshot: everyone holds everything.
+        assert history[-1].all()
+
+    def test_history_is_monotone(self):
+        result = MatrixFloodSimulator(8).run(4, record_history=True)
+        prev = None
+        for snap in result.possession_history:
+            if prev is not None:
+                assert np.all(snap >= prev)  # possession never lost
+            prev = snap
+
+    def test_transmissions_have_valid_endpoints(self):
+        result = MatrixFloodSimulator(8).run(4)
+        for slot_txs in result.transmissions:
+            senders = [s for s, _, _ in slot_txs]
+            assert len(senders) == len(set(senders))  # one TX per sender
+            for s, r, p in slot_txs:
+                assert 0 <= s < 8  # residues 0..N-1 send
+                assert 1 <= r <= 8  # sensors receive
+                assert s != r
+                assert 0 <= p < 4
+
+
+class TestNonPowerOfTwo:
+    @pytest.mark.parametrize("n_sensors", [3, 5, 6, 7, 12, 100])
+    def test_completes_for_arbitrary_n(self, n_sensors):
+        result = MatrixFloodSimulator(n_sensors).run(5)
+        assert np.all(result.completion_slot >= 0)
+
+    @pytest.mark.parametrize("n_sensors", [3, 5, 11, 23])
+    def test_compact_count_reasonable(self, n_sensors):
+        # Algorithm 1 is only provably optimal for N = 2^n; for arbitrary
+        # N it still finishes within a modest multiple of the limit
+        # (the straggler round-robin adds at most ~m extra sweeps).
+        M = 6
+        result = MatrixFloodSimulator(n_sensors).run(M)
+        assert result.compact_slots >= M  # at least one slot per injection
+        assert result.compact_slots <= (M + result.m) * result.m
+        assert result.compact_slots >= fwl_multi(n_sensors, 1)  # >= single m
+
+
+class TestHalfDuplex:
+    def test_expansion_counts_type2_slots(self):
+        result = MatrixFloodSimulator(4).run(2)
+        n_type2 = sum(
+            1 for txs in result.transmissions if classify_slot(txs) == 2
+        )
+        assert result.half_duplex_slots == result.compact_slots + n_type2
+
+    def test_paper_example_has_type2_slot(self):
+        # The paper points at slot c=2 of Fig. 3 as type 2.
+        result = MatrixFloodSimulator(4).run(2)
+        kinds = [classify_slot(txs) for txs in result.transmissions]
+        assert 2 in kinds
+        assert kinds[0] == 1  # the very first slot is always type 1
+
+    def test_expansion_bounded_by_double(self):
+        for n in (8, 16):
+            result = MatrixFloodSimulator(n).run(10)
+            assert result.compact_slots <= result.half_duplex_slots
+            assert result.half_duplex_slots <= 2 * result.compact_slots
+
+
+class TestClassifySlot:
+    def test_type1_examples(self):
+        assert classify_slot([]) == 1
+        assert classify_slot([(0, 1, 0)]) == 1
+        assert classify_slot([(0, 1, 0), (2, 3, 0)]) == 1
+
+    def test_type2_examples(self):
+        assert classify_slot([(0, 1, 0), (1, 2, 0)]) == 2
+
+
+class TestSplitHalfDuplex:
+    def test_chain_alternates(self):
+        txs = [(0, 1, 0), (1, 2, 0), (2, 3, 0)]
+        first, second = split_half_duplex(txs)
+        assert sorted(first + second) == sorted(txs)
+        for half in (first, second):
+            senders = {s for s, _, _ in half}
+            receivers = {r for _, r, _ in half}
+            assert not senders & receivers
+
+    def test_even_cycle_splits(self):
+        txs = [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]
+        first, second = split_half_duplex(txs)
+        assert len(first) == len(second) == 2
+
+    def test_odd_cycle_rejected(self):
+        txs = [(0, 1, 0), (1, 2, 0), (2, 0, 0)]
+        with pytest.raises(ValueError):
+            split_half_duplex(txs)
+
+    def test_duplicate_sender_rejected(self):
+        with pytest.raises(ValueError):
+            split_half_duplex([(0, 1, 0), (0, 2, 0)])
+
+    def test_empty(self):
+        first, second = split_half_duplex([])
+        assert first == [] and second == []
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=20)
+    def test_algorithm1_slots_always_splittable(self, log_n):
+        # Every slot Algorithm 1 produces can be split (its cycles have
+        # power-of-two length).
+        n = 2**log_n
+        result = MatrixFloodSimulator(n).run(4)
+        for txs in result.transmissions:
+            first, second = split_half_duplex(txs)
+            assert sorted(first + second) == sorted(txs)
+
+
+class TestValidation:
+    def test_rejects_zero_sensors(self):
+        with pytest.raises(ValueError):
+            MatrixFloodSimulator(0)
+
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            MatrixFloodSimulator(4).run(0)
+
+    def test_is_power_of_two_flag(self):
+        assert MatrixFloodSimulator(8).is_power_of_two
+        assert not MatrixFloodSimulator(6).is_power_of_two

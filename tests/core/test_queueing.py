@@ -1,0 +1,110 @@
+"""Tests for the source-queue (K_p) analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queueing import (
+    dd1_queue_waits,
+    dd1_start_times,
+    expected_queue_wait,
+    queue_is_stable,
+    saturation_interval,
+)
+
+
+class TestDd1:
+    def test_back_to_back_serializes(self):
+        assert dd1_start_times(4, 0, 5).tolist() == [0, 5, 10, 15]
+
+    def test_slow_generation_never_queues(self):
+        starts = dd1_start_times(5, 20, 5)
+        assert starts.tolist() == [0, 20, 40, 60, 80]
+        assert dd1_queue_waits(5, 20, 5).tolist() == [0] * 5
+
+    def test_critical_interval_exactly_stable(self):
+        # g == s: each packet arrives as its predecessor finishes.
+        assert dd1_queue_waits(6, 5, 5).tolist() == [0] * 6
+
+    def test_unstable_waits_grow_linearly(self):
+        waits = dd1_queue_waits(10, 3, 5)
+        assert np.all(np.diff(waits) == 2)  # deficit of s - g per packet
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dd1_start_times(0, 1, 1)
+        with pytest.raises(ValueError):
+            dd1_start_times(1, -1, 1)
+        with pytest.raises(ValueError):
+            dd1_start_times(1, 1, 0)
+
+    @given(st.integers(1, 40), st.integers(0, 30), st.integers(1, 20))
+    @settings(max_examples=80)
+    def test_starts_are_feasible_and_ordered(self, M, g, s):
+        starts = dd1_start_times(M, g, s)
+        gens = np.arange(M) * g
+        assert np.all(starts >= gens)  # causality
+        assert np.all(np.diff(starts) >= s)  # one at a time
+
+    @given(st.integers(2, 40), st.integers(0, 30), st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_stability_dichotomy(self, M, g, s):
+        waits = dd1_queue_waits(M, g, s)
+        if g >= s:
+            assert np.all(waits == 0)
+        else:
+            assert waits[-1] == (M - 1) * (s - g)
+
+
+class TestSaturation:
+    def test_interval_is_ktee(self):
+        assert saturation_interval(2.0, 20) == 40
+        assert saturation_interval(1.0, 20) == 20
+
+    def test_stability_matches_paper_regimes(self):
+        # The paper: loss can push a previously-sustainable rate into the
+        # unbounded-blocking regime.
+        T, gap = 20, 30
+        assert queue_is_stable(gap, 1.0, T)
+        assert not queue_is_stable(gap, 2.0, T)
+
+    def test_expected_wait_zero_when_stable(self):
+        assert expected_queue_wait(50, 100, 1.5, 20) == 0.0
+
+    def test_expected_wait_grows_with_m_when_unstable(self):
+        small = expected_queue_wait(10, 0, 1.5, 20)
+        large = expected_queue_wait(100, 0, 1.5, 20)
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation_interval(0.5, 10)
+        with pytest.raises(ValueError):
+            queue_is_stable(-1, 1.5, 10)
+
+
+class TestAgainstEngine:
+    def test_source_first_tx_matches_dd1_on_star(self):
+        """On a lossless star at 100% duty, the source is literally a
+        D/D/1 server with unit service time: measured first transmissions
+        equal the analytic departure schedule."""
+        from repro.net.generators import star_topology
+        from repro.net.packet import FloodWorkload
+        from repro.net.schedule import ScheduleTable
+        from repro.protocols.opt import OptOracle, opt_radio_model
+        from repro.sim.engine import SimConfig, run_flood
+
+        n_sensors, M = 3, 5
+        topo = star_topology(n_sensors, prr=1.0)
+        schedules = ScheduleTable(period=1, offsets=[0] * (n_sensors + 1))
+        result = run_flood(
+            topo, schedules, FloodWorkload(M),
+            OptOracle(server_policy="any"), np.random.default_rng(0),
+            SimConfig(coverage_target=1.0,
+                      radio=opt_radio_model(lossless=True, overhearing=False)),
+        )
+        first_tx = result.metrics.delays.first_tx
+        # One packet enters service per slot (unit service at the source).
+        expected = dd1_start_times(M, 0, 1)
+        assert np.array_equal(first_tx, expected)

@@ -1,0 +1,95 @@
+"""Tests for the duty-cycle trade-off instrument (future-work direction 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tradeoff import (
+    EnergyModel,
+    GainWeights,
+    gain_curve,
+    lifetime_slots,
+    networking_gain,
+    optimal_duty_cycle,
+)
+
+
+class TestEnergyModel:
+    def test_power_draw_monotone_in_duty(self):
+        model = EnergyModel()
+        draws = [model.power_draw(d) for d in (0.01, 0.05, 0.2, 1.0)]
+        assert all(a < b for a, b in zip(draws, draws[1:]))
+
+    def test_always_on_draw(self):
+        model = EnergyModel(sleep_power=0.0, flood_tx_per_slot=0.0)
+        assert model.power_draw(1.0) == pytest.approx(model.active_power)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(battery_capacity=0)
+        with pytest.raises(ValueError):
+            EnergyModel(sleep_power=2.0, active_power=1.0)
+        with pytest.raises(ValueError):
+            EnergyModel().power_draw(0.0)
+
+
+class TestLifetime:
+    def test_roughly_linear_in_inverse_duty(self):
+        # The paper: "system lifetime linearly increases as duty shrinks".
+        model = EnergyModel(sleep_power=0.0, flood_tx_per_slot=0.0)
+        l5 = lifetime_slots(0.05, model)
+        l10 = lifetime_slots(0.10, model)
+        assert l5 / l10 == pytest.approx(2.0)
+
+    def test_sleep_power_caps_lifetime(self):
+        model = EnergyModel(sleep_power=0.01)
+        cap = model.battery_capacity / model.power_draw(1e-9) if False else None
+        # With nonzero sleep power, halving the duty less-than-doubles life.
+        assert lifetime_slots(0.01, model) < 2 * lifetime_slots(0.02, model)
+
+
+class TestGain:
+    def test_interior_maximum_exists(self):
+        # The paper's conclusion: the benefit curve is not monotone — an
+        # extremely low duty cycle is not always beneficial.
+        duties = np.geomspace(0.01, 0.5, 24)
+        points = gain_curve(duties, n_sensors=298, k=1.7)
+        gains = np.asarray([pt.gain for pt in points])
+        best = int(gains.argmax())
+        assert 0 < best < gains.size - 1
+
+    def test_weights_shift_the_optimum(self):
+        # Valuing lifetime more pushes the optimal duty cycle lower.
+        low = optimal_duty_cycle(298, 1.7, GainWeights(lifetime_weight=3.0))
+        high = optimal_duty_cycle(298, 1.7, GainWeights(delay_weight=3.0))
+        assert low.duty_ratio <= high.duty_ratio
+
+    def test_point_fields_consistent(self):
+        pt = networking_gain(0.05, 298, 1.5)
+        assert pt.period == 20
+        assert pt.lifetime > 0 and pt.delay > 0
+
+    def test_optimum_beats_endpoints(self):
+        best = optimal_duty_cycle(298, 1.7, duty_min=0.01, duty_max=0.5)
+        lo = networking_gain(0.01, 298, 1.7)
+        hi = networking_gain(0.5, 298, 1.7)
+        assert best.gain >= lo.gain and best.gain >= hi.gain
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            GainWeights(lifetime_weight=-1.0)
+        with pytest.raises(ValueError):
+            GainWeights(lifetime_weight=0.0, delay_weight=0.0)
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            optimal_duty_cycle(100, 1.5, duty_min=0.5, duty_max=0.1)
+        with pytest.raises(ValueError):
+            optimal_duty_cycle(100, 1.5, n_grid=1)
+
+    @given(st.floats(1.0, 3.0))
+    @settings(max_examples=20, deadline=5000)
+    def test_optimum_within_requested_range(self, k):
+        best = optimal_duty_cycle(200, k, duty_min=0.02, duty_max=0.25)
+        assert 0.02 <= best.duty_ratio <= 0.25 + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for the extension experiments (hetero, bursty, data overhearing)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment_by_id
+from repro.experiments.hetero import homogenize
+
+
+class TestRegistryExtensions:
+    def test_extension_ids_present(self):
+        ids = experiment_ids()
+        for eid in ("skew", "hetero", "abl-bursty", "abl-data-overhearing"):
+            assert eid in ids
+
+
+class TestHomogenize:
+    def test_same_adjacency_uniform_prr(self, small_rgg):
+        homog = homogenize(small_rgg)
+        assert np.array_equal(homog.adjacency, small_rgg.adjacency)
+        prrs = homog.prr[homog.adjacency]
+        assert np.allclose(prrs, prrs[0])
+        assert prrs[0] == pytest.approx(small_rgg.mean_prr())
+
+    def test_positions_preserved(self, small_rgg):
+        homog = homogenize(small_rgg)
+        assert np.array_equal(homog.positions, small_rgg.positions)
+
+
+class TestHeteroExperiment:
+    def test_shapes(self):
+        r = run_experiment_by_id("hetero", scale="smoke")
+        het = r.get_series("heterogeneous trace")
+        hom = r.get_series("homogenized twin")
+        bound = r.get_series("analytic lower bound")
+        # Everything above the analytic bound.
+        assert np.all(het.y >= bound.y * 0.75)
+        assert np.all(hom.y >= bound.y * 0.75)
+        # The k-class table shows the Jensen gap E[1/q] > 1/E[q].
+        ks = r.tables[0].column("k")
+        assert ks[0] > ks[1]
+
+
+class TestBurstyExperiment:
+    def test_bursts_hurt_at_matched_mean(self):
+        r = run_experiment_by_id("abl-bursty", scale="smoke")
+        delays = r.get_series("avg delay").y
+        # Static mean-matched (index 0) <= bursty (index 1), with slack
+        # for small-sample noise.
+        assert delays[1] >= delays[0] * 0.85
+        assert 0.0 < r.metadata["long_run_prr_scale"] <= 1.0
+
+
+class TestDataOverhearingExperiment:
+    def test_overhearing_not_slower(self):
+        r = run_experiment_by_id("abl-data-overhearing", scale="smoke")
+        delays = r.get_series("avg delay").y
+        assert delays[1] <= delays[0] * 1.15

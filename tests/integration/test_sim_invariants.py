@@ -1,0 +1,129 @@
+"""Property-based invariants of the simulation engine.
+
+These run whole floods on randomized small substrates and check model
+invariants that must hold for *every* protocol and every draw:
+
+* receptions only happen at the receiver's active slots;
+* a relay never forwards a packet before it received it (causality);
+* possession only grows, and completed packets stay completed;
+* the energy ledger is consistent with the metric counters;
+* FCFS at the source: first transmissions happen in packet order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.generators import line_topology, random_geometric_topology
+from repro.net.packet import FloodWorkload
+from repro.net.schedule import ScheduleTable
+from repro.net.topology import SOURCE
+from repro.protocols import make_protocol
+from repro.sim.engine import SimConfig, run_flood
+from repro.sim.events import EventKind
+
+PROTOCOLS = ("opt", "dbao", "of", "dca", "naive", "crosslayer")
+
+
+def small_flood(protocol: str, seed: int, n_sensors: int = 10, period: int = 6,
+                n_packets: int = 3):
+    rng = np.random.default_rng(seed)
+    topo = random_geometric_topology(
+        n_sensors + 1, area_m=150.0, rng=rng, neighbor_threshold=0.2
+    )
+    schedules = ScheduleTable.random(topo.n_nodes, period, rng)
+    proto = make_protocol(protocol)
+    from repro.protocols.opt import opt_radio_model
+
+    radio = opt_radio_model() if protocol == "opt" else None
+    config = SimConfig(track_events=True, max_slots=30_000,
+                       **({"radio": radio} if radio else {}))
+    result = run_flood(
+        topo, schedules, FloodWorkload(n_packets), proto,
+        np.random.default_rng(seed + 1), config,
+    )
+    return topo, schedules, result
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("seed", [1, 2])
+class TestUniversalInvariants:
+    def test_receptions_at_active_slots(self, protocol, seed):
+        topo, schedules, result = small_flood(protocol, seed)
+        for e in result.events:
+            if e.kind in (EventKind.DELIVER, EventKind.OVERHEAR,
+                          EventKind.DUPLICATE):
+                assert schedules.is_active(e.receiver, e.t), (
+                    f"{protocol}: node {e.receiver} received at slot {e.t} "
+                    f"while dormant"
+                )
+
+    def test_causality_no_forwarding_before_reception(self, protocol, seed):
+        topo, schedules, result = small_flood(protocol, seed)
+        arrival = result.arrival
+        for e in result.events:
+            if e.kind is EventKind.TX and e.sender != SOURCE:
+                got_at = arrival[e.packet, e.sender]
+                assert 0 <= got_at <= e.t, (
+                    f"{protocol}: node {e.sender} transmitted packet "
+                    f"{e.packet} at t={e.t} but received it at {got_at}"
+                )
+
+    def test_source_first_transmissions_in_fcfs_order(self, protocol, seed):
+        topo, schedules, result = small_flood(protocol, seed)
+        first_tx = result.metrics.delays.first_tx
+        pushed = first_tx[first_tx >= 0]
+        assert np.all(np.diff(pushed) >= 0)
+
+    def test_ledger_matches_metrics(self, protocol, seed):
+        topo, schedules, result = small_flood(protocol, seed)
+        assert result.ledger.total_tx == result.metrics.tx_attempts
+        assert result.ledger.total_failures == result.metrics.tx_failures
+        result.ledger.validate()
+
+    def test_transmissions_respect_links(self, protocol, seed):
+        topo, schedules, result = small_flood(protocol, seed)
+        for e in result.events:
+            if e.kind is EventKind.TX:
+                assert topo.has_link(e.sender, e.receiver), (
+                    f"{protocol}: transmission over non-existent link "
+                    f"{e.sender}->{e.receiver}"
+                )
+
+
+class TestRandomizedCompletion:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dbao_always_completes_on_chains(self, seed):
+        # Chains are the adversarial case (single path, no diversity).
+        topo = line_topology(5, prr=0.8)
+        rng = np.random.default_rng(seed)
+        schedules = ScheduleTable.random(topo.n_nodes, 5, rng)
+        result = run_flood(
+            topo, schedules, FloodWorkload(2), make_protocol("dbao"),
+            np.random.default_rng(seed + 1),
+            SimConfig(coverage_target=1.0, max_slots=50_000),
+        )
+        assert result.completed
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_possession_monotone_under_any_seed(self, seed):
+        topo, schedules, result = None, None, None
+        topo = line_topology(4, prr=0.9)
+        rng = np.random.default_rng(seed)
+        schedules = ScheduleTable.random(topo.n_nodes, 4, rng)
+        result = run_flood(
+            topo, schedules, FloodWorkload(2), make_protocol("of"),
+            np.random.default_rng(seed + 1),
+            SimConfig(coverage_target=1.0, max_slots=50_000,
+                      track_events=True),
+        )
+        assert result.completed
+        # Arrival slots are consistent with DELIVER events.
+        for e in result.events:
+            if e.kind is EventKind.DELIVER:
+                assert result.arrival[e.packet, e.receiver] <= e.t

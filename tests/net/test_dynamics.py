@@ -1,0 +1,124 @@
+"""Tests for Gilbert-Elliott link dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.net.dynamics import GilbertElliott
+from repro.net.generators import line_topology
+
+
+@pytest.fixture
+def dyn(line5):
+    return GilbertElliott(
+        line5, p_good_to_bad=0.1, p_bad_to_good=0.3, bad_factor=0.2,
+        rng=np.random.default_rng(0), start_stationary=False,
+    )
+
+
+class TestConstruction:
+    def test_link_count_matches_adjacency(self, line5, dyn):
+        assert dyn.n_links == int(line5.adjacency.sum())
+
+    def test_validation(self, line5):
+        with pytest.raises(ValueError):
+            GilbertElliott(line5, p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliott(line5, p_bad_to_good=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(line5, bad_factor=-0.1)
+
+    def test_stationary_fraction(self, line5):
+        dyn = GilbertElliott(line5, p_good_to_bad=0.02, p_bad_to_good=0.08)
+        assert dyn.stationary_bad_fraction == pytest.approx(0.2)
+
+    def test_long_run_scale(self, line5):
+        dyn = GilbertElliott(
+            line5, p_good_to_bad=0.02, p_bad_to_good=0.08, bad_factor=0.5
+        )
+        assert dyn.long_run_prr_scale() == pytest.approx(0.8 + 0.2 * 0.5)
+
+
+class TestStateEvolution:
+    def test_all_good_initially_when_not_stationary(self, dyn):
+        assert dyn.bad_fraction() == 0.0
+        assert dyn.gain(0, 1) == 1.0
+
+    def test_gain_values(self, dyn):
+        for _ in range(100):
+            dyn.step()
+        for s, r in ((0, 1), (1, 2), (2, 3)):
+            assert dyn.gain(s, r) in (1.0, 0.2)
+
+    def test_non_link_has_zero_gain(self, dyn):
+        assert dyn.gain(0, 3) == 0.0
+        assert dyn.effective_prr(0, 3) == 0.0
+
+    def test_effective_prr_scales_nominal(self, line5):
+        dyn = GilbertElliott(line5, bad_factor=0.25,
+                             rng=np.random.default_rng(1),
+                             start_stationary=False)
+        assert dyn.effective_prr(0, 1) == pytest.approx(line5.link_prr(0, 1))
+
+    def test_empirical_bad_fraction_converges(self, line5):
+        dyn = GilbertElliott(
+            line5, p_good_to_bad=0.05, p_bad_to_good=0.15,
+            rng=np.random.default_rng(2), start_stationary=True,
+        )
+        fractions = []
+        for _ in range(4000):
+            dyn.step()
+            fractions.append(dyn.bad_fraction())
+        assert np.mean(fractions) == pytest.approx(
+            dyn.stationary_bad_fraction, abs=0.08
+        )
+
+    def test_bursts_are_correlated(self, line5):
+        # Consecutive-slot states of one link are positively correlated.
+        dyn = GilbertElliott(
+            line5, p_good_to_bad=0.05, p_bad_to_good=0.1,
+            rng=np.random.default_rng(3), start_stationary=True,
+        )
+        states = []
+        for _ in range(5000):
+            dyn.step()
+            states.append(dyn.gain(0, 1) < 1.0)
+        states = np.asarray(states, dtype=float)
+        a, b = states[:-1], states[1:]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.3
+
+
+class TestEngineIntegration:
+    def test_flood_completes_under_bursts(self, line5):
+        from repro.net.packet import FloodWorkload
+        from repro.net.schedule import ScheduleTable
+        from repro.protocols import make_protocol
+        from repro.sim.engine import SimConfig, run_flood
+
+        rng = np.random.default_rng(4)
+        schedules = ScheduleTable.random(line5.n_nodes, 5, rng)
+        dyn = GilbertElliott(line5, rng=np.random.default_rng(5))
+        result = run_flood(
+            line5, schedules, FloodWorkload(2), make_protocol("dbao"),
+            np.random.default_rng(6),
+            SimConfig(coverage_target=1.0, max_slots=100_000),
+            dynamics=dyn,
+        )
+        assert result.completed
+
+    def test_outage_blocks_link(self, line5):
+        # bad_factor=0 and a permanently-bad link: nothing gets through.
+        from repro.net.radio import RadioModel, Transmission, resolve_slot
+
+        dyn = GilbertElliott(
+            line5, p_good_to_bad=1.0, p_bad_to_good=1e-9, bad_factor=0.0,
+            rng=np.random.default_rng(7), start_stationary=False,
+        )
+        dyn.step()  # everyone transitions to BAD
+        rng = np.random.default_rng(8)
+        out = resolve_slot(
+            [Transmission(0, 1, 0)], line5, awake=[1], rng=rng,
+            model=RadioModel(), dynamics=dyn,
+        )
+        assert out.receptions == []
+        assert out.n_failures == 1

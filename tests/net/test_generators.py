@@ -1,0 +1,136 @@
+"""Tests for topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import (
+    binary_tree_topology,
+    clustered_positions,
+    grid_topology,
+    line_topology,
+    positions_to_topology,
+    random_geometric_topology,
+    star_topology,
+)
+from repro.net.links import RadioParameters
+
+
+class TestSimpleShapes:
+    def test_line(self):
+        topo = line_topology(4)
+        assert topo.n_sensors == 4
+        assert topo.has_link(0, 1) and topo.has_link(1, 0)
+        assert not topo.has_link(0, 2)
+        assert topo.hop_distances_from_source().tolist() == [0, 1, 2, 3, 4]
+
+    def test_star(self):
+        topo = star_topology(6)
+        assert topo.out_neighbors(0).tolist() == [1, 2, 3, 4, 5, 6]
+        assert topo.out_neighbors(3).tolist() == [0]
+
+    def test_binary_tree(self):
+        topo = binary_tree_topology(depth=3)
+        assert topo.n_nodes == 15
+        # Root links to 1 and 2.
+        assert topo.out_neighbors(0).tolist() == [1, 2]
+        assert topo.is_connected_from_source()
+
+    def test_binary_tree_validation(self):
+        with pytest.raises(ValueError):
+            binary_tree_topology(depth=0)
+
+    def test_lossy_variants(self):
+        assert line_topology(3, prr=0.5).mean_prr() == pytest.approx(0.5)
+
+
+class TestGrid:
+    def test_perfect_grid_structure(self):
+        topo = grid_topology(3, 4, perfect_links=True)
+        assert topo.n_nodes == 12
+        # Corner has 2 neighbors, center has 4.
+        assert topo.out_neighbors(0).size == 2
+        assert topo.out_neighbors(5).size == 4
+        assert topo.is_connected_from_source()
+
+    def test_physical_grid(self, rng):
+        topo = grid_topology(4, 4, spacing_m=20.0, rng=rng)
+        assert topo.n_nodes == 16
+        assert topo.positions is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 4)
+
+
+class TestRgg:
+    def test_source_at_center(self, rng):
+        topo = random_geometric_topology(40, 300.0, rng=rng)
+        assert np.allclose(topo.positions[0], [150.0, 150.0])
+
+    def test_deterministic_given_rng(self):
+        a = random_geometric_topology(30, 200.0, rng=np.random.default_rng(5))
+        b = random_geometric_topology(30, 200.0, rng=np.random.default_rng(5))
+        assert np.array_equal(a.prr, b.prr)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_geometric_topology(1, 100.0, rng=rng)
+        with pytest.raises(ValueError):
+            random_geometric_topology(10, 0.0, rng=rng)
+
+
+class TestPositionsToTopology:
+    def test_close_nodes_linked(self, rng):
+        pos = np.asarray([[0.0, 0.0], [5.0, 0.0], [1000.0, 1000.0]])
+        topo = positions_to_topology(pos, RadioParameters(), rng)
+        assert topo.has_link(0, 1)
+        assert not topo.has_link(0, 2)
+
+    def test_rssi_populated(self, rng):
+        pos = np.asarray([[0.0, 0.0], [10.0, 0.0]])
+        topo = positions_to_topology(pos, RadioParameters(), rng)
+        assert topo.rssi is not None
+        assert np.isfinite(topo.link_rssi(0, 1))
+
+    def test_no_shadowing_is_deterministic(self):
+        pos = np.asarray([[0.0, 0.0], [30.0, 0.0], [0.0, 30.0]])
+        radio = RadioParameters(shadowing_sigma_db=0.0)
+        a = positions_to_topology(pos, radio)
+        b = positions_to_topology(pos, radio)
+        assert np.array_equal(a.prr, b.prr)
+
+    def test_symmetric_shadowing(self, rng):
+        pos = np.asarray([[0.0, 0.0], [40.0, 0.0], [0.0, 40.0]])
+        topo = positions_to_topology(
+            pos, RadioParameters(), rng, symmetric_shadowing=True
+        )
+        # With symmetric shadowing, PRR is symmetric too.
+        assert np.allclose(topo.prr, topo.prr.T)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            positions_to_topology(np.zeros((3, 3)), RadioParameters(), rng)
+
+
+class TestClusteredPositions:
+    def test_within_bounds(self, rng):
+        pos = clustered_positions(200, 500.0, 8, 40.0, rng)
+        assert pos.shape == (200, 2)
+        assert np.all(pos >= 0.0) and np.all(pos <= 500.0)
+
+    def test_clustering_is_tighter_than_uniform(self, rng):
+        clustered = clustered_positions(300, 500.0, 4, 20.0, rng,
+                                        background_fraction=0.0)
+        uniform = rng.uniform(0, 500.0, size=(300, 2))
+        # Mean nearest-neighbor distance is smaller under clustering.
+        def mean_nn(pos):
+            d = np.sqrt(((pos[:, None] - pos[None]) ** 2).sum(-1))
+            np.fill_diagonal(d, np.inf)
+            return d.min(axis=1).mean()
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            clustered_positions(10, 100.0, 0, 10.0, rng)
+        with pytest.raises(ValueError):
+            clustered_positions(10, 100.0, 2, 10.0, rng, background_fraction=1.5)

@@ -1,0 +1,116 @@
+"""Tests for multi-active-slot schedule tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.multislot import MultiSlotScheduleTable
+from repro.net.schedule import ScheduleTable
+
+
+@pytest.fixture
+def table(rng):
+    return MultiSlotScheduleTable.random(8, 20, 3, rng)
+
+
+class TestConstruction:
+    def test_random_shape_and_duty(self, table):
+        assert len(table) == 8
+        assert table.slots_per_period == 3
+        assert table.duty_ratio == pytest.approx(0.15)
+
+    def test_duplicate_slots_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiSlotScheduleTable(10, np.asarray([[1, 1]]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSlotScheduleTable(10, np.asarray([[0, 10]]))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MultiSlotScheduleTable.random(0, 10, 2, rng)
+        with pytest.raises(ValueError):
+            MultiSlotScheduleTable.random(5, 10, 11, rng)
+        with pytest.raises(ValueError):
+            MultiSlotScheduleTable(0, np.asarray([[0]]))
+
+    def test_from_single_roundtrip(self, rng):
+        single = ScheduleTable.random(6, 12, rng)
+        multi = MultiSlotScheduleTable.from_single(single)
+        for t in range(24):
+            assert np.array_equal(multi.awake_at(t), single.awake_at(t))
+        assert multi.duty_ratio == pytest.approx(single.duty_ratio)
+
+
+class TestQueries:
+    def test_awake_matches_offsets(self, table):
+        for t in range(40):
+            awake = set(table.awake_at(t).tolist())
+            expected = {
+                v for v in range(8)
+                if (t % 20) in set(table.offsets_matrix[v].tolist())
+            }
+            assert awake == expected
+
+    def test_is_active_consistent_with_awake(self, table):
+        for t in (0, 7, 19, 33):
+            awake = set(table.awake_at(t).tolist())
+            for v in range(8):
+                assert table.is_active(v, t) == (v in awake)
+
+    def test_next_active_minimal(self, table):
+        for v in range(8):
+            for t in (0, 5, 17, 50):
+                nxt = table.next_active(v, t)
+                assert nxt >= t
+                assert table.is_active(v, nxt)
+                for u in range(t, nxt):
+                    assert not table.is_active(v, u)
+
+    def test_next_active_array_matches_scalar(self, table):
+        for t in (0, 13, 27):
+            arr = table.next_active_array(t)
+            for v in range(8):
+                assert arr[v] == table.next_active(v, t)
+
+    def test_schedule_of(self, table):
+        ws = table.schedule_of(2)
+        assert ws.period == 20
+        assert ws.active_slots == frozenset(
+            int(s) for s in table.offsets_matrix[2]
+        )
+
+    def test_offsets_shim_first_slot(self, table):
+        assert np.array_equal(table.offsets, table.offsets_matrix[:, 0])
+
+    @given(st.integers(1, 30), st.data())
+    @settings(max_examples=40)
+    def test_wakes_per_period_equal_a(self, period, data):
+        a = data.draw(st.integers(1, period))
+        rng = np.random.default_rng(7)
+        table = MultiSlotScheduleTable.random(4, period, a, rng)
+        for v in range(4):
+            wakes = sum(table.is_active(v, t) for t in range(period))
+            assert wakes == a
+
+
+class TestEngineIntegration:
+    def test_flood_completes_on_multislot(self, line5):
+        from repro.net.packet import FloodWorkload
+        from repro.protocols import make_protocol
+        from repro.sim.engine import SimConfig, run_flood
+
+        rng = np.random.default_rng(1)
+        schedules = MultiSlotScheduleTable.random(5, 10, 2, rng)
+        result = run_flood(
+            line5, schedules, FloodWorkload(2), make_protocol("dbao"),
+            np.random.default_rng(2), SimConfig(coverage_target=1.0),
+        )
+        assert result.completed
+
+    def test_experiment_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "slot-split" in experiment_ids()

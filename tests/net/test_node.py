@@ -1,0 +1,57 @@
+"""Tests for the object-level sensor node."""
+
+import pytest
+
+from repro.net.node import NodeEnergyCounters, SensorNode
+from repro.net.schedule import WorkingSchedule
+
+
+@pytest.fixture
+def node():
+    return SensorNode(3, WorkingSchedule.single(10, 4))
+
+
+class TestSensorNode:
+    def test_receive_and_duplicates(self, node):
+        assert node.receive(0, slot=5)
+        assert not node.receive(0, slot=9)
+        assert node.has_packet(0)
+        assert node.energy.rx_successes == 1
+
+    def test_head_packet_fcfs(self, node):
+        node.receive(4, slot=1)
+        node.receive(1, slot=2)
+        assert node.head_packet_for(set()) == 4
+        assert node.head_packet_for({4}) == 1
+        assert node.head_packet_for({1, 4}) is None
+
+    def test_belief_tracking(self, node):
+        assert not node.believes_neighbor_has(7, 0)
+        node.note_neighbor_has(7, 0)
+        assert node.believes_neighbor_has(7, 0)
+        assert not node.believes_neighbor_has(7, 1)
+
+    def test_schedule_helpers(self, node):
+        assert node.is_active(4) and node.is_active(14)
+        assert not node.is_active(5)
+        assert node.next_wakeup(5) == 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorNode(-1, WorkingSchedule.single(5, 0))
+
+
+class TestEnergyCounters:
+    def test_successes_derived(self):
+        c = NodeEnergyCounters(tx_attempts=10, tx_failures=3)
+        assert c.tx_successes == 7
+
+    def test_merge(self):
+        a = NodeEnergyCounters(tx_attempts=5, tx_failures=1, rx_successes=2,
+                               radio_on_slots=100)
+        b = NodeEnergyCounters(tx_attempts=3, tx_failures=2, rx_successes=1,
+                               radio_on_slots=50)
+        a.merge(b)
+        assert (a.tx_attempts, a.tx_failures, a.rx_successes, a.radio_on_slots) == (
+            8, 3, 3, 150
+        )

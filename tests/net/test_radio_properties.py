@@ -1,0 +1,90 @@
+"""Property-based tests of the radio resolver's conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.generators import random_geometric_topology
+from repro.net.radio import RadioModel, Transmission, resolve_slot
+
+
+def build_topo(seed: int):
+    rng = np.random.default_rng(seed)
+    return random_geometric_topology(20, area_m=180.0, rng=rng,
+                                     neighbor_threshold=0.2)
+
+
+def random_transmissions(topo, rng, n_tx: int):
+    senders = rng.permutation(topo.n_nodes)[:n_tx]
+    txs = []
+    for s in senders.tolist():
+        out = topo.out_neighbors(s)
+        if out.size == 0:
+            continue
+        r = int(out[rng.integers(out.size)])
+        txs.append(Transmission(sender=s, receiver=r, packet=0))
+    return txs
+
+
+@given(st.integers(0, 200), st.integers(1, 10), st.booleans(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_resolver_conservation_laws(seed, n_tx, collisions, overhearing):
+    """Invariants that must hold for every model configuration."""
+    topo = build_topo(3)
+    rng = np.random.default_rng(seed)
+    txs = random_transmissions(topo, rng, n_tx)
+    awake = rng.permutation(topo.n_nodes)[: rng.integers(1, topo.n_nodes)]
+    model = RadioModel(collisions=collisions, overhearing=overhearing)
+    out = resolve_slot(txs, topo, awake, rng, model)
+
+    senders = {tx.sender for tx in txs}
+    awake_set = set(awake.tolist())
+
+    # 1. Every transmission is either delivered-to-intended or a failure.
+    delivered_pairs = {
+        (r.sender, r.receiver) for r in out.receptions if not r.overheard
+    }
+    for tx in txs:
+        delivered = (tx.sender, tx.receiver) in delivered_pairs
+        failed = tx in out.failures
+        assert delivered != failed  # exactly one of the two
+
+    # 2. Nobody receives while transmitting (semi-duplex).
+    for rec in out.receptions:
+        assert rec.receiver not in senders
+
+    # 3. Receptions only at awake nodes.
+    for rec in out.receptions:
+        assert rec.receiver in awake_set
+
+    # 4. At most one reception per receiver per slot.
+    receivers = [r.receiver for r in out.receptions]
+    assert len(receivers) == len(set(receivers))
+
+    # 5. Collisions are a subset of failures.
+    assert len(out.collisions) <= len(out.failures)
+
+    # 6. Without overhearing, every reception was addressed.
+    if not overhearing:
+        assert all(not r.overheard for r in out.receptions)
+
+    # 7. Receptions travel only over existing links.
+    for rec in out.receptions:
+        assert topo.has_link(rec.sender, rec.receiver)
+
+
+@given(st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_lossless_single_tx_always_delivers(seed):
+    topo = build_topo(3)
+    rng = np.random.default_rng(seed)
+    txs = random_transmissions(topo, rng, 1)
+    if not txs:
+        return
+    tx = txs[0]
+    out = resolve_slot(
+        [tx], topo, [tx.receiver], rng, RadioModel(lossless=True)
+    )
+    assert len(out.receptions) == 1
+    assert out.n_failures == 0

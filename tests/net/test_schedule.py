@@ -1,0 +1,173 @@
+"""Tests for working schedules and the vectorized schedule table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.schedule import (
+    ScheduleTable,
+    WorkingSchedule,
+    duty_ratio_to_period,
+    period_to_duty_ratio,
+    random_schedules,
+)
+
+
+class TestDutyConversions:
+    @pytest.mark.parametrize("ratio,period", [(0.05, 20), (0.02, 50), (0.1, 10), (1.0, 1)])
+    def test_ratio_to_period(self, ratio, period):
+        assert duty_ratio_to_period(ratio) == period
+
+    def test_period_to_ratio(self):
+        assert period_to_duty_ratio(20) == pytest.approx(0.05)
+        assert period_to_duty_ratio(10, active_slots=2) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duty_ratio_to_period(0.0)
+        with pytest.raises(ValueError):
+            duty_ratio_to_period(1.5)
+        with pytest.raises(ValueError):
+            period_to_duty_ratio(0)
+        with pytest.raises(ValueError):
+            period_to_duty_ratio(5, active_slots=6)
+
+
+class TestWorkingSchedule:
+    def test_single_slot_schedule(self):
+        ws = WorkingSchedule.single(period=20, offset=7)
+        assert ws.duty_ratio == pytest.approx(0.05)
+        assert ws.is_active(7) and ws.is_active(27)
+        assert not ws.is_active(8)
+
+    def test_next_active_same_period(self):
+        ws = WorkingSchedule.single(10, 4)
+        assert ws.next_active(0) == 4
+        assert ws.next_active(4) == 4  # active now
+        assert ws.next_active(5) == 14  # wrapped
+
+    def test_next_active_after_forces_progress(self):
+        ws = WorkingSchedule.single(10, 4)
+        assert ws.next_active_after(4) == 14
+
+    def test_sleep_latency(self):
+        # Fig. 1: sensor 1 receives at slot 0, must wait for sensor 2's
+        # wake at slot 3 -> sleep latency 3.
+        ws2 = WorkingSchedule.single(5, 3)
+        assert ws2.sleep_latency_from(0) == 3
+
+    def test_multi_slot_schedule(self):
+        ws = WorkingSchedule(period=10, active_slots=frozenset({2, 7}))
+        assert ws.duty_ratio == pytest.approx(0.2)
+        assert ws.next_active(3) == 7
+        assert ws.next_active(8) == 12
+
+    def test_active_slots_in_window(self):
+        ws = WorkingSchedule.single(5, 1)
+        assert ws.active_slots_in(0, 16) == [1, 6, 11]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkingSchedule(period=0, active_slots=frozenset({0}))
+        with pytest.raises(ValueError):
+            WorkingSchedule(period=5, active_slots=frozenset())
+        with pytest.raises(ValueError):
+            WorkingSchedule(period=5, active_slots=frozenset({5}))
+        with pytest.raises(ValueError):
+            WorkingSchedule.single(5, 2).next_active(-1)
+
+    @given(st.integers(1, 60), st.data())
+    @settings(max_examples=80)
+    def test_next_active_is_active_and_minimal(self, period, data):
+        offset = data.draw(st.integers(0, period - 1))
+        t = data.draw(st.integers(0, 500))
+        ws = WorkingSchedule.single(period, offset)
+        nxt = ws.next_active(t)
+        assert nxt >= t
+        assert ws.is_active(nxt)
+        # Minimality: no active slot in [t, nxt).
+        for u in range(t, nxt):
+            assert not ws.is_active(u)
+
+    @given(st.integers(1, 40), st.data())
+    @settings(max_examples=50)
+    def test_periodicity(self, period, data):
+        offset = data.draw(st.integers(0, period - 1))
+        t = data.draw(st.integers(0, 200))
+        ws = WorkingSchedule.single(period, offset)
+        assert ws.is_active(t) == ws.is_active(t + period)
+
+
+class TestScheduleTable:
+    def test_awake_lists_partition_nodes(self, rng):
+        table = ScheduleTable.random(50, 10, rng)
+        all_nodes = np.concatenate([table.awake_at(t) for t in range(10)])
+        assert sorted(all_nodes.tolist()) == list(range(50))
+
+    def test_awake_matches_offsets(self, rng):
+        table = ScheduleTable.random(30, 7, rng)
+        for t in range(14):
+            awake = set(table.awake_at(t).tolist())
+            expected = {v for v in range(30) if table.offsets[v] == t % 7}
+            assert awake == expected
+
+    def test_next_active_agrees_with_object_model(self, rng):
+        table = ScheduleTable.random(20, 12, rng)
+        for v in range(20):
+            ws = table.schedule_of(v)
+            for t in (0, 5, 30, 100):
+                assert table.next_active(v, t) == ws.next_active(t)
+
+    def test_next_active_array_vectorizes(self, rng):
+        table = ScheduleTable.random(25, 9, rng)
+        for t in (0, 4, 77):
+            arr = table.next_active_array(t)
+            for v in range(25):
+                assert arr[v] == table.next_active(v, t)
+
+    def test_is_active(self, rng):
+        table = ScheduleTable(period=4, offsets=[0, 1, 2, 3])
+        assert table.is_active(0, 0) and table.is_active(0, 4)
+        assert not table.is_active(0, 1)
+
+    def test_from_duty_ratio(self, rng):
+        table = ScheduleTable.from_duty_ratio(10, 0.05, rng)
+        assert table.period == 20
+        assert table.duty_ratio == pytest.approx(0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            ScheduleTable(period=0, offsets=[0])
+        with pytest.raises(ValueError):
+            ScheduleTable(period=5, offsets=[5])
+        with pytest.raises(ValueError):
+            ScheduleTable(period=5, offsets=[])
+        with pytest.raises(ValueError):
+            ScheduleTable.random(0, 5, rng)
+        table = ScheduleTable(period=5, offsets=[0, 1])
+        with pytest.raises(ValueError):
+            table.awake_at(-1)
+
+    @given(st.integers(1, 50), st.integers(1, 40), st.integers(0, 300))
+    @settings(max_examples=60)
+    def test_next_active_property(self, n_nodes, period, t):
+        rng = np.random.default_rng(4)
+        table = ScheduleTable.random(n_nodes, period, rng)
+        arr = table.next_active_array(t)
+        assert np.all(arr >= t)
+        assert np.all(arr < t + period)
+        for v in range(min(n_nodes, 8)):
+            assert table.is_active(v, int(arr[v]))
+
+
+class TestRandomSchedules:
+    def test_respects_duty_ratio(self, rng):
+        scheds = random_schedules(20, 0.1, rng, active_slots=2)
+        for ws in scheds:
+            assert ws.duty_ratio == pytest.approx(0.1, rel=0.05)
+            assert len(ws.active_slots) == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_schedules(5, 0.1, rng, active_slots=0)

@@ -1,0 +1,69 @@
+"""Tests for the local-synchronization service."""
+
+import numpy as np
+import pytest
+
+from repro.net.schedule import ScheduleTable
+from repro.net.sync import LocalSyncService
+
+
+@pytest.fixture
+def service(line5, rng):
+    schedules = ScheduleTable.random(5, 10, rng)
+    return LocalSyncService(line5, schedules), schedules
+
+
+class TestPerfectSync:
+    def test_is_perfect_by_default(self, service):
+        svc, _ = service
+        assert svc.is_perfect
+
+    def test_neighbor_knowledge_only(self, service):
+        svc, _ = service
+        assert svc.knows_schedule(0, 1)
+        assert not svc.knows_schedule(0, 3)
+
+    def test_non_neighbor_query_rejected(self, service):
+        svc, _ = service
+        with pytest.raises(PermissionError):
+            svc.believed_offset(0, 3)
+
+    def test_self_query_allowed(self, service):
+        svc, schedules = service
+        assert svc.believed_offset(2, 2) == int(schedules.offsets[2])
+
+    def test_believed_matches_truth(self, service):
+        svc, schedules = service
+        for t in (0, 7, 23):
+            planned = svc.believed_next_active(1, 2, t)
+            assert planned == schedules.next_active(2, t)
+            assert svc.wakeup_is_correct(1, 2, t)
+
+
+class TestSkew:
+    def test_skew_breaks_wakeups(self, line5, rng):
+        schedules = ScheduleTable.random(5, 10, rng)
+        skew = np.zeros(5, dtype=np.int64)
+        skew[2] = 3  # node 2's clock runs 3 slots ahead
+        svc = LocalSyncService(line5, schedules, skew_slots=skew)
+        assert not svc.is_perfect
+        # An observer with zero skew now mispredicts node 2's wake-ups.
+        assert not svc.wakeup_is_correct(1, 2, 0)
+
+    def test_common_mode_skew_is_harmless(self, line5, rng):
+        # Everyone shifted equally: relative error is zero.
+        schedules = ScheduleTable.random(5, 10, rng)
+        svc = LocalSyncService(
+            line5, schedules, skew_slots=np.full(5, 4, dtype=np.int64)
+        )
+        assert svc.wakeup_is_correct(1, 2, 0)
+
+    def test_shape_validation(self, line5, rng):
+        schedules = ScheduleTable.random(5, 10, rng)
+        with pytest.raises(ValueError):
+            LocalSyncService(line5, schedules, skew_slots=np.zeros(3, dtype=np.int64))
+
+    def test_node_count_mismatch(self, line5, rng):
+        schedules = ScheduleTable.random(4, 10, rng)
+        with pytest.raises(ValueError):
+            LocalSyncService(line5, schedules)

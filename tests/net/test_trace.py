@@ -1,0 +1,98 @@
+"""Tests for the synthetic GreenOrbs trace."""
+
+import numpy as np
+import pytest
+
+from repro.net.trace import (
+    GreenOrbsConfig,
+    load_trace,
+    save_trace,
+    synthesize_greenorbs,
+    trace_statistics,
+)
+
+SMALL = GreenOrbsConfig(n_sensors=80, area_m=360.0, n_clusters=4)
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = synthesize_greenorbs(seed=3, config=SMALL)
+        b = synthesize_greenorbs(seed=3, config=SMALL)
+        assert np.array_equal(a.prr, b.prr)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_greenorbs(seed=3, config=SMALL)
+        b = synthesize_greenorbs(seed=4, config=SMALL)
+        assert not np.array_equal(a.prr, b.prr)
+
+    def test_meets_coverage_target(self):
+        topo = synthesize_greenorbs(seed=3, config=SMALL)
+        stats = trace_statistics(topo)
+        assert stats["source_coverage"] >= SMALL.coverage_target
+
+    def test_sensor_count(self):
+        topo = synthesize_greenorbs(seed=3, config=SMALL)
+        assert topo.n_sensors == 80
+
+    def test_realism_envelope(self):
+        # The qualitative GreenOrbs profile the analysis depends on:
+        # multihop, lossy with a substantial gray region, irregular degree.
+        topo = synthesize_greenorbs(seed=3, config=SMALL)
+        stats = trace_statistics(topo)
+        assert stats["hop_diameter"] >= 3
+        assert 0.1 <= stats["gray_fraction"] <= 0.7
+        assert stats["mean_k_class"] > 1.1
+        assert stats["max_degree"] > 2 * stats["mean_degree"] * 0.8
+
+    def test_impossible_config_raises(self):
+        # A huge area with few sensors cannot connect.
+        bad = GreenOrbsConfig(
+            n_sensors=10, area_m=5000.0, n_clusters=5, max_attempts=2
+        )
+        with pytest.raises(RuntimeError):
+            synthesize_greenorbs(seed=1, config=bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GreenOrbsConfig(n_sensors=0)
+        with pytest.raises(ValueError):
+            GreenOrbsConfig(coverage_target=0.0)
+        with pytest.raises(ValueError):
+            GreenOrbsConfig(max_attempts=0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        topo = synthesize_greenorbs(seed=3, config=SMALL)
+        path = tmp_path / "trace.npz"
+        save_trace(topo, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.prr, topo.prr)
+        assert np.array_equal(loaded.positions, topo.positions)
+        assert np.array_equal(loaded.rssi, topo.rssi)
+        assert loaded.neighbor_threshold == topo.neighbor_threshold
+
+    def test_roundtrip_without_positions(self, tmp_path, line5):
+        path = tmp_path / "line.npz"
+        save_trace(line5, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.prr, line5.prr)
+        assert loaded.rssi is None
+
+
+class TestStatistics:
+    def test_keys_present(self):
+        topo = synthesize_greenorbs(seed=3, config=SMALL)
+        stats = trace_statistics(topo)
+        for key in (
+            "n_sensors", "mean_degree", "prr_mean", "gray_fraction",
+            "hop_diameter", "source_coverage", "mean_k_class",
+        ):
+            assert key in stats
+
+    def test_on_simple_topology(self, line5):
+        stats = trace_statistics(line5)
+        assert stats["n_sensors"] == 4
+        assert stats["source_coverage"] == pytest.approx(1.0)
+        assert stats["prr_mean"] == pytest.approx(1.0)
+        assert stats["gray_fraction"] == 0.0

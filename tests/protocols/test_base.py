@@ -1,0 +1,110 @@
+"""Tests for the protocol interface, registry, and SimView."""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import line_topology
+from repro.net.packet import FloodWorkload
+from repro.net.schedule import ScheduleTable
+from repro.protocols.base import (
+    FloodingProtocol,
+    SimView,
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+
+
+class TestRegistry:
+    def test_all_paper_protocols_registered(self):
+        names = available_protocols()
+        for expected in ("opt", "dbao", "of", "naive", "dca", "crosslayer"):
+            assert expected in names
+
+    def test_make_protocol(self):
+        proto = make_protocol("dbao", overhearing=False)
+        assert proto.name == "dbao"
+        assert proto.overhearing is False
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            make_protocol("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(FloodingProtocol):
+            name = "opt"
+
+            def propose(self, t, awake, view):
+                return []
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol(Dup)
+
+    def test_empty_name_rejected(self):
+        class NoName(FloodingProtocol):
+            def propose(self, t, awake, view):
+                return []
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_protocol(NoName)
+
+
+@pytest.fixture
+def view(line5, rng):
+    schedules = ScheduleTable.random(5, 5, rng)
+    workload = FloodWorkload(3)
+    has = np.zeros((3, 5), dtype=bool)
+    arrival = np.full((3, 5), -1, dtype=np.int64)
+    # Source has all three; node 1 has packet 1 (arrived slot 4).
+    has[:, 0] = True
+    arrival[:, 0] = [0, 1, 2]
+    has[1, 1] = True
+    arrival[1, 1] = 4
+    return SimView(line5, schedules, workload, has, arrival)
+
+
+class TestSimView:
+    def test_holds(self, view):
+        assert view.holds(0, 0)
+        assert view.holds(1, 1)
+        assert not view.holds(1, 0)  # wait: node 1, packet 0
+
+    def test_held_packets(self, view):
+        assert view.held_packets(0).tolist() == [0, 1, 2]
+        assert view.held_packets(1).tolist() == [1]
+        assert view.held_packets(3).tolist() == []
+
+    def test_arrival_slot(self, view):
+        assert view.arrival_slot(0, 2) == 2
+        assert view.arrival_slot(1, 1) == 4
+        assert view.arrival_slot(3, 0) == -1
+
+    def test_fcfs_head_uses_arrival_order(self, view):
+        needed = np.asarray([True, True, True])
+        assert view.fcfs_head(0, needed) == 0  # earliest arrival at source
+        needed = np.asarray([False, True, True])
+        assert view.fcfs_head(0, needed) == 1
+
+    def test_fcfs_head_none(self, view):
+        assert view.fcfs_head(3, np.asarray([True, True, True])) is None
+        assert view.fcfs_head(0, np.zeros(3, dtype=bool)) is None
+
+    def test_candidate_senders(self, view):
+        needed = np.asarray([True, False, False])
+        nbs = np.asarray([0, 2])  # in-neighbors of node 1
+        cands = view.candidate_senders(nbs, needed)
+        assert cands.tolist() == [0]
+
+    def test_candidate_senders_empty(self, view):
+        assert view.candidate_senders(np.asarray([], dtype=np.int64),
+                                      np.ones(3, bool)).size == 0
+        assert view.candidate_senders(np.asarray([0]),
+                                      np.zeros(3, bool)).size == 0
+
+    def test_oracle_accessors(self, view):
+        needed = view.oracle_needed(1)
+        assert needed.tolist() == [True, False, True]
+        possession = view.oracle_possession()
+        assert possession.shape == (3, 5)
+        with pytest.raises(ValueError):
+            possession[0, 0] = False  # read-only view

@@ -1,0 +1,77 @@
+"""Tests for duty-cycle-aware tree flooding (DCA)."""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import line_topology
+from repro.net.packet import FloodWorkload
+from repro.net.schedule import ScheduleTable
+from repro.net.topology import Topology
+from repro.protocols.dca import DutyCycleAwareFlooding, build_delay_optimal_tree
+from repro.sim.engine import SimConfig, run_flood
+
+
+class TestDelayOptimalTree:
+    def test_chain_structure(self, line5):
+        offsets = np.asarray([0, 1, 2, 3, 4])
+        parent, dist = build_delay_optimal_tree(line5, offsets, period=5)
+        assert parent.tolist() == [-1, 0, 1, 2, 3]
+        # Perfectly staggered offsets: one slot per hop.
+        assert dist.tolist() == [0, 2, 3, 4, 5]
+
+    def test_prefers_schedule_aligned_path(self):
+        # Diamond: 0 -> {1, 2} -> 3. Node 1 wakes immediately, node 2 a
+        # full period later: the tree must route 3 through the faster arm
+        # if that also reaches 3 sooner.
+        mat = np.zeros((4, 4))
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            mat[a, b] = mat[b, a] = 1.0
+        topo = Topology(mat)
+        offsets = np.asarray([0, 1, 9, 2])  # node1 wakes at 1, node2 at 9
+        parent, dist = build_delay_optimal_tree(topo, offsets, period=10)
+        assert parent[3] == 1
+
+    def test_wait_never_exceeds_period(self, line5):
+        offsets = np.asarray([0, 3, 1, 4, 2])
+        parent, dist = build_delay_optimal_tree(line5, offsets, period=5)
+        hops = np.diff(dist)
+        assert np.all(hops >= 1) and np.all(hops <= 5 + 1)
+
+    def test_offsets_shape_validated(self, line5):
+        with pytest.raises(ValueError):
+            build_delay_optimal_tree(line5, np.asarray([0, 1]), period=5)
+
+
+class TestDcaBehavior:
+    def test_completes_reliable_network(self, line5):
+        rng = np.random.default_rng(0)
+        schedules = ScheduleTable.random(5, 5, rng)
+        result = run_flood(
+            line5, schedules, FloodWorkload(3), DutyCycleAwareFlooding(),
+            np.random.default_rng(1), SimConfig(coverage_target=1.0),
+        )
+        assert result.completed
+
+    def test_completes_lossy_network_eventually(self, small_rgg):
+        rng = np.random.default_rng(5)
+        schedules = ScheduleTable.random(small_rgg.n_nodes, 10, rng)
+        result = run_flood(
+            small_rgg, schedules, FloodWorkload(2), DutyCycleAwareFlooding(),
+            np.random.default_rng(6), SimConfig(),
+        )
+        assert result.completed
+
+    def test_only_tree_edges_used(self, small_rgg):
+        rng = np.random.default_rng(5)
+        schedules = ScheduleTable.random(small_rgg.n_nodes, 8, rng)
+        result = run_flood(
+            small_rgg, schedules, FloodWorkload(1), DutyCycleAwareFlooding(),
+            np.random.default_rng(6),
+            SimConfig(track_events=True),
+        )
+        parent, _ = build_delay_optimal_tree(
+            small_rgg, schedules.offsets, schedules.period
+        )
+        for e in result.events:
+            if e.kind.value == "tx":
+                assert parent[e.receiver] == e.sender

@@ -1,0 +1,69 @@
+"""Tests for Opportunistic Flooding (OF)."""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import line_topology
+from repro.net.packet import FloodWorkload
+from repro.net.schedule import ScheduleTable
+from repro.protocols.oppflood import OpportunisticFlooding
+from repro.sim.engine import SimConfig, run_flood
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+
+def flood(topo, n_packets=2, period=5, seed=0, **proto_kwargs):
+    rng = np.random.default_rng(seed)
+    schedules = ScheduleTable.random(topo.n_nodes, period, rng)
+    return run_flood(
+        topo, schedules, FloodWorkload(n_packets),
+        OpportunisticFlooding(**proto_kwargs),
+        np.random.default_rng(seed + 1), SimConfig(coverage_target=1.0),
+    )
+
+
+class TestOfBehavior:
+    def test_completes_chain(self, line5):
+        assert flood(line5).completed
+
+    def test_completes_lossy_network(self, small_rgg):
+        assert flood(small_rgg, seed=3).completed
+
+    def test_tree_edges_always_forwarded(self, line5):
+        # On a chain every edge is a tree edge: OF behaves like tree
+        # flooding and must deliver hop by hop.
+        rng = np.random.default_rng(1)
+        schedules = ScheduleTable.random(5, 4, rng)
+        result = run_flood(
+            line5, schedules, FloodWorkload(1), OpportunisticFlooding(),
+            np.random.default_rng(2),
+            SimConfig(coverage_target=1.0, track_events=True),
+        )
+        senders = [e.sender for e in result.events if e.kind.value == "deliver"]
+        assert senders == [0, 1, 2, 3]
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            OpportunisticFlooding(opp_quantile=0.0)
+        with pytest.raises(ValueError):
+            OpportunisticFlooding(opp_quantile=1.0)
+
+    def test_smaller_quantile_fewer_transmissions(self, small_rgg):
+        tight = run_experiment(small_rgg, ExperimentSpec(
+            protocol="of", duty_ratio=0.1, n_packets=4, seed=5,
+            protocol_kwargs={"opp_quantile": 0.1},
+        ))
+        loose = run_experiment(small_rgg, ExperimentSpec(
+            protocol="of", duty_ratio=0.1, n_packets=4, seed=5,
+            protocol_kwargs={"opp_quantile": 0.95},
+        ))
+        assert tight.mean_tx_attempts() <= loose.mean_tx_attempts()
+
+    def test_init_kwargs_recorded(self):
+        assert OpportunisticFlooding(opp_quantile=0.3).init_kwargs == {
+            "opp_quantile": 0.3
+        }
+
+    def test_final_coverage_complete(self, small_rgg):
+        result = flood(small_rgg, n_packets=3, seed=9)
+        reach = small_rgg.reachable_from_source()
+        assert result.has[:, reach].all()

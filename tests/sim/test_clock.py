@@ -1,0 +1,35 @@
+"""Tests for the slotted clock."""
+
+import pytest
+
+from repro.sim.clock import SlottedClock
+
+
+class TestSlottedClock:
+    def test_starts_at_zero(self):
+        assert SlottedClock().now == 0
+
+    def test_tick(self):
+        clock = SlottedClock()
+        assert clock.tick() == 1
+        assert clock.tick(5) == 6
+        assert clock.now == 6
+
+    def test_advance_to(self):
+        clock = SlottedClock(3)
+        assert clock.advance_to(10) == 10
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    def test_reset(self):
+        clock = SlottedClock(5)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedClock(-1)
+        with pytest.raises(ValueError):
+            SlottedClock().tick(0)
+        with pytest.raises(ValueError):
+            SlottedClock().reset(-2)

@@ -1,0 +1,76 @@
+"""Tests for energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.tradeoff import EnergyModel
+from repro.sim.energy import EnergyLedger, energy_summary
+
+
+class TestEnergyLedger:
+    def test_counters(self):
+        ledger = EnergyLedger(4)
+        ledger.note_tx(0)
+        ledger.note_tx(0)
+        ledger.note_failure(0)
+        ledger.note_rx(2)
+        ledger.note_elapsed(100)
+        assert ledger.total_tx == 2
+        assert ledger.total_failures == 1
+        assert ledger.total_rx == 1
+        assert ledger.elapsed_slots == 100
+        assert ledger.failure_ratio() == pytest.approx(0.5)
+
+    def test_empty_failure_ratio(self):
+        assert EnergyLedger(2).failure_ratio() == 0.0
+
+    def test_validate_catches_inconsistency(self):
+        ledger = EnergyLedger(2)
+        ledger.note_failure(1)  # failure without attempt
+        with pytest.raises(AssertionError):
+            ledger.validate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyLedger(0)
+        with pytest.raises(ValueError):
+            EnergyLedger(2).note_elapsed(-1)
+
+
+class TestEnergySummary:
+    def test_components_add_up(self):
+        ledger = EnergyLedger(10)
+        for _ in range(20):
+            ledger.note_tx(1)
+        ledger.note_elapsed(1000)
+        summary = energy_summary(ledger, duty_ratio=0.05)
+        assert summary["total_energy"] == pytest.approx(
+            summary["duty_energy"] + summary["tx_energy"]
+        )
+        assert summary["per_node_energy"] == pytest.approx(
+            summary["total_energy"] / 10
+        )
+
+    def test_duty_energy_scales_with_ratio(self):
+        ledger = EnergyLedger(5)
+        ledger.note_elapsed(1000)
+        model = EnergyModel(sleep_power=0.0)
+        low = energy_summary(ledger, 0.05, model)
+        high = energy_summary(ledger, 0.10, model)
+        assert high["duty_energy"] == pytest.approx(2 * low["duty_energy"])
+
+    def test_wasted_energy_tracks_failures(self):
+        ledger = EnergyLedger(3)
+        ledger.note_tx(0)
+        ledger.note_tx(0)
+        ledger.note_failure(0)
+        ledger.note_elapsed(10)
+        summary = energy_summary(ledger, 0.5)
+        assert summary["wasted_tx_energy"] == pytest.approx(
+            summary["tx_energy"] / 2
+        )
+
+    def test_validation(self):
+        ledger = EnergyLedger(2)
+        with pytest.raises(ValueError):
+            energy_summary(ledger, 0.0)

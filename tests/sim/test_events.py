@@ -1,0 +1,53 @@
+"""Tests for the event log."""
+
+import pytest
+
+from repro.sim.events import EventKind, EventLog, SimEvent
+
+
+class TestSimEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimEvent(-1, EventKind.TX, 0)
+        with pytest.raises(ValueError):
+            SimEvent(0, EventKind.TX, -1)
+
+
+class TestEventLog:
+    def test_time_order_enforced(self):
+        log = EventLog()
+        log.record(SimEvent(5, EventKind.INJECT, 0))
+        with pytest.raises(ValueError):
+            log.record(SimEvent(3, EventKind.TX, 0))
+
+    def test_same_slot_allowed(self):
+        log = EventLog()
+        log.record(SimEvent(5, EventKind.TX, 0, 0, 1))
+        log.record(SimEvent(5, EventKind.DELIVER, 0, 0, 1))
+        assert len(log) == 2
+
+    def test_queries(self):
+        log = EventLog()
+        log.record(SimEvent(0, EventKind.INJECT, 0))
+        log.record(SimEvent(1, EventKind.TX, 0, 0, 1))
+        log.record(SimEvent(1, EventKind.TX, 1, 2, 3))
+        log.record(SimEvent(2, EventKind.DELIVER, 0, 0, 1))
+        assert log.count(EventKind.TX) == 2
+        assert len(log.of_kind(EventKind.INJECT)) == 1
+        assert len(log.for_packet(0)) == 3
+
+    def test_busy_slots_feed_compact_timeline(self):
+        from repro.core.compact_time import CompactTimeline
+
+        log = EventLog()
+        log.record(SimEvent(1, EventKind.TX, 0, 0, 1))
+        log.record(SimEvent(1, EventKind.TX, 1, 2, 3))
+        log.record(SimEvent(4, EventKind.TX, 0, 1, 2))
+        tl = CompactTimeline(log.busy_slots())
+        assert len(tl) == 2
+        assert tl.to_original(1) == 4
+
+    def test_iteration(self):
+        log = EventLog()
+        log.record(SimEvent(0, EventKind.INJECT, 0))
+        assert [e.kind for e in log] == [EventKind.INJECT]

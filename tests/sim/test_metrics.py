@@ -1,0 +1,111 @@
+"""Tests for flood metrics (the 99% rule, delay decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import FloodMetrics, PacketDelays, coverage_threshold
+
+
+class TestCoverageThreshold:
+    def test_paper_99_rule(self):
+        # 296 reachable sensors at 99% -> 294.
+        assert coverage_threshold(296, 0.99) == 294
+
+    def test_full_coverage(self):
+        assert coverage_threshold(100, 1.0) == 100
+
+    def test_at_least_one(self):
+        assert coverage_threshold(1, 0.01) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_threshold(0, 0.99)
+        with pytest.raises(ValueError):
+            coverage_threshold(10, 0.0)
+
+
+def make_delays(generated, first_tx, completed):
+    return PacketDelays(
+        generated=np.asarray(generated, dtype=np.int64),
+        first_tx=np.asarray(first_tx, dtype=np.int64),
+        completed=np.asarray(completed, dtype=np.int64),
+    )
+
+
+class TestPacketDelays:
+    def test_total_delay(self):
+        d = make_delays([0, 0], [0, 10], [99, 59])
+        assert d.total_delay().tolist() == [100, 50]
+
+    def test_incomplete_marked(self):
+        d = make_delays([0, 0], [0, 5], [20, -1])
+        assert d.total_delay().tolist() == [21, -1]
+        assert not d.all_completed
+        assert d.makespan() == -1
+
+    def test_queueing_at_source(self):
+        d = make_delays([0, 0, 0], [0, 12, 30], [5, 20, 40])
+        assert d.queueing_delay_at_source().tolist() == [0, 12, 30]
+
+    def test_makespan(self):
+        d = make_delays([0, 0], [0, 1], [10, 30])
+        assert d.makespan() == 30
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            make_delays([0], [0, 1], [2, 3])
+
+
+def make_metrics(**overrides):
+    kwargs = dict(
+        delays=make_delays([0, 0], [0, 2], [10, 20]),
+        tx_attempts=50,
+        tx_failures=10,
+        collisions=4,
+        duplicates=2,
+        overhears=3,
+        elapsed_slots=30,
+        coverage_per_packet=np.asarray([1.0, 0.99]),
+    )
+    kwargs.update(overrides)
+    return FloodMetrics(**kwargs)
+
+
+class TestFloodMetrics:
+    def test_average_delay(self):
+        m = make_metrics()
+        assert m.average_delay() == pytest.approx((11 + 19) / 2)
+
+    def test_average_ignores_incomplete(self):
+        m = make_metrics(delays=make_delays([0, 0], [0, 2], [10, -1]))
+        assert m.average_delay() == pytest.approx(11.0)
+
+    def test_nan_when_nothing_completed(self):
+        m = make_metrics(delays=make_delays([0], [0], [-1]),
+                         coverage_per_packet=np.asarray([0.5]))
+        assert np.isnan(m.average_delay())
+
+    def test_failure_ratio(self):
+        assert make_metrics().failure_ratio() == pytest.approx(0.2)
+
+    def test_blocking_delay_requires_transmission_delay(self):
+        m = make_metrics()
+        with pytest.raises(ValueError):
+            m.blocking_delay()
+        m2 = make_metrics(transmission_delay=np.asarray([5, 6], dtype=np.int64))
+        assert m2.blocking_delay().tolist() == [6, 13]
+
+    def test_blocking_delay_clamped_nonnegative(self):
+        m = make_metrics(transmission_delay=np.asarray([100, 6], dtype=np.int64))
+        assert m.blocking_delay()[0] == 0
+
+    def test_summary_keys(self):
+        s = make_metrics().summary()
+        for key in ("avg_delay", "makespan", "tx_failures", "failure_ratio"):
+            assert key in s
+
+    def test_invariant_validation(self):
+        with pytest.raises(ValueError):
+            make_metrics(tx_failures=100)  # failures > attempts
+        with pytest.raises(ValueError):
+            make_metrics(collisions=50)  # collisions > failures

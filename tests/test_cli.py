@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+        assert args.scale == "bench"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig5", "--scale", "giant"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "table1" in out
+
+    def test_run_theory_experiment(self, capsys):
+        assert main(["run", "fig5", "--scale", "smoke", "--no-sparklines"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_audit_theory_claims(self, capsys):
+        assert main(["audit", "--scale", "smoke", "fig5", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+        assert "shape claims hold" in out
+
+    def test_audit_unknown_experiment(self, capsys):
+        assert main(["audit", "fig99"]) == 2
+        assert "no shape checks" in capsys.readouterr().err
+
+    def test_trace_stats_and_save(self, tmp_path, capsys, monkeypatch):
+        # Shrink the trace via a patched config for test speed.
+        from repro.net import trace as trace_mod
+
+        small = trace_mod.GreenOrbsConfig(
+            n_sensors=60, area_m=320.0, n_clusters=3
+        )
+        orig = trace_mod.synthesize_greenorbs
+        monkeypatch.setattr(
+            "repro.net.trace.synthesize_greenorbs",
+            lambda seed=2011, config=None: orig(seed=seed, config=small),
+        )
+        out_path = tmp_path / "t.npz"
+        assert main(["trace", "--seed", "3", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean_degree" in out
+        assert out_path.exists()
