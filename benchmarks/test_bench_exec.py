@@ -1,0 +1,57 @@
+"""Benchmark: serial vs parallel execution of a multi-replication spec.
+
+Measures the wall-clock of the same four-replication DBAO spec through
+the :class:`~repro.exec.SerialExecutor` and a
+:class:`~repro.exec.ParallelExecutor`, records the speedup in the
+benchmark's ``extra_info``, and asserts two contracts:
+
+* determinism — both backends produce identical per-replication delays;
+* the parallel backend is never slower than serial beyond a generous
+  pool-overhead tolerance (on a 1-core box ``jobs`` resolves to 1 and
+  the pool is skipped entirely, so the fallback is ~free).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.exec import ParallelExecutor, SerialExecutor
+from repro.experiments._common import get_trace
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+#: Enough replications to give a pool something to balance, small enough
+#: to keep the bench in seconds.
+SPEC = ExperimentSpec(
+    protocol="dbao", duty_ratio=0.05, n_packets=4, seed=2011,
+    n_replications=4,
+)
+
+#: Parallel may cost pool spawn + topology pickling; it must never cost
+#: more than this factor over serial (plus a constant for tiny runs).
+OVERHEAD_TOLERANCE = 4.0
+
+
+def test_bench_exec_serial_vs_parallel(once, benchmark):
+    topo = get_trace("smoke")
+
+    t0 = time.perf_counter()
+    serial = run_experiment(topo, SPEC, executor=SerialExecutor())
+    serial_s = time.perf_counter() - t0
+
+    jobs = min(4, os.cpu_count() or 1)
+    t1 = time.perf_counter()
+    parallel = once(
+        run_experiment, topo, SPEC, executor=ParallelExecutor(jobs=jobs)
+    )
+    parallel_s = time.perf_counter() - t1
+
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(serial_s / max(parallel_s, 1e-9), 2)
+
+    assert np.array_equal(
+        serial.per_replication_delays(), parallel.per_replication_delays()
+    )
+    assert parallel_s <= serial_s * OVERHEAD_TOLERANCE + 1.0

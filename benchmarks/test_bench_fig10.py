@@ -1,18 +1,18 @@
 """Benchmark for Fig. 10 — delay vs duty cycle on the GreenOrbs trace.
 
 This bench pays for the full protocol x duty-ratio simulation sweep
-(which Fig. 11's bench then reads from the in-process cache, mirroring
-how the paper derives both figures from one experiment).
+(which Fig. 11's bench then reads from the in-process result store,
+mirroring how the paper derives both figures from one experiment).
 """
 
 import numpy as np
 
+from repro.exec import reset_execution
 from repro.experiments import run_experiment_by_id
-from repro.experiments._trace_sweep import trace_duty_sweep
 
 
 def test_bench_fig10_delay_vs_duty(once):
-    trace_duty_sweep.cache_clear()  # honest cold run
+    reset_execution()  # empty result store -> honest cold run
     result = once(run_experiment_by_id, "fig10", scale="bench")
     bound = result.get_series("predicted lower bound")
     opt = result.get_series("opt: avg delay")

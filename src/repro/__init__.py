@@ -1,7 +1,7 @@
 """repro — reproduction of *Understanding the Flooding in Low-Duty-Cycle
 Wireless Sensor Networks* (Li, Li, Liu, Tang; ICPP 2011).
 
-The package has four layers:
+The package has five layers:
 
 * :mod:`repro.core` — the paper's analytical results: FWL/FDL limits
   (Lemmas 2-3, Theorems 1-2, Table I, Corollary 1), the matrix-based
@@ -16,6 +16,9 @@ The package has four layers:
   experiment runner.
 * :mod:`repro.protocols` — OPT / DBAO / OF from Sec. V plus naive, DCA
   and the cross-layer future-work sketch.
+* :mod:`repro.exec` — pluggable execution backends (serial /
+  process-pool parallel, bit-identical results) and a content-addressed
+  result store shared by the runner, sweeps, experiments and CLI.
 
 Quickstart::
 
@@ -29,6 +32,15 @@ Quickstart::
     print(summary.mean_delay())
 """
 
+from .exec import (
+    ExecutionContext,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    configure_execution,
+    execution_context,
+    use_execution,
+)
 from .core import (
     fdl_theorem1,
     fdl_theorem2_bounds,
@@ -58,8 +70,10 @@ from .sim import (
     RunSummary,
     SimConfig,
     run_experiment,
+    run_experiments,
     run_flood,
     run_protocol_sweep,
+    run_replication,
 )
 
 __version__ = "1.0.0"
@@ -73,6 +87,9 @@ __all__ = [
     "synthesize_greenorbs",
     "available_protocols", "make_protocol",
     "ExperimentSpec", "RngStreams", "RunSummary", "SimConfig",
-    "run_experiment", "run_flood", "run_protocol_sweep",
+    "run_experiment", "run_experiments", "run_flood", "run_protocol_sweep",
+    "run_replication",
+    "ExecutionContext", "ParallelExecutor", "ResultStore", "SerialExecutor",
+    "configure_execution", "execution_context", "use_execution",
     "__version__",
 ]

@@ -1,8 +1,15 @@
 """Parameter-sweep utilities.
 
-Thin declarative layer over :func:`repro.sim.runner.run_experiment` used
-by the experiment harness: build a grid of specs, run them (optionally
-memoized within a process), collect named scalar metrics into arrays.
+Thin declarative layer over :func:`repro.sim.runner.run_experiments`
+used by the experiment harness: build the cartesian grid of specs, fan
+every ``(spec, replication)`` task through a pluggable
+:class:`repro.exec.Executor` in one dispatch, and collect named scalar
+metrics into arrays. Memoization is delegated to the content-addressed
+:class:`repro.exec.ResultStore` — grid cells whose
+``(spec, topology, engine-version)`` key is already stored are answered
+from the store (in-memory within a process, on disk across CLI
+invocations when a cache directory is configured) instead of
+re-simulated.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.topology import Topology
-from ..sim.runner import ExperimentSpec, RunSummary, run_experiment
+from ..sim.runner import ExperimentSpec, RunSummary, run_experiments
 
 __all__ = ["SweepAxis", "sweep", "collect"]
 
@@ -40,20 +47,44 @@ def sweep(
     base: ExperimentSpec,
     axes: Sequence[SweepAxis],
     progress: Optional[Callable[[ExperimentSpec], None]] = None,
+    executor=None,
+    store=None,
 ) -> Dict[Tuple, RunSummary]:
     """Run the full cartesian grid of ``axes`` over ``base``.
 
     Returns a dict keyed by the value tuple (in axis order).
+
+    Parameters
+    ----------
+    progress:
+        Called once per grid cell, with its spec, as the grid is built
+        (i.e. before dispatch — under a parallel executor cells have no
+        meaningful "start" order).
+    executor:
+        Optional :class:`repro.exec.Executor`; the flattened
+        ``(spec, replication)`` tasks of the whole grid go through one
+        ``map`` call, so a parallel backend load-balances across cells.
+        ``None`` runs serially in-process.
+    store:
+        Optional :class:`repro.exec.ResultStore`; cells already stored
+        under their content key (spec + topology fingerprint + engine
+        version) are served from the store instead of re-simulated, and
+        fresh cells are recorded for the next caller.
     """
     if not axes:
-        return {(): run_experiment(topo, base)}
-    out: Dict[Tuple, RunSummary] = {}
-    for combo in itertools.product(*(a.values for a in axes)):
-        spec = replace(base, **{a.field: v for a, v in zip(axes, combo)})
-        if progress is not None:
+        combos: List[Tuple] = [()]
+        specs = [base]
+    else:
+        combos = list(itertools.product(*(a.values for a in axes)))
+        specs = [
+            replace(base, **{a.field: v for a, v in zip(axes, combo)})
+            for combo in combos
+        ]
+    if progress is not None:
+        for spec in specs:
             progress(spec)
-        out[combo] = run_experiment(topo, spec)
-    return out
+    summaries = run_experiments(topo, specs, executor=executor, store=store)
+    return dict(zip(combos, summaries))
 
 
 def collect(

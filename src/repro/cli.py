@@ -4,8 +4,11 @@ Commands
 --------
 ``list``
     Show all registered experiments.
-``run EXPERIMENT [--scale SCALE] [--no-sparklines]``
-    Run one experiment and render it as text.
+``run EXPERIMENT [--scale SCALE] [--jobs N] [--cache-dir PATH] [--no-sparklines]``
+    Run one experiment and render it as text. ``--jobs N`` fans the
+    replications/sweep grid over ``N`` worker processes (bit-identical
+    to serial); ``--cache-dir`` persists result summaries so a repeated
+    invocation is answered from the cache.
 ``trace [--seed N] [--out PATH]``
     Synthesize the GreenOrbs-like trace, print its statistics, optionally
     save it as ``.npz``.
@@ -34,11 +37,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered experiments")
 
+    def add_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for simulation tasks (default: serial; "
+                 "results are bit-identical across backends)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="persist result summaries here; repeated invocations "
+                 "with the same spec/topology/engine skip simulation",
+        )
+
     run = sub.add_parser("run", help="run one experiment and render it")
     run.add_argument("experiment", help="experiment id (e.g. fig10)")
     run.add_argument("--scale", default="bench",
                      choices=("smoke", "bench", "full"))
     run.add_argument("--no-sparklines", action="store_true")
+    add_exec_flags(run)
 
     trace = sub.add_parser("trace", help="synthesize the GreenOrbs trace")
     trace.add_argument("--seed", type=int, default=2011)
@@ -56,8 +72,19 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("smoke", "bench", "full"))
     aud.add_argument("experiments", nargs="*",
                      help="experiment ids to audit (default: all with checks)")
+    add_exec_flags(aud)
 
     return parser
+
+
+def _report_cache(args: argparse.Namespace) -> None:
+    """One log line proving whether the store answered from cache."""
+    if getattr(args, "cache_dir", None) is None:
+        return
+    from .exec import execution_context
+
+    store = execution_context().store
+    print(f"[cache] {store.stats} -> {args.cache_dir}", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -70,11 +97,18 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import render_result
+    from .exec import use_execution
     from .experiments import run_experiment_by_id
 
     try:
-        result = run_experiment_by_id(args.experiment, scale=args.scale)
-    except KeyError as exc:
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+            try:
+                result = run_experiment_by_id(args.experiment, scale=args.scale)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            _report_cache(args)
+    except NotADirectoryError as exc:
         print(exc, file=sys.stderr)
         return 2
     print(render_result(result, with_sparklines=not args.no_sparklines))
@@ -110,6 +144,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     from .analysis.shapes import CHECKS, audit
+    from .exec import use_execution
     from .experiments import run_experiment_by_id
 
     ids = args.experiments or sorted(CHECKS)
@@ -118,9 +153,15 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print(f"no shape checks for: {unknown}", file=sys.stderr)
         return 2
     results = {}
-    for eid in ids:
-        print(f"running {eid} at scale {args.scale} ...", flush=True)
-        results[eid] = run_experiment_by_id(eid, scale=args.scale)
+    try:
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+            for eid in ids:
+                print(f"running {eid} at scale {args.scale} ...", flush=True)
+                results[eid] = run_experiment_by_id(eid, scale=args.scale)
+            _report_cache(args)
+    except NotADirectoryError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     checks = audit(results)
     failed = 0
     for check in checks:

@@ -1,0 +1,38 @@
+"""Pluggable execution backends and a content-addressed result store.
+
+``repro.exec`` decouples *what* the harness simulates from *how* the
+work is dispatched and memoized:
+
+* :class:`Executor` / :class:`SerialExecutor` / :class:`ParallelExecutor`
+  — map independent ``(spec, replication)`` tasks serially or over a
+  process pool, with bit-identical results either way;
+* :class:`ResultStore` — layered (memory + optional disk) cache of
+  :class:`~repro.sim.runner.RunSummary` payloads keyed by
+  ``hash(spec, topology, engine version)``;
+* :class:`ExecutionContext` — the process-wide pair the experiment
+  harness and CLI route everything through (``--jobs``/``--cache-dir``).
+"""
+
+from .context import (
+    ExecutionContext,
+    configure_execution,
+    execution_context,
+    reset_execution,
+    use_execution,
+)
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerCrashError,
+    resolve_executor,
+)
+from .store import ResultStore, StoreStats, result_key, spec_fingerprint
+
+__all__ = [
+    "Executor", "SerialExecutor", "ParallelExecutor", "WorkerCrashError",
+    "resolve_executor",
+    "ResultStore", "StoreStats", "result_key", "spec_fingerprint",
+    "ExecutionContext", "execution_context", "configure_execution",
+    "reset_execution", "use_execution",
+]

@@ -1,0 +1,95 @@
+"""Process-wide execution context: which executor and store to use.
+
+The experiment harness (``repro.experiments``) and the CLI route every
+simulation through one :class:`ExecutionContext` so that ``--jobs`` and
+``--cache-dir`` apply uniformly to replications, sweep grids and the
+fig10/fig11 protocol-by-duty grid. The default context is a
+:class:`~repro.exec.executor.SerialExecutor` plus an **in-memory**
+:class:`~repro.exec.store.ResultStore` — exactly the semantics the old
+per-function ``lru_cache`` provided, but shared across every entry point
+and upgradeable to parallel/persistent without touching call sites.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .executor import Executor, SerialExecutor, resolve_executor
+from .store import ResultStore
+
+__all__ = [
+    "ExecutionContext",
+    "execution_context",
+    "configure_execution",
+    "reset_execution",
+    "use_execution",
+]
+
+
+@dataclass
+class ExecutionContext:
+    """An executor/store pair every harness entry point runs through."""
+
+    executor: Executor
+    store: ResultStore
+
+
+_DEFAULT: ExecutionContext = ExecutionContext(
+    executor=SerialExecutor(), store=ResultStore()
+)
+
+
+def execution_context() -> ExecutionContext:
+    """The currently installed process-wide context."""
+    return _DEFAULT
+
+
+def configure_execution(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> ExecutionContext:
+    """Install (and return) a new process-wide context.
+
+    ``backend``/``jobs`` follow :func:`~repro.exec.executor.resolve_executor`
+    (``jobs > 1`` alone selects the parallel backend); ``cache_dir``
+    upgrades the store from in-memory to persistent.
+    """
+    global _DEFAULT
+    _DEFAULT = ExecutionContext(
+        executor=resolve_executor(backend, jobs),
+        store=ResultStore(cache_dir),
+    )
+    return _DEFAULT
+
+
+def reset_execution() -> ExecutionContext:
+    """Restore the default serial executor and a fresh in-memory store."""
+    global _DEFAULT
+    _DEFAULT = ExecutionContext(executor=SerialExecutor(), store=ResultStore())
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def use_execution(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> Iterator[ExecutionContext]:
+    """Temporarily install a context, restoring the previous one on exit.
+
+    With every argument ``None`` the current context is reused unchanged
+    (so wrapping a call site is always safe).
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    if backend is None and jobs is None and cache_dir is None:
+        yield previous
+        return
+    try:
+        yield configure_execution(backend=backend, jobs=jobs, cache_dir=cache_dir)
+    finally:
+        _DEFAULT = previous

@@ -1,0 +1,244 @@
+"""Content-addressed result store for experiment summaries.
+
+A :class:`ResultStore` memoizes :class:`~repro.sim.runner.RunSummary`
+objects under a key derived from *content*, never from call order:
+
+    ``key = sha256(spec fingerprint + topology fingerprint + engine version)``
+
+* the **spec fingerprint** canonicalizes every ``ExperimentSpec`` field
+  (recursing through dataclasses, dicts and NumPy arrays) so that two
+  equal specs hash identically regardless of construction;
+* the **topology fingerprint** hashes the PRR matrix bytes, positions,
+  RSSI and neighbor threshold (:meth:`repro.net.topology.Topology.fingerprint`);
+* the **engine version** (:data:`repro.sim.engine.ENGINE_VERSION`) is
+  bumped whenever simulation semantics change, invalidating every prior
+  entry at once.
+
+The store is layered: an in-process dict always fronts it (this replaces
+the old ``lru_cache`` memoization in ``experiments/_trace_sweep.py``),
+and an optional on-disk directory persists entries across CLI
+invocations. Disk entries are self-verifying — a JSON header records the
+key and a payload digest, and any mismatch (truncation, corruption,
+tampering, an entry recorded under a different key) is treated as a miss
+and recomputed rather than served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "spec_fingerprint",
+    "result_key",
+]
+
+#: On-disk entry format; bump on layout changes.
+_FORMAT = 1
+
+
+def _engine_version() -> str:
+    # Imported lazily: repro.sim pulls in the runner at package-init
+    # time, and the runner must stay importable without repro.exec.
+    from ..sim.engine import ENGINE_VERSION
+
+    return ENGINE_VERSION
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable structure.
+
+    Dataclasses flatten to ``[classname, sorted fields]``; NumPy arrays
+    to ``(dtype, shape, sha256 of raw bytes)``. Unsupported types raise
+    so silently unstable keys (e.g. an object's default ``repr`` with a
+    memory address) can never corrupt the cache.
+    """
+    import numpy as np
+
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips; avoids json float quirks
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return _canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return ["ndarray", arr.dtype.str, list(arr.shape),
+                hashlib.sha256(arr.tobytes()).hexdigest()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return [type(obj).__name__, sorted(fields.items())]
+    if isinstance(obj, dict):
+        return ["dict", sorted(
+            (str(k), _canonical(v)) for k, v in obj.items()
+        )]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_canonical(v) for v in obj]]
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r} deterministically; "
+        f"extend repro.exec.store._canonical if this type belongs in a spec"
+    )
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """Deterministic hex digest of an :class:`ExperimentSpec` (or any
+    dataclass built from primitives, dicts and arrays)."""
+    blob = json.dumps(_canonical(spec), separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_key(topo: Any, spec: Any, engine_version: Optional[str] = None) -> str:
+    """The content address of ``(spec, topology, engine)``."""
+    if engine_version is None:
+        engine_version = _engine_version()
+    h = hashlib.sha256()
+    h.update(spec_fingerprint(spec).encode())
+    h.update(topo.fingerprint().encode())
+    h.update(str(engine_version).encode())
+    return h.hexdigest()
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss counters (both memory and disk hits count as hits)."""
+
+    hits: int = 0
+    misses: int = 0
+    rejected: int = 0  # corrupted / stale disk entries discarded
+
+    def __str__(self) -> str:
+        s = f"{self.hits} hit(s), {self.misses} miss(es)"
+        if self.rejected:
+            s += f", {self.rejected} rejected"
+        return s
+
+
+class ResultStore:
+    """Layered (memory + optional disk) store of ``RunSummary`` payloads.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for persistent entries (created on first write).
+        ``None`` keeps the store purely in-memory — still useful: it
+        memoizes repeated specs within one process, e.g. fig10 and
+        fig11 sharing the trace-sweep grid.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None and self.cache_dir.exists() \
+                and not self.cache_dir.is_dir():
+            raise NotADirectoryError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            )
+        self.stats = StoreStats()
+        self._mem: Dict[str, Any] = {}
+
+    # -- counters exposed flat for convenience -------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # -- keys ----------------------------------------------------------
+
+    def key_for(self, topo: Any, spec: Any) -> str:
+        """Content address of ``(spec, topo)`` under the current engine."""
+        return result_key(topo, spec)
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.rsum"
+
+    # -- get / put -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored summary or ``None`` (counting hit/miss).
+
+        Disk entries failing integrity checks (bad header, digest
+        mismatch, entry recorded under another key, unpicklable payload)
+        are discarded and reported as misses, so corruption can only
+        ever cost a recomputation.
+        """
+        if key in self._mem:
+            self.stats.hits += 1
+            return self._mem[key]
+        if self.cache_dir is not None:
+            value = self._load_disk(key)
+            if value is not None:
+                self._mem[key] = value
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Record ``value`` under ``key`` (memory, plus disk if configured)."""
+        self._mem[key] = value
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header = json.dumps({
+            "format": _FORMAT,
+            "key": key,
+            "engine": _engine_version(),
+            "digest": hashlib.sha256(payload).hexdigest(),
+        }).encode("utf-8")
+        # Atomic publish: concurrent CLI invocations may race on the
+        # same entry; rename makes the last writer win cleanly.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(header + b"\n" + payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_disk(self, key: str) -> Optional[Any]:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            head, payload = raw.split(b"\n", 1)
+            meta = json.loads(head.decode("utf-8"))
+            if (
+                meta.get("format") != _FORMAT
+                or meta.get("key") != key
+                or meta.get("digest")
+                != hashlib.sha256(payload).hexdigest()
+            ):
+                raise ValueError("integrity check failed")
+            return pickle.loads(payload)
+        except Exception:
+            self.stats.rejected += 1
+            return None
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are left untouched)."""
+        self._mem.clear()

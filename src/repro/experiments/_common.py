@@ -1,4 +1,4 @@
-"""Shared experiment infrastructure: scales, cached traces, sweep cache.
+"""Shared experiment infrastructure: scales, cached traces, execution.
 
 Every experiment accepts a ``scale``:
 
@@ -7,18 +7,31 @@ Every experiment accepts a ``scale``:
 * ``"bench"`` — reduced sizes tuned so each pytest-benchmark target runs
   in seconds while preserving every qualitative shape.
 * ``"smoke"`` — minimal sizes for the unit/integration test suite.
+
+Experiments run their specs through :func:`run_spec` (or hand the
+process-wide executor/store pair to the sweep helpers), so the CLI's
+``--jobs``/``--cache-dir`` flags — which install a
+:class:`repro.exec.ExecutionContext` — apply to every figure uniformly.
+Result memoization lives in the context's content-addressed
+:class:`repro.exec.ResultStore`, not in per-function ``lru_cache``s:
+within a process the store's memory layer deduplicates shared grids
+(fig10/fig11), and with a cache directory configured results survive
+across CLI invocations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..exec import execution_context
 from ..net.topology import Topology
 from ..net.trace import GreenOrbsConfig, synthesize_greenorbs
+from ..sim.runner import ExperimentSpec, RunSummary, run_experiments
 
-__all__ = ["TraceScale", "SCALES", "get_trace", "resolve_scale"]
+__all__ = ["TraceScale", "SCALES", "get_trace", "resolve_scale",
+           "run_spec", "run_specs"]
 
 #: Root seed of every experiment (the paper's publication year).
 DEFAULT_SEED = 2011
@@ -72,6 +85,23 @@ def resolve_scale(scale: str) -> TraceScale:
         return SCALES[scale]
     except KeyError:
         raise KeyError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}") from None
+
+
+def run_spec(topo: Topology, spec: ExperimentSpec) -> RunSummary:
+    """Run one spec through the process-wide execution context.
+
+    Every experiment module funnels its simulations through here (or
+    :func:`run_specs`) so the session's executor (``--jobs``) and result
+    store (``--cache-dir``) apply without threading parameters through
+    each figure's signature.
+    """
+    return run_specs(topo, [spec])[0]
+
+
+def run_specs(topo: Topology, specs: Sequence[ExperimentSpec]) -> List[RunSummary]:
+    """Run many specs in one dispatch through the execution context."""
+    ctx = execution_context()
+    return run_experiments(topo, specs, executor=ctx.executor, store=ctx.store)
 
 
 @lru_cache(maxsize=8)

@@ -1,16 +1,21 @@
 """Shared trace-driven duty-cycle sweep backing Figs. 10 and 11.
 
 Both figures come from the same simulation grid (protocols x duty
-ratios on the GreenOrbs trace), so the sweep runs once per (scale, seed)
-and is memoized in-process; fig10 reads the delay columns, fig11 the
-failure columns.
+ratios on the GreenOrbs trace). The grid runs through the process-wide
+:class:`repro.exec.ExecutionContext`: the executor fans every
+``(protocol, duty, replication)`` task out in one dispatch, and the
+content-addressed result store deduplicates the work — fig10 computes
+the grid, fig11 is answered entirely from the store (and, with a cache
+directory configured, so is the next CLI invocation). This replaces the
+old process-local ``lru_cache`` memoization, which evaporated between
+processes and ignored ``--jobs``.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, Tuple
+from typing import Dict
 
+from ..exec import execution_context
 from ..sim.runner import RunSummary, run_protocol_sweep
 from ._common import DEFAULT_SEED, get_trace, resolve_scale
 
@@ -20,13 +25,13 @@ __all__ = ["trace_duty_sweep", "PROTOCOLS"]
 PROTOCOLS = ("opt", "dbao", "of")
 
 
-@lru_cache(maxsize=4)
 def trace_duty_sweep(
     scale: str = "full", seed: int = DEFAULT_SEED
 ) -> Dict[str, Dict[float, RunSummary]]:
-    """Protocols x duty ratios grid on the trace topology (memoized)."""
+    """Protocols x duty ratios grid on the trace topology (store-cached)."""
     ts = resolve_scale(scale)
     topo = get_trace(scale, seed)
+    ctx = execution_context()
     return run_protocol_sweep(
         topo,
         protocols=PROTOCOLS,
@@ -34,4 +39,6 @@ def trace_duty_sweep(
         n_packets=ts.n_packets,
         seed=seed,
         n_replications=ts.n_replications,
+        executor=ctx.executor,
+        store=ctx.store,
     )

@@ -17,8 +17,8 @@ import numpy as np
 from ..analysis.series import ExperimentResult, Series
 from ..net.radio import RadioModel
 from ..sim.engine import SimConfig
-from ..sim.runner import ExperimentSpec, run_experiment
-from ._common import DEFAULT_SEED, get_trace, resolve_scale
+from ..sim.runner import ExperimentSpec
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
 
 __all__ = [
     "run_collisions",
@@ -46,7 +46,7 @@ def run_collisions(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentR
             seed=seed,
             sim_config=SimConfig(radio=radio),
         )
-        summary = run_experiment(topo, spec)
+        summary = run_spec(topo, spec)
         rows[label] = (summary.mean_delay(), summary.mean_failures())
 
     x = np.asarray([0, 1])
@@ -75,7 +75,7 @@ def run_overhearing(scale: str = "full", seed: int = DEFAULT_SEED) -> Experiment
             seed=seed,
             protocol_kwargs={"overhearing": overhear},
         )
-        summary = run_experiment(topo, spec)
+        summary = run_spec(topo, spec)
         rows[label] = (
             summary.mean_delay(),
             summary.mean_failures(),
@@ -119,7 +119,7 @@ def run_data_overhearing(
             seed=seed,
             sim_config=SimConfig(radio=radio),
         )
-        summary = run_experiment(topo, spec)
+        summary = run_spec(topo, spec)
         rows[label] = (summary.mean_delay(), summary.mean_tx_attempts())
     x = np.asarray([0, 1])
     labels = list(rows)
@@ -229,7 +229,7 @@ def run_opp_threshold(scale: str = "full", seed: int = DEFAULT_SEED) -> Experime
             seed=seed,
             protocol_kwargs={"opp_quantile": q},
         )
-        summary = run_experiment(topo, spec)
+        summary = run_spec(topo, spec)
         delays.append(summary.mean_delay())
         attempts.append(summary.mean_tx_attempts())
     x = np.asarray(quantiles)

@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.series import ExperimentResult, Series
-from ..sim.runner import ExperimentSpec, run_experiment
-from ._common import DEFAULT_SEED, get_trace, resolve_scale
+from ..sim.runner import ExperimentSpec
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
 from ._trace_sweep import PROTOCOLS
 
 __all__ = ["run"]
@@ -38,7 +38,7 @@ def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
             n_replications=ts.n_replications,
             measure_transmission_delay=True,
         )
-        summary = run_experiment(topo, spec)
+        summary = run_spec(topo, spec)
         series.append(
             Series(
                 label=f"{proto}: total delay",

@@ -29,8 +29,8 @@ from ..analysis.series import ExperimentResult, Series, Table
 from ..analysis.validate import analytic_lower_bound
 from ..core.linkloss import effective_k, recurrence_hitting_time
 from ..net.topology import Topology
-from ..sim.runner import ExperimentSpec, run_experiment
-from ._common import DEFAULT_SEED, get_trace, resolve_scale
+from ..sim.runner import ExperimentSpec
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
 
 __all__ = ["run", "homogenize"]
 
@@ -61,7 +61,7 @@ def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
             ("heterogeneous", hetero_topo),
             ("homogenized", homog_topo),
         ):
-            summary = run_experiment(topo, ExperimentSpec(
+            summary = run_spec(topo, ExperimentSpec(
                 protocol="dbao",
                 duty_ratio=duty,
                 n_packets=ts.n_packets,

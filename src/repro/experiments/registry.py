@@ -6,9 +6,10 @@ tests, and the EXPERIMENTS.md generator all invoke experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..analysis.series import ExperimentResult
+from ..exec import use_execution
 from . import ablations, fig3, fig5, fig6, fig7, fig9, fig10, fig11
 from . import hetero, lemma2, skew, slot_split, table1, tradeoff_gain
 
@@ -37,16 +38,30 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment_by_id(
-    experiment_id: str, scale: str = "full", **kwargs
+    experiment_id: str,
+    scale: str = "full",
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Run one registered experiment."""
+    """Run one registered experiment.
+
+    ``backend``/``jobs``/``cache_dir`` configure the execution context
+    for the duration of the run (see :mod:`repro.exec`): ``jobs > 1``
+    fans replications and sweep grids over a process pool, and
+    ``cache_dir`` persists result summaries so a repeated invocation
+    skips simulation entirely. All ``None`` (the default) leaves the
+    caller's context untouched.
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(scale=scale, **kwargs)
+    with use_execution(backend=backend, jobs=jobs, cache_dir=cache_dir):
+        return fn(scale=scale, **kwargs)
 
 
 def experiment_ids() -> List[str]:

@@ -100,6 +100,9 @@ class Topology:
         #: SIR-based power capture.
         self.rssi = rssi
 
+        # Content fingerprint for the result store, computed lazily.
+        self._fingerprint: Optional[str] = None
+
         # Adjacency by usable links (boolean, directed).
         self.adjacency = self.prr > 0.0
         # Neighbor lists by out-links (who can I transmit to).
@@ -195,6 +198,28 @@ class Topology:
         if not mask.any():
             raise ValueError("topology has no links")
         return float((1.0 / self.prr[mask]).mean())
+
+    def fingerprint(self) -> str:
+        """Content digest of the substrate (hex, cached after first call).
+
+        Hashes everything a simulation's outcome can depend on — the
+        thresholded PRR matrix, positions, RSSI and the neighbor
+        threshold — so the :mod:`repro.exec` result store can address
+        cached summaries by topology *content* rather than identity.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(np.ascontiguousarray(self.prr).tobytes())
+            h.update(repr(self.neighbor_threshold).encode())
+            for arr in (self.positions, self.rssi):
+                if arr is None:
+                    h.update(b"none")
+                else:
+                    h.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes (requires positions)."""

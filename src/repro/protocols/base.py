@@ -149,6 +149,13 @@ class FloodingProtocol(ABC):
     #: Registry key; subclasses must override.
     name: str = ""
 
+    #: Constructor kwargs, for faithful reconstruction (e.g. the Fig. 9
+    #: single-packet probe floods re-instantiate the protocol per probe).
+    #: :func:`make_protocol` records the passed kwargs on every instance;
+    #: this class-level default only covers protocols instantiated
+    #: directly with default arguments.
+    init_kwargs: Dict = {}
+
     def prepare(
         self,
         topo: Topology,
@@ -186,14 +193,22 @@ def register_protocol(cls: Type[FloodingProtocol]) -> Type[FloodingProtocol]:
 
 
 def make_protocol(name: str, **kwargs) -> FloodingProtocol:
-    """Instantiate a registered protocol by name."""
+    """Instantiate a registered protocol by name.
+
+    The constructor kwargs are recorded on the instance as
+    ``init_kwargs`` regardless of whether the class does so itself, so
+    engine paths that rebuild the protocol (the Fig. 9 probe floods)
+    always reconstruct it with the configuration it was created with.
+    """
     try:
         cls = _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return cls(**kwargs)
+    protocol = cls(**kwargs)
+    protocol.init_kwargs = dict(kwargs)
+    return protocol
 
 
 def available_protocols() -> List[str]:

@@ -6,7 +6,14 @@ from .engine import FloodResult, SimConfig, run_flood, run_single_packet_floods
 from .events import EventKind, EventLog, SimEvent
 from .metrics import FloodMetrics, PacketDelays, coverage_threshold
 from .rng import RngStreams, derive_seed, spawn_generator
-from .runner import ExperimentSpec, RunSummary, run_experiment, run_protocol_sweep
+from .runner import (
+    ExperimentSpec,
+    RunSummary,
+    run_experiment,
+    run_experiments,
+    run_protocol_sweep,
+    run_replication,
+)
 
 __all__ = [
     "SlottedClock",
@@ -15,5 +22,6 @@ __all__ = [
     "EventKind", "EventLog", "SimEvent",
     "FloodMetrics", "PacketDelays", "coverage_threshold",
     "RngStreams", "derive_seed", "spawn_generator",
-    "ExperimentSpec", "RunSummary", "run_experiment", "run_protocol_sweep",
+    "ExperimentSpec", "RunSummary", "run_experiment", "run_experiments",
+    "run_protocol_sweep", "run_replication",
 ]

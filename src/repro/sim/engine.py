@@ -38,7 +38,14 @@ from .energy import EnergyLedger
 from .events import EventKind, EventLog, SimEvent
 from .metrics import FloodMetrics, PacketDelays, coverage_threshold
 
-__all__ = ["SimConfig", "FloodResult", "run_flood", "run_single_packet_floods"]
+__all__ = ["ENGINE_VERSION", "SimConfig", "FloodResult", "run_flood",
+           "run_single_packet_floods"]
+
+#: Simulation-semantics version, folded into every
+#: :mod:`repro.exec.store` cache key. Bump whenever a change alters
+#: simulated trajectories (RNG consumption order, channel resolution,
+#: metric definitions, ...) so stale cached results can never be served.
+ENGINE_VERSION = "2011.1"
 
 
 @dataclass(frozen=True)
@@ -180,6 +187,13 @@ def run_flood(
     sleep_misses = 0
     n_pending = M  # packets not yet at coverage target
 
+    # Preallocated wake-mask scratch for proposal validation: an O(1)
+    # boolean lookup per receiver instead of rebuilding a Python set
+    # from the awake array every slot (the sets dominated validation
+    # cost when proposal lists are tiny).
+    awake_mask = np.zeros(n_nodes, dtype=bool)
+    actual_mask = np.zeros(n_nodes, dtype=bool)
+
     t = 0
     while t < horizon and n_pending > 0:
         # 0. Link dynamics advance regardless of traffic.
@@ -207,7 +221,7 @@ def run_flood(
         else:
             proposals = []
         if proposals:
-            awake_set = set(awake.tolist())
+            awake_mask[awake] = True
             seen_senders = set()
             for tx in proposals:
                 if tx.sender in seen_senders:
@@ -221,20 +235,21 @@ def run_flood(
                         f"protocol {protocol.name!r} made node {tx.sender} send "
                         f"packet {tx.packet} it does not hold (slot {t})"
                     )
-                if tx.receiver not in awake_set:
+                if not awake_mask[tx.receiver]:
                     raise ValueError(
                         f"protocol {protocol.name!r} targeted sleeping node "
                         f"{tx.receiver} at slot {t}"
                     )
+            awake_mask[awake] = False
 
             # Clock skew: transmissions addressed to nodes that are not
             # really awake hit a dormant radio.
             if actual_schedules is not schedules:
-                actually_awake_set = set(actually_awake.tolist())
+                actual_mask[actually_awake] = True
                 sleep_misses += sum(
-                    1 for tx in proposals
-                    if tx.receiver not in actually_awake_set
+                    1 for tx in proposals if not actual_mask[tx.receiver]
                 )
+                actual_mask[actually_awake] = False
 
             # 5. Channel resolution (against reality).
             outcome = resolve_slot(
@@ -306,9 +321,14 @@ def run_flood(
 
     transmission_delay = _transmission_delay
     if measure_transmission_delay and transmission_delay is None:
+        # Probe floods reconstruct the protocol from its recorded
+        # constructor kwargs. ``init_kwargs`` is guaranteed to exist:
+        # ``make_protocol`` records it uniformly and the base class
+        # carries an empty default, so a protocol's configuration is
+        # never silently dropped on the Fig. 9 decomposition path.
         transmission_delay = run_single_packet_floods(
             topo, schedules, workload, type(protocol), rng, config,
-            protocol_kwargs=getattr(protocol, "init_kwargs", None),
+            protocol_kwargs=protocol.init_kwargs,
         )
 
     metrics = FloodMetrics(

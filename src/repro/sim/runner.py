@@ -5,12 +5,21 @@ topology, with several replications per configuration. The runner
 standardizes that: one :class:`ExperimentSpec` per configuration, paired
 random streams across protocols (same schedules and loss draws for every
 protocol at the same replication index), and summary aggregation.
+
+Execution is pluggable: every entry point decomposes its work into
+independent :func:`run_replication` tasks and maps them through an
+optional :class:`repro.exec.Executor` (serial by default, process-pool
+parallel on request). Each task derives its schedule/channel streams
+from ``(seed, rep)`` alone and shares no RNG state, so serial and
+parallel backends produce **bit-identical** results. An optional
+:class:`repro.exec.ResultStore` memoizes whole :class:`RunSummary`
+payloads by content (spec + topology fingerprint + engine version).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +31,8 @@ from ..protocols.opt import opt_radio_model
 from .engine import FloodResult, SimConfig, run_flood
 from .rng import RngStreams
 
-__all__ = ["ExperimentSpec", "RunSummary", "run_experiment", "run_protocol_sweep"]
+__all__ = ["ExperimentSpec", "RunSummary", "run_replication",
+           "run_experiment", "run_experiments", "run_protocol_sweep"]
 
 
 @dataclass(frozen=True)
@@ -147,35 +157,110 @@ def _default_sim_config(spec: ExperimentSpec) -> SimConfig:
     return SimConfig(coverage_target=spec.coverage_target)
 
 
-def run_experiment(topo: Topology, spec: ExperimentSpec) -> RunSummary:
+def run_replication(topo: Topology, spec: ExperimentSpec, rep: int) -> FloodResult:
+    """Run one replication of ``spec`` — the unit of parallel work.
+
+    Streams are derived from ``(spec.seed, rep)`` only (the name-keyed
+    :class:`RngStreams` derivation is order-independent), so a task is a
+    pure function of its arguments: dispatching replications across
+    processes, in any order, reproduces the serial trajectory bit for
+    bit.
+    """
+    config = _default_sim_config(spec)
+    period = duty_ratio_to_period(spec.duty_ratio)
+    streams = RngStreams(spec.seed)
+    schedule_rng = streams.get(f"schedule/{rep}")
+    channel_rng = streams.get(f"channel/{rep}")
+    schedules = ScheduleTable.random(topo.n_nodes, period, schedule_rng)
+    workload = FloodWorkload(spec.n_packets, spec.generation_interval)
+    protocol = make_protocol(spec.protocol, **spec.protocol_kwargs)
+    return run_flood(
+        topo,
+        schedules,
+        workload,
+        protocol,
+        channel_rng,
+        config,
+        measure_transmission_delay=spec.measure_transmission_delay,
+    )
+
+
+def _run_task(task: Tuple[Topology, ExperimentSpec, int]) -> FloodResult:
+    """Picklable task adapter for :meth:`repro.exec.Executor.map`."""
+    topo, spec, rep = task
+    return run_replication(topo, spec, rep)
+
+
+def run_experiment(
+    topo: Topology,
+    spec: ExperimentSpec,
+    executor=None,
+    store=None,
+) -> RunSummary:
     """Run one spec's replications on a fixed topology.
 
     Stream pairing: schedules and channel draws are derived from
     ``(seed, replication)`` only — two specs differing in the protocol see
     identical wake patterns and loss randomness, so protocol comparisons
     are paired.
+
+    Parameters
+    ----------
+    executor:
+        Optional :class:`repro.exec.Executor` the per-replication tasks
+        are mapped through; ``None`` runs them inline (serial).
+    store:
+        Optional :class:`repro.exec.ResultStore`; when supplied, a
+        summary cached under this ``(spec, topo, engine)`` content key
+        is returned without simulating, and fresh summaries are
+        recorded.
     """
-    config = _default_sim_config(spec)
-    period = duty_ratio_to_period(spec.duty_ratio)
-    results: List[FloodResult] = []
-    streams = RngStreams(spec.seed)
-    for rep in range(spec.n_replications):
-        schedule_rng = streams.get(f"schedule/{rep}")
-        channel_rng = streams.get(f"channel/{rep}")
-        schedules = ScheduleTable.random(topo.n_nodes, period, schedule_rng)
-        workload = FloodWorkload(spec.n_packets, spec.generation_interval)
-        protocol = make_protocol(spec.protocol, **spec.protocol_kwargs)
-        result = run_flood(
-            topo,
-            schedules,
-            workload,
-            protocol,
-            channel_rng,
-            config,
-            measure_transmission_delay=spec.measure_transmission_delay,
-        )
-        results.append(result)
-    return RunSummary(spec=spec, results=results)
+    (summary,) = run_experiments(topo, [spec], executor=executor, store=store)
+    return summary
+
+
+def run_experiments(
+    topo: Topology,
+    specs: Sequence[ExperimentSpec],
+    executor=None,
+    store=None,
+) -> List[RunSummary]:
+    """Run many specs' replications through one executor dispatch.
+
+    The workhorse behind :func:`run_experiment`,
+    :func:`run_protocol_sweep` and :func:`repro.analysis.sweep.sweep`:
+    store-cached specs are answered immediately, every remaining
+    ``(spec, rep)`` pair across *all* specs is flattened into a single
+    ``executor.map`` call (so a parallel backend sees the whole grid at
+    once, not one spec at a time), and results are regrouped per spec.
+    """
+    keys: List[Optional[str]] = [None] * len(specs)
+    summaries: List[Optional[RunSummary]] = [None] * len(specs)
+    if store is not None:
+        for i, spec in enumerate(specs):
+            keys[i] = store.key_for(topo, spec)
+            summaries[i] = store.get(keys[i])
+
+    tasks: List[Tuple[Topology, ExperimentSpec, int]] = []
+    owners: List[int] = []
+    for i, spec in enumerate(specs):
+        if summaries[i] is None:
+            tasks.extend((topo, spec, rep) for rep in range(spec.n_replications))
+            owners.extend([i] * spec.n_replications)
+
+    if tasks:
+        if executor is None:
+            results = [_run_task(task) for task in tasks]
+        else:
+            results = executor.map(_run_task, tasks)
+        grouped: Dict[int, List[FloodResult]] = {}
+        for owner, result in zip(owners, results):
+            grouped.setdefault(owner, []).append(result)
+        for i, flood_results in grouped.items():
+            summaries[i] = RunSummary(spec=specs[i], results=flood_results)
+            if store is not None:
+                store.put(keys[i], summaries[i])
+    return summaries  # type: ignore[return-value]
 
 
 def run_protocol_sweep(
@@ -188,22 +273,31 @@ def run_protocol_sweep(
     coverage_target: float = 0.99,
     protocol_kwargs: Optional[Dict[str, Dict]] = None,
     measure_transmission_delay: bool = False,
+    executor=None,
+    store=None,
 ) -> Dict[str, Dict[float, RunSummary]]:
-    """The Fig. 10/11 grid: protocols x duty ratios on one topology."""
+    """The Fig. 10/11 grid: protocols x duty ratios on one topology.
+
+    The whole grid (every protocol, duty ratio and replication) is
+    flattened into one executor dispatch — see :func:`run_experiments`.
+    """
     protocol_kwargs = protocol_kwargs or {}
-    out: Dict[str, Dict[float, RunSummary]] = {}
-    for proto in protocols:
-        out[proto] = {}
-        for duty in duty_ratios:
-            spec = ExperimentSpec(
-                protocol=proto,
-                duty_ratio=duty,
-                n_packets=n_packets,
-                seed=seed,
-                n_replications=n_replications,
-                coverage_target=coverage_target,
-                protocol_kwargs=protocol_kwargs.get(proto, {}),
-                measure_transmission_delay=measure_transmission_delay,
-            )
-            out[proto][duty] = run_experiment(topo, spec)
+    specs = [
+        ExperimentSpec(
+            protocol=proto,
+            duty_ratio=duty,
+            n_packets=n_packets,
+            seed=seed,
+            n_replications=n_replications,
+            coverage_target=coverage_target,
+            protocol_kwargs=protocol_kwargs.get(proto, {}),
+            measure_transmission_delay=measure_transmission_delay,
+        )
+        for proto in protocols
+        for duty in duty_ratios
+    ]
+    summaries = run_experiments(topo, specs, executor=executor, store=store)
+    out: Dict[str, Dict[float, RunSummary]] = {p: {} for p in protocols}
+    for spec, summary in zip(specs, summaries):
+        out[spec.protocol][spec.duty_ratio] = summary
     return out

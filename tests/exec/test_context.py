@@ -1,0 +1,92 @@
+"""Tests for the process-wide execution context."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ParallelExecutor,
+    SerialExecutor,
+    configure_execution,
+    execution_context,
+    reset_execution,
+    use_execution,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_context():
+    yield
+    reset_execution()
+
+
+class TestContext:
+    def test_default_is_serial_with_memory_store(self):
+        ctx = reset_execution()
+        assert isinstance(ctx.executor, SerialExecutor)
+        assert ctx.store.cache_dir is None
+        assert execution_context() is ctx
+
+    def test_configure_installs_parallel_and_disk(self, tmp_path):
+        ctx = configure_execution(jobs=2, cache_dir=tmp_path)
+        assert isinstance(ctx.executor, ParallelExecutor)
+        assert ctx.executor.jobs == 2
+        assert ctx.store.cache_dir == tmp_path
+        assert execution_context() is ctx
+
+    def test_use_execution_restores_previous(self, tmp_path):
+        before = reset_execution()
+        with use_execution(jobs=4, cache_dir=tmp_path) as ctx:
+            assert execution_context() is ctx
+            assert ctx.executor.jobs == 4
+        assert execution_context() is before
+
+    def test_use_execution_noop_when_unconfigured(self):
+        before = reset_execution()
+        with use_execution() as ctx:
+            assert ctx is before
+        assert execution_context() is before
+
+    def test_use_execution_restores_on_error(self):
+        before = reset_execution()
+        with pytest.raises(RuntimeError):
+            with use_execution(jobs=2):
+                raise RuntimeError("boom")
+        assert execution_context() is before
+
+
+class TestHarnessIntegration:
+    def test_trace_sweep_served_from_store_on_second_call(self):
+        from repro.experiments._trace_sweep import trace_duty_sweep
+
+        reset_execution()
+        store = execution_context().store
+        first = trace_duty_sweep(scale="smoke")
+        misses_after_first = store.misses
+        assert misses_after_first > 0
+        second = trace_duty_sweep(scale="smoke")
+        # Every grid cell of the second call is a store hit (fig11 reads
+        # fig10's grid for free, replacing the old lru_cache semantics).
+        assert store.misses == misses_after_first
+        assert store.hits >= misses_after_first
+        for proto, by_duty in first.items():
+            for duty, summary in by_duty.items():
+                assert np.array_equal(
+                    summary.per_replication_delays(),
+                    second[proto][duty].per_replication_delays(),
+                )
+
+    def test_run_experiment_by_id_backend_passthrough(self, tmp_path):
+        from repro.experiments import run_experiment_by_id
+
+        reset_execution()
+        result = run_experiment_by_id(
+            "fig10", scale="smoke", jobs=2, cache_dir=tmp_path
+        )
+        assert result.experiment_id == "fig10"
+        assert list(tmp_path.glob("*.rsum"))  # summaries persisted
+        # The temporary context was uninstalled afterwards.
+        assert isinstance(execution_context().executor, SerialExecutor)
+        # A rerun against the same cache dir is answered without simulating.
+        with use_execution(cache_dir=tmp_path) as ctx:
+            run_experiment_by_id("fig10", scale="smoke")
+            assert ctx.store.misses == 0 and ctx.store.hits > 0

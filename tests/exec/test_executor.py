@@ -1,0 +1,116 @@
+"""Tests for the pluggable execution backends."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ParallelExecutor,
+    SerialExecutor,
+    WorkerCrashError,
+    resolve_executor,
+)
+from repro.net.generators import line_topology
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+
+def _square(x):
+    return x * x
+
+
+def _crash(_task):
+    os._exit(13)  # simulate a segfault/OOM-kill: no exception, no return
+
+
+def _explode(task):
+    raise ValueError(f"bad task {task}")
+
+
+@pytest.fixture
+def topo():
+    return line_topology(5, prr=0.9)
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestParallelExecutor:
+    def test_maps_in_order(self):
+        assert ParallelExecutor(jobs=2).map(_square, list(range(10))) == [
+            x * x for x in range(10)
+        ]
+
+    def test_single_job_runs_inline(self):
+        # jobs=1 must not pay for a pool (and never pickles anything).
+        unpicklable = lambda x: x + 1  # noqa: E731
+        assert ParallelExecutor(jobs=1).map(unpicklable, [1, 2]) == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=2, chunksize=0)
+
+    def test_chunksize_default_covers_all_tasks(self):
+        ex = ParallelExecutor(jobs=2)
+        assert ex._chunksize_for(1) >= 1
+        assert ex._chunksize_for(1000) * 2 * 4 >= 1000
+
+    def test_worker_crash_surfaced(self):
+        with pytest.raises(WorkerCrashError, match="worker process died"):
+            ParallelExecutor(jobs=2).map(_crash, [1, 2, 3])
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="bad task"):
+            ParallelExecutor(jobs=2).map(_explode, [1, 2])
+
+
+class TestResolveExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(resolve_executor(), SerialExecutor)
+        assert isinstance(resolve_executor(jobs=1), SerialExecutor)
+
+    def test_jobs_alone_selects_parallel(self):
+        ex = resolve_executor(jobs=3)
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.jobs == 3
+
+    def test_explicit_backend(self):
+        assert isinstance(resolve_executor("serial", jobs=8), SerialExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            resolve_executor("gpu")
+
+
+class TestBackendDeterminism:
+    """The hard contract: backends are bit-identical, per replication."""
+
+    @pytest.mark.parametrize("protocol", ["opt", "dbao", "of"])
+    def test_serial_and_parallel_replications_identical(self, topo, protocol):
+        spec = ExperimentSpec(
+            protocol=protocol, duty_ratio=0.2, n_packets=2, seed=11,
+            n_replications=3,
+        )
+        serial = run_experiment(topo, spec, executor=SerialExecutor())
+        parallel = run_experiment(topo, spec, executor=ParallelExecutor(jobs=2))
+        assert np.array_equal(
+            serial.per_replication_delays(),
+            parallel.per_replication_delays(),
+        )
+        assert serial.mean_failures() == parallel.mean_failures()
+        assert serial.mean_tx_attempts() == parallel.mean_tx_attempts()
+
+    def test_executor_none_matches_serial(self, topo):
+        spec = ExperimentSpec(protocol="dbao", duty_ratio=0.2, n_packets=2,
+                              seed=5, n_replications=2)
+        assert np.array_equal(
+            run_experiment(topo, spec).per_replication_delays(),
+            run_experiment(topo, spec,
+                           executor=SerialExecutor()).per_replication_delays(),
+        )

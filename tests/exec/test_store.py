@@ -1,0 +1,135 @@
+"""Tests for the content-addressed result store."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exec import ResultStore, result_key, spec_fingerprint
+from repro.net.generators import line_topology
+from repro.sim.runner import ExperimentSpec, run_experiment
+
+
+@pytest.fixture
+def topo():
+    return line_topology(5, prr=0.9)
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(protocol="dbao", duty_ratio=0.2, n_packets=2,
+                          seed=3, n_replications=2)
+
+
+class TestFingerprints:
+    def test_spec_fingerprint_stable(self, spec):
+        assert spec_fingerprint(spec) == spec_fingerprint(
+            ExperimentSpec(protocol="dbao", duty_ratio=0.2, n_packets=2,
+                           seed=3, n_replications=2)
+        )
+
+    def test_spec_fingerprint_sensitive_to_every_field(self, spec):
+        base = spec_fingerprint(spec)
+        for change in (
+            {"protocol": "opt"},
+            {"duty_ratio": 0.25},
+            {"n_packets": 3},
+            {"seed": 4},
+            {"n_replications": 1},
+            {"coverage_target": 0.5},
+            {"protocol_kwargs": {"overhearing": False}},
+            {"measure_transmission_delay": True},
+        ):
+            assert spec_fingerprint(dataclasses.replace(spec, **change)) != base
+
+    def test_unfingerprintable_type_rejected(self):
+        with pytest.raises(TypeError, match="fingerprint"):
+            spec_fingerprint({"rng": np.random.default_rng(0)})
+
+    def test_topology_fingerprint_content_addressed(self, topo):
+        same = line_topology(5, prr=0.9)
+        other = line_topology(5, prr=0.8)
+        assert topo.fingerprint() == same.fingerprint()
+        assert topo.fingerprint() != other.fingerprint()
+
+    def test_key_includes_engine_version(self, topo, spec):
+        assert result_key(topo, spec) != result_key(
+            topo, spec, engine_version="an-older-engine"
+        )
+
+
+class TestMemoryStore:
+    def test_miss_then_hit(self, topo, spec):
+        store = ResultStore()
+        first = run_experiment(topo, spec, store=store)
+        assert (store.hits, store.misses) == (0, 1)
+        second = run_experiment(topo, spec, store=store)
+        assert (store.hits, store.misses) == (1, 1)
+        assert second is first  # memory layer returns the memoized object
+
+    def test_different_spec_not_conflated(self, topo, spec):
+        store = ResultStore()
+        run_experiment(topo, spec, store=store)
+        other = dataclasses.replace(spec, seed=spec.seed + 1)
+        run_experiment(topo, other, store=store)
+        assert store.misses == 2 and len(store) == 2
+
+
+class TestDiskStore:
+    def test_cache_dir_must_be_a_directory(self, tmp_path):
+        not_a_dir = tmp_path / "occupied"
+        not_a_dir.write_text("in the way")
+        with pytest.raises(NotADirectoryError, match="not a directory"):
+            ResultStore(not_a_dir)
+
+    def test_round_trip_across_stores(self, tmp_path, topo, spec):
+        first = run_experiment(topo, spec, store=ResultStore(tmp_path))
+        fresh = ResultStore(tmp_path)  # simulates a new process
+        second = run_experiment(topo, spec, store=fresh)
+        assert fresh.hits == 1 and fresh.misses == 0
+        assert np.array_equal(first.per_replication_delays(),
+                              second.per_replication_delays())
+        assert second.spec == spec
+
+    def test_corrupted_entry_recomputed_not_served(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        pristine = run_experiment(topo, spec, store=store)
+        (entry,) = tmp_path.glob("*.rsum")
+        raw = bytearray(entry.read_bytes())
+        raw[-1] ^= 0xFF  # flip payload bits -> digest mismatch
+        entry.write_bytes(bytes(raw))
+
+        fresh = ResultStore(tmp_path)
+        recomputed = run_experiment(topo, spec, store=fresh)
+        assert fresh.hits == 0 and fresh.misses == 1
+        assert fresh.stats.rejected == 1
+        assert np.array_equal(pristine.per_replication_delays(),
+                              recomputed.per_replication_delays())
+        # The recomputation overwrote the bad entry; next reader hits.
+        assert ResultStore(tmp_path).get(fresh.key_for(topo, spec)) is not None
+
+    def test_entry_recorded_under_other_key_rejected(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        key = store.key_for(topo, spec)
+        run_experiment(topo, spec, store=store)
+        # A stale entry copied/renamed onto this key must not be served.
+        bogus_key = "0" * 64
+        (tmp_path / f"{key}.rsum").rename(tmp_path / f"{bogus_key}.rsum")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(bogus_key) is None
+        assert fresh.stats.rejected == 1
+
+    def test_truncated_entry_rejected(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        run_experiment(topo, spec, store=store)
+        (entry,) = tmp_path.glob("*.rsum")
+        entry.write_bytes(entry.read_bytes()[:10])
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(store.key_for(topo, spec)) is None
+
+    def test_clear_drops_memory_keeps_disk(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        run_experiment(topo, spec, store=store)
+        store.clear()
+        assert len(store) == 0
+        assert store.get(store.key_for(topo, spec)) is not None  # from disk

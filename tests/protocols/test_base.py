@@ -50,6 +50,77 @@ class TestRegistry:
 
 
 @pytest.fixture
+def scratch_registry():
+    """Unregister protocols a test added, keeping the global registry clean."""
+    from repro.protocols import base as base_mod
+
+    before = set(base_mod._REGISTRY)
+    yield
+    for name in set(base_mod._REGISTRY) - before:
+        del base_mod._REGISTRY[name]
+
+
+class TestInitKwargsRecording:
+    """make_protocol records constructor kwargs uniformly (Fig. 9 fix)."""
+
+    def test_records_passed_kwargs(self):
+        assert make_protocol("of", opp_quantile=0.3).init_kwargs == {
+            "opp_quantile": 0.3
+        }
+        assert make_protocol("opt").init_kwargs == {}
+
+    def test_records_even_when_init_forgets(self, scratch_registry):
+        # Regression: a protocol whose __init__ never sets init_kwargs
+        # used to have its constructor args silently dropped by the
+        # Fig. 9 probe reconstruction.
+        @register_protocol
+        class Forgetful(FloodingProtocol):
+            name = "_test_forgetful"
+
+            def __init__(self, knob=1):
+                self.knob = knob  # deliberately no self.init_kwargs
+
+            def propose(self, t, awake, view):
+                return []
+
+        proto = make_protocol("_test_forgetful", knob=7)
+        assert proto.knob == 7
+        assert proto.init_kwargs == {"knob": 7}
+
+    def test_probe_floods_reconstruct_with_recorded_kwargs(self, scratch_registry):
+        # End-to-end regression for the Fig. 9 decomposition path: the
+        # single-packet probe floods must rebuild the protocol with the
+        # kwargs it was created with, not with defaults.
+        from repro.net.packet import FloodWorkload
+        from repro.net.schedule import ScheduleTable
+        from repro.sim.engine import SimConfig, run_flood
+
+        constructed = []
+
+        @register_protocol
+        class Probed(FloodingProtocol):
+            name = "_test_probed"
+
+            def __init__(self, knob=0):
+                constructed.append(knob)
+                self.knob = knob  # again: no self.init_kwargs
+
+            def propose(self, t, awake, view):
+                return []
+
+        topo = line_topology(3, prr=1.0)
+        rng = np.random.default_rng(0)
+        schedules = ScheduleTable.random(topo.n_nodes, 4, rng)
+        proto = make_protocol("_test_probed", knob=5)
+        run_flood(
+            topo, schedules, FloodWorkload(1), proto, rng,
+            SimConfig(max_slots=4), measure_transmission_delay=True,
+        )
+        assert len(constructed) >= 2  # the original plus >= 1 probe
+        assert constructed == [5] * len(constructed)
+
+
+@pytest.fixture
 def view(line5, rng):
     schedules = ScheduleTable.random(5, 5, rng)
     workload = FloodWorkload(3)
