@@ -19,7 +19,7 @@ import numpy as np
 
 from ..analysis.series import ExperimentResult, Series
 from ..net.packet import FloodWorkload
-from ..net.schedule import ScheduleTable
+from ..net.schedule import ScheduleTable, validate_slot_index
 from ..protocols import make_protocol
 from ..sim.engine import SimConfig, run_flood
 from ..sim.rng import RngStreams
@@ -82,8 +82,7 @@ class JitteredSchedules:
         return offsets
 
     def awake_at(self, t: int) -> np.ndarray:
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
+        t = validate_slot_index(t)
         offsets = self._offsets_for_period(t // self.period)
         return np.flatnonzero(offsets == (t % self.period))
 

@@ -23,6 +23,7 @@ from .radio import (
     Reception,
     SlotOutcome,
     Transmission,
+    TxBatch,
     carrier_sense_groups,
     resolve_slot,
 )
@@ -50,7 +51,7 @@ __all__ = [
     "expected_transmissions", "k_class_to_prr", "prr_to_k_class",
     "rssi_to_prr",
     "FcfsBuffer", "FloodWorkload", "Packet",
-    "RadioModel", "Reception", "SlotOutcome", "Transmission",
+    "RadioModel", "Reception", "SlotOutcome", "Transmission", "TxBatch",
     "carrier_sense_groups", "resolve_slot",
     "ScheduleTable", "WorkingSchedule", "duty_ratio_to_period",
     "period_to_duty_ratio", "random_schedules",

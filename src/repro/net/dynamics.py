@@ -111,6 +111,25 @@ class GilbertElliott:
         """Current fraction of links in the BAD state."""
         return float(self._bad.mean()) if self._bad.size else 0.0
 
+    def fork(self, rng: np.random.Generator) -> "GilbertElliott":
+        """Clone with the current link states but an independent stream.
+
+        Used by the Fig. 9 probe floods: each probe starts from the
+        channel conditions the parent flood is experiencing *now*, then
+        evolves on its own randomness so probes stay i.i.d.
+        """
+        p = self._params
+        clone = GilbertElliott(
+            self._topo,
+            p_good_to_bad=p.p_good_to_bad,
+            p_bad_to_good=p.p_bad_to_good,
+            bad_factor=p.bad_factor,
+            rng=rng,
+            start_stationary=False,
+        )
+        clone._bad = self._bad.copy()
+        return clone
+
     def step(self) -> None:
         """Advance every link's state by one slot (vectorized)."""
         if self._bad.size == 0:

@@ -20,7 +20,12 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .schedule import ScheduleTable, WorkingSchedule
+from .schedule import (
+    ScheduleTable,
+    WorkingSchedule,
+    slots_until_phase,
+    validate_slot_index,
+)
 
 __all__ = ["MultiSlotScheduleTable"]
 
@@ -103,25 +108,19 @@ class MultiSlotScheduleTable:
         return self.offsets_matrix[:, 0]
 
     def awake_at(self, t: int) -> np.ndarray:
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        return self.wake_lists[t % self.period]
+        return self.wake_lists[validate_slot_index(t) % self.period]
 
     def is_active(self, node: int, t: int) -> bool:
         return bool(np.any(self.offsets_matrix[node] == (t % self.period)))
 
     def next_active(self, node: int, t: int) -> int:
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        phase = t % self.period
-        waits = (self.offsets_matrix[node] - phase) % self.period
+        t = validate_slot_index(t)
+        waits = slots_until_phase(self.offsets_matrix[node], t, self.period)
         return t + int(waits.min())
 
     def next_active_array(self, t: int) -> np.ndarray:
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        phase = t % self.period
-        waits = (self.offsets_matrix - phase) % self.period
+        t = validate_slot_index(t)
+        waits = slots_until_phase(self.offsets_matrix, t, self.period)
         return t + waits.min(axis=1)
 
     def schedule_of(self, node: int) -> WorkingSchedule:

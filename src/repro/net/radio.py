@@ -35,6 +35,7 @@ from .topology import Topology
 
 __all__ = [
     "Transmission",
+    "TxBatch",
     "Reception",
     "SlotOutcome",
     "RadioModel",
@@ -57,6 +58,96 @@ class Transmission:
             raise ValueError("sender and receiver must differ")
         if self.packet < 0:
             raise ValueError(f"packet index must be non-negative, got {self.packet}")
+
+
+class TxBatch:
+    """Structure-of-arrays view of one slot's committed transmissions.
+
+    The batch is the engine's native currency: protocols propose one,
+    the engine validates it with vectorized mask operations, and
+    :func:`resolve_slot` resolves it without materialising per-frame
+    Python objects on the hot path. ``senders``, ``receivers`` and
+    ``packets`` are parallel int64 arrays; row ``i`` is the unicast
+    ``senders[i] -> receivers[i]`` carrying ``packets[i]``.
+
+    A batch is logically immutable — callers must not mutate the arrays
+    after construction (the object caches its :class:`Transmission`
+    materialisation).
+    """
+
+    __slots__ = ("senders", "receivers", "packets", "_txs")
+
+    def __init__(self, senders, receivers, packets):
+        senders = np.ascontiguousarray(senders, dtype=np.int64)
+        receivers = np.ascontiguousarray(receivers, dtype=np.int64)
+        packets = np.ascontiguousarray(packets, dtype=np.int64)
+        if not (senders.ndim == receivers.ndim == packets.ndim == 1):
+            raise ValueError("TxBatch arrays must be one-dimensional")
+        if not (senders.size == receivers.size == packets.size):
+            raise ValueError("TxBatch arrays must have equal length")
+        if senders.size:
+            if np.any(senders == receivers):
+                raise ValueError("sender and receiver must differ")
+            if packets.min() < 0:
+                raise ValueError("packet index must be non-negative")
+        self.senders = senders
+        self.receivers = receivers
+        self.packets = packets
+        self._txs: Optional[List[Transmission]] = None
+
+    @classmethod
+    def empty(cls) -> "TxBatch":
+        return cls(
+            np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+
+    @classmethod
+    def from_transmissions(
+        cls, transmissions: Iterable[Transmission]
+    ) -> "TxBatch":
+        txs = transmissions if isinstance(transmissions, list) else list(transmissions)
+        n = len(txs)
+        batch = cls(
+            np.fromiter((tx.sender for tx in txs), np.int64, count=n),
+            np.fromiter((tx.receiver for tx in txs), np.int64, count=n),
+            np.fromiter((tx.packet for tx in txs), np.int64, count=n),
+        )
+        batch._txs = txs
+        return batch
+
+    def to_transmissions(self) -> List[Transmission]:
+        """Materialise (and cache) the per-frame dataclass view."""
+        if self._txs is None:
+            self._txs = [
+                Transmission(int(s), int(r), int(p))
+                for s, r, p in zip(
+                    self.senders.tolist(),
+                    self.receivers.tolist(),
+                    self.packets.tolist(),
+                )
+            ]
+        return self._txs
+
+    def __len__(self) -> int:
+        return self.senders.size
+
+    def __iter__(self):
+        return iter(self.to_transmissions())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TxBatch):
+            return NotImplemented
+        return (
+            np.array_equal(self.senders, other.senders)
+            and np.array_equal(self.receivers, other.receivers)
+            and np.array_equal(self.packets, other.packets)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TxBatch(n={len(self)}, senders={self.senders.tolist()}, "
+            f"receivers={self.receivers.tolist()}, packets={self.packets.tolist()})"
+        )
 
 
 @dataclass(frozen=True)
@@ -154,24 +245,21 @@ class RadioModel:
             raise ValueError("capture ratio must be >= 1")
 
 
-def _signal_success(
-    prr: float, rng: np.random.Generator, model: RadioModel
-) -> bool:
-    """Bernoulli reception draw for a contention-surviving signal."""
-    if model.lossless:
-        return True
-    return bool(rng.random() < prr)
-
-
-def _resolve_contention(
-    in_range: List[Transmission],
-    addressed: List[Transmission],
-    r: int,
-    topo: Topology,
-    jitter: Dict[Transmission, float],
+def _resolve_contention_idx(
+    idxs: np.ndarray,
+    addr_idxs: np.ndarray,
+    col: int,
+    senders: np.ndarray,
+    prr: np.ndarray,
+    rssi: Optional[np.ndarray],
+    jitter: Optional[np.ndarray],
     model: RadioModel,
-) -> Tuple[Optional[Transmission], List[Transmission]]:
-    """Pick the frame (if any) receiver ``r`` decodes from >= 2 overlaps.
+) -> Tuple[int, List[int]]:
+    """Pick the frame (if any) a receiver decodes from >= 2 overlaps.
+
+    Operates on batch row indices; ``idxs`` are the in-range rows,
+    ``addr_idxs`` the subset addressed to this receiver, ``col`` the
+    receiver's column in the ``prr``/``rssi`` gather matrices.
 
     Resolution order mirrors real receivers:
 
@@ -183,42 +271,38 @@ def _resolve_contention(
        synchronizing before the interferer appeared).
     3. Otherwise the overlap destroys every addressed frame.
 
-    Returns ``(surviving, collided_addressed)``.
+    Returns ``(surviving_row_or_-1, collided_addressed_rows)``.
     """
-    # 1. Power capture.
-    if topo.rssi is not None and model.capture_margin_db is not None:
-        strengths = sorted(
-            in_range, key=lambda tx: topo.link_rssi(tx.sender, r), reverse=True
-        )
-        strongest, runner_up = strengths[0], strengths[1]
-        gap = topo.link_rssi(strongest.sender, r) - topo.link_rssi(
-            runner_up.sender, r
-        )
-        if gap >= model.capture_margin_db:
-            return strongest, [tx for tx in addressed if tx is not strongest]
-    elif topo.rssi is None and model.capture_ratio is not None:
-        strengths = sorted(
-            in_range, key=lambda tx: topo.link_prr(tx.sender, r), reverse=True
-        )
-        strongest, runner_up = strengths[0], strengths[1]
-        if topo.link_prr(runner_up.sender, r) > 0 and topo.link_prr(
-            strongest.sender, r
-        ) >= model.capture_ratio * topo.link_prr(runner_up.sender, r):
-            return strongest, [tx for tx in addressed if tx is not strongest]
+    # 1. Power capture. Stable descending sorts keep batch order on ties,
+    # matching the stable `sorted(..., reverse=True)` this replaced.
+    if rssi is not None and model.capture_margin_db is not None:
+        vals = rssi[idxs, col]
+        order = np.argsort(-vals, kind="stable")
+        if vals[order[0]] - vals[order[1]] >= model.capture_margin_db:
+            surv = int(idxs[order[0]])
+            return surv, [i for i in addr_idxs.tolist() if i != surv]
+    elif rssi is None and model.capture_ratio is not None:
+        vals = prr[idxs, col]
+        order = np.argsort(-vals, kind="stable")
+        strongest, runner_up = vals[order[0]], vals[order[1]]
+        if runner_up > 0 and strongest >= model.capture_ratio * runner_up:
+            surv = int(idxs[order[0]])
+            return surv, [i for i in addr_idxs.tolist() if i != surv]
 
     # 2. Preamble capture.
     if model.capture_guard < 1.0:
-        by_start = sorted(in_range, key=lambda tx: (jitter[tx], tx.sender))
-        first, second = by_start[0], by_start[1]
+        order = np.lexsort((senders[idxs], jitter[idxs]))
+        first, second = idxs[order[0]], idxs[order[1]]
         if jitter[second] - jitter[first] >= model.capture_guard:
-            return first, [tx for tx in addressed if tx is not first]
+            surv = int(first)
+            return surv, [i for i in addr_idxs.tolist() if i != surv]
 
     # 3. Destructive collision.
-    return None, list(addressed)
+    return -1, addr_idxs.tolist()
 
 
 def resolve_slot(
-    transmissions: Sequence[Transmission],
+    transmissions,
     topo: Topology,
     awake: Iterable[int],
     rng: np.random.Generator,
@@ -230,7 +314,8 @@ def resolve_slot(
     Parameters
     ----------
     transmissions:
-        Committed unicasts; at most one per sender (validated).
+        Committed unicasts — a :class:`TxBatch` or a sequence of
+        :class:`Transmission`; at most one per sender (validated).
     topo:
         The static topology (adjacency decides interference range).
     awake:
@@ -246,84 +331,132 @@ def resolve_slot(
         *current effective* PRR (contention and capture still use the
         long-term figures — interference physics does not change with a
         momentary fade, only decodability does).
+
+    Notes
+    -----
+    Resolution is batch-native but RNG-equivalent to the original
+    per-frame implementation: the jitter block ``rng.random(k)`` consumes
+    the same stream as ``k`` sender-sorted scalar draws, and the Bernoulli
+    block consumes one draw per eligible receiver in ascending receiver
+    order, exactly as the per-receiver loop did.
     """
     outcome = SlotOutcome()
-    if not transmissions:
+    if isinstance(transmissions, TxBatch):
+        batch = transmissions
+    else:
+        if not transmissions:
+            return outcome
+        batch = TxBatch.from_transmissions(transmissions)
+    k = len(batch)
+    if k == 0:
         return outcome
 
-    senders: Set[int] = set()
-    for tx in transmissions:
-        if tx.sender in senders:
-            raise ValueError(f"node {tx.sender} committed two transmissions in one slot")
-        senders.add(tx.sender)
+    senders = batch.senders
+    if np.unique(senders).size != k:
+        seen: Set[int] = set()
+        for s in senders.tolist():
+            if s in seen:
+                raise ValueError(f"node {s} committed two transmissions in one slot")
+            seen.add(s)
 
-    receivers = set(awake) - senders
-    delivered_intended: Set[Tuple[int, int]] = set()  # (sender, receiver)
+    txs: Optional[List[Transmission]] = None  # materialized on demand
+    tx_receivers = batch.receivers
+    tx_packets = batch.packets
 
     # CSMA start-phase jitter, one draw per transmission per slot, shared
-    # by every receiver (a frame starts when it starts). Drawn in a fixed
-    # (sender-sorted) order for reproducibility.
-    jitter: Dict[Transmission, float] = {}
+    # by every receiver (a frame starts when it starts). The block draw
+    # fills sender-sorted positions for reproducibility.
+    jitter: Optional[np.ndarray] = None
     if model.collisions:
-        for tx in sorted(transmissions, key=lambda tx: tx.sender):
-            jitter[tx] = float(rng.random())
+        jitter = np.empty(k)
+        jitter[np.argsort(senders)] = rng.random(k)
 
-    for r in sorted(receivers):
-        in_range = [tx for tx in transmissions if topo.has_link(tx.sender, r)]
-        if not in_range:
-            continue
-        addressed = [tx for tx in in_range if tx.receiver == r]
+    awake_arr = np.asarray(
+        awake if isinstance(awake, np.ndarray) else list(awake), dtype=np.int64
+    )
+    # Semi-duplex: senders cannot receive. A mask pass replaces
+    # setdiff1d's sort; wake sets arrive sorted unique from the engine
+    # (unsorted callers get the normalizing fallback).
+    if awake_arr.size > 1 and not np.all(awake_arr[1:] > awake_arr[:-1]):
+        awake_arr = np.unique(awake_arr)
+    sender_mask = np.zeros(topo.n_nodes, dtype=bool)
+    sender_mask[senders] = True
+    r_ids = awake_arr[~sender_mask[awake_arr]]
+    delivered = np.zeros(k, dtype=bool)
 
-        if len(in_range) == 1:
-            surviving: Optional[Transmission] = in_range[0]
-            collided: List[Transmission] = []
-        elif not model.collisions:
-            # Collision-free oracle: every addressed signal is independent;
-            # the receiver can decode at most one per slot — the best
-            # addressed one, or (overhearing permitting) the best bystander
-            # frame when nothing is addressed to it.
-            surviving = max(
-                addressed, key=lambda tx: topo.link_prr(tx.sender, r), default=None
-            )
-            if surviving is None and model.overhearing:
-                surviving = max(
-                    in_range, key=lambda tx: topo.link_prr(tx.sender, r)
+    if r_ids.size:
+        in_range = topo.adjacency[senders][:, r_ids]  # (k, R)
+        prr_mat = topo.prr[senders][:, r_ids]
+        rssi_mat = topo.rssi[senders][:, r_ids] if topo.rssi is not None else None
+        addressed = in_range & (tx_receivers[:, None] == r_ids[None, :])
+
+        # (receiver, surviving row, is_addressed, effective prr) for every
+        # receiver that reaches the Bernoulli stage, in receiver order.
+        pending: List[Tuple[int, int, bool, float]] = []
+        for j in np.nonzero(in_range.any(axis=0))[0].tolist():
+            idxs = np.nonzero(in_range[:, j])[0]
+            r = int(r_ids[j])
+            collided: List[int] = []
+            if idxs.size == 1:
+                surv = int(idxs[0])
+            elif not model.collisions:
+                # Collision-free oracle: every addressed signal is
+                # independent; the receiver can decode at most one per
+                # slot — the best addressed one, or (overhearing
+                # permitting) the best bystander frame when nothing is
+                # addressed to it.
+                addr_idxs = idxs[addressed[idxs, j]]
+                if addr_idxs.size:
+                    surv = int(addr_idxs[np.argmax(prr_mat[addr_idxs, j])])
+                elif model.overhearing:
+                    surv = int(idxs[np.argmax(prr_mat[idxs, j])])
+                else:
+                    surv = -1
+            else:
+                surv, collided = _resolve_contention_idx(
+                    idxs, idxs[addressed[idxs, j]], j,
+                    senders, prr_mat, rssi_mat, jitter, model,
                 )
-            collided = []
-        else:
-            surviving, collided = _resolve_contention(
-                in_range, addressed, r, topo, jitter, model
-            )
 
-        for tx in collided:
-            outcome.collisions.append(tx)
+            if collided:
+                if txs is None:
+                    txs = batch.to_transmissions()
+                outcome.collisions.extend(txs[i] for i in collided)
+            if surv < 0:
+                continue
+            is_addressed = bool(tx_receivers[surv] == r)
+            if not is_addressed and not model.overhearing:
+                continue
+            prr = float(prr_mat[surv, j])
+            if dynamics is not None:
+                prr *= dynamics.gain(int(senders[surv]), r)
+            if prr <= 0.0:
+                continue
+            pending.append((r, surv, is_addressed, prr))
 
-        if surviving is None:
-            continue
-        is_addressed = surviving.receiver == r
-        if not is_addressed and not model.overhearing:
-            continue
-        prr = topo.link_prr(surviving.sender, r)
-        if dynamics is not None:
-            prr *= dynamics.gain(surviving.sender, r)
-        if prr <= 0.0:
-            continue
-        if _signal_success(prr, rng, model):
+        # Bernoulli reception draws, batched in receiver order.
+        draws = None
+        if not model.lossless and pending:
+            draws = rng.random(len(pending))
+        for i, (r, surv, is_addressed, prr) in enumerate(pending):
+            if draws is not None and not draws[i] < prr:
+                continue
             outcome.receptions.append(
                 Reception(
                     receiver=r,
-                    sender=surviving.sender,
-                    packet=surviving.packet,
+                    sender=int(senders[surv]),
+                    packet=int(tx_packets[surv]),
                     overheard=not is_addressed,
                 )
             )
             if is_addressed:
-                delivered_intended.add((surviving.sender, r))
+                delivered[surv] = True
 
-    for tx in transmissions:
-        if (tx.sender, tx.receiver) not in delivered_intended:
-            outcome.failures.append(tx)
-
+    fail_rows = np.nonzero(~delivered)[0]
+    if fail_rows.size:
+        if txs is None:
+            txs = batch.to_transmissions()
+        outcome.failures.extend(txs[i] for i in fail_rows.tolist())
     return outcome
 
 
@@ -349,21 +482,36 @@ def csma_select(
         audible winner). Deferring senders remain awake through the slot —
         they are the overhearing audience DBAO's suppression uses.
     """
-    seen = set()
-    for s in ranked_senders:
-        if s in seen:
-            raise ValueError(f"duplicate sender {s} in ranked list")
-        seen.add(s)
-    audible = lambda a, b: topo.has_link(a, b) or topo.has_link(b, a)
+    ids = [int(s) for s in ranked_senders]
+    if len(set(ids)) != len(ids):
+        seen = set()
+        for s in ids:
+            if s in seen:
+                raise ValueError(f"duplicate sender {s} in ranked list")
+            seen.add(s)
+    k = len(ids)
     winners: List[int] = []
     deferrals: Dict[int, List[int]] = {}
-    for s in ranked_senders:
-        silencer = next((w for w in winners if audible(s, w)), None)
-        if silencer is None:
-            winners.append(s)
-            deferrals[s] = []
-        else:
-            deferrals[silencer].append(s)
+    if k == 0:
+        return winners, deferrals
+    arr = np.asarray(ids, dtype=np.int64)
+    # One gather of the symmetric audibility submatrix replaces the
+    # per-pair link lookups; each sender then defers to the first
+    # audible earlier winner (argmax finds the first True).
+    aud = topo.audible[np.ix_(arr, arr)]
+    win_rows = np.empty(k, dtype=np.int64)
+    n_win = 0
+    for i, s in enumerate(ids):
+        if n_win:
+            hits = aud[i, win_rows[:n_win]]
+            h = int(hits.argmax())
+            if hits[h]:
+                deferrals[ids[int(win_rows[h])]].append(s)
+                continue
+        winners.append(s)
+        deferrals[s] = []
+        win_rows[n_win] = i
+        n_win += 1
     return winners, deferrals
 
 

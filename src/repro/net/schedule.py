@@ -25,7 +25,26 @@ __all__ = [
     "duty_ratio_to_period",
     "period_to_duty_ratio",
     "random_schedules",
+    "slots_until_phase",
+    "validate_slot_index",
 ]
+
+
+def validate_slot_index(t: int) -> int:
+    """Shared guard for every schedule query: slot indices start at 0."""
+    if t < 0:
+        raise ValueError(f"slot index must be non-negative, got {t}")
+    return int(t)
+
+
+def slots_until_phase(offsets, t: int, period: int):
+    """Wait from slot ``t`` until each offset's phase next recurs.
+
+    ``offsets`` may be a scalar or an array of per-node (or per-window)
+    phase offsets in ``[0, period)``; the result has the same shape.
+    A node already at its phase waits 0 slots.
+    """
+    return (offsets - t % period) % period
 
 
 def duty_ratio_to_period(duty_ratio: float) -> int:
@@ -99,8 +118,7 @@ class WorkingSchedule:
 
     def is_active(self, t: int) -> bool:
         """Whether the sensor can receive in original-time slot ``t``."""
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
+        t = validate_slot_index(t)
         return (t % self.period) in self.active_slots
 
     def next_active(self, t: int) -> int:
@@ -109,8 +127,7 @@ class WorkingSchedule:
         This is the sleep-latency primitive: a sender holding a packet for
         this sensor at time ``t`` must wait until ``next_active(t)``.
         """
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
+        t = validate_slot_index(t)
         phase = t % self.period
         base = t - phase
         # Candidates this period...
@@ -196,9 +213,7 @@ class ScheduleTable:
 
     def awake_at(self, t: int) -> np.ndarray:
         """Node ids whose active slot matches slot ``t`` (ascending order)."""
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        return self.wake_lists[t % self.period]
+        return self.wake_lists[validate_slot_index(t) % self.period]
 
     def is_active(self, node: int, t: int) -> bool:
         """Whether ``node`` can receive at slot ``t``."""
@@ -206,20 +221,13 @@ class ScheduleTable:
 
     def next_active(self, node: int, t: int) -> int:
         """Earliest slot ``>= t`` at which ``node`` is active."""
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        offset = int(self.offsets[node])
-        phase = t % self.period
-        wait = (offset - phase) % self.period
-        return t + wait
+        t = validate_slot_index(t)
+        return t + int(slots_until_phase(int(self.offsets[node]), t, self.period))
 
     def next_active_array(self, t: int) -> np.ndarray:
         """Vectorized :meth:`next_active` for all nodes at once."""
-        if t < 0:
-            raise ValueError(f"slot index must be non-negative, got {t}")
-        phase = t % self.period
-        wait = (self.offsets - phase) % self.period
-        return t + wait
+        t = validate_slot_index(t)
+        return t + slots_until_phase(self.offsets, t, self.period)
 
     def schedule_of(self, node: int) -> WorkingSchedule:
         """Materialize the :class:`WorkingSchedule` view of one node."""

@@ -105,6 +105,9 @@ class Topology:
 
         # Adjacency by usable links (boolean, directed).
         self.adjacency = self.prr > 0.0
+        # Symmetric audibility (either direction in range): the carrier-
+        # sense relation, cached for the CSMA hot path.
+        self.audible = self.adjacency | self.adjacency.T
         # Neighbor lists by out-links (who can I transmit to).
         self._out_neighbors: List[np.ndarray] = [
             np.flatnonzero(self.adjacency[i]) for i in range(self.n_nodes)

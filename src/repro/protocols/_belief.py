@@ -11,6 +11,14 @@ recorded), so a sender may waste transmissions on packets the receiver
 already has, but never wrongly skips a needed packet. The DBAO and OF
 implementations both rely on this one-sided-error property for their
 coverage guarantees; a property test enforces it.
+
+Storage is one padded ``(n_nodes, M, max_degree)`` boolean array plus an
+``(n_nodes, n_nodes)`` pair-to-column map; the per-node matrices exposed
+through the scalar API are views aliasing the big array. That layout lets
+the batched queries (:meth:`needs_pairs`) and the broadcast updates
+(:meth:`sync_for_witnesses`) run as single fancy-indexing operations over
+arbitrary (observer, receiver) pair sets — the DBAO proposal loop's
+hottest accesses.
 """
 
 from __future__ import annotations
@@ -22,6 +30,13 @@ import numpy as np
 from ..net.topology import Topology
 
 __all__ = ["NeighborBelief"]
+
+
+def _index_array(x) -> np.ndarray:
+    """Normalize an iterable of node/packet ids to an int64 index array."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.int64, copy=False)
+    return np.fromiter((int(v) for v in x), dtype=np.int64)
 
 
 class NeighborBelief:
@@ -40,12 +55,23 @@ class NeighborBelief:
             raise ValueError("need at least one packet")
         self._topo = topo
         self._n_packets = int(n_packets)
+        n = topo.n_nodes
+        degrees = [topo.out_neighbors(node).size for node in range(n)]
+        #: (observer, receiver) -> column in the observer's belief matrix,
+        #: -1 for non-neighbors.
+        self._pair_col = np.full((n, n), -1, dtype=np.int64)
+        #: Padded backing store; row ``node`` uses columns [0, degree).
+        self._belief3d = np.zeros(
+            (n, self._n_packets, max(max(degrees, default=0), 1)), dtype=bool
+        )
         self._col: List[Dict[int, int]] = []
         self._belief: List[np.ndarray] = []
-        for node in range(topo.n_nodes):
+        for node in range(n):
             nbs = topo.out_neighbors(node)
+            self._pair_col[node, nbs] = np.arange(nbs.size)
             self._col.append({int(r): i for i, r in enumerate(nbs.tolist())})
-            self._belief.append(np.zeros((n_packets, nbs.size), dtype=bool))
+            # A view, not a copy: scalar and batched APIs share storage.
+            self._belief.append(self._belief3d[node, :, : nbs.size])
 
     def believes_has(self, observer: int, receiver: int, packet: int) -> bool:
         """Whether ``observer`` believes ``receiver`` holds ``packet``."""
@@ -77,6 +103,24 @@ class NeighborBelief:
             cols[:, i] = ~self._belief[int(obs)][:, col]
         return cols
 
+    def needs_pairs(
+        self, observers: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        """(M, P) believed-needs columns for P (observer, receiver) pairs.
+
+        The fully batched form of :meth:`needs_matrix`: pair ``i`` asks
+        what ``observers[i]`` believes ``receivers[i]`` lacks. Every
+        receiver must be an out-neighbor of its observer.
+        """
+        cols = self._pair_col[observers, receivers]
+        if np.any(cols < 0):
+            bad = int(np.flatnonzero(cols < 0)[0])
+            raise KeyError(
+                f"node {int(receivers[bad])} is not an out-neighbor of "
+                f"{int(observers[bad])}"
+            )
+        return ~self._belief3d[observers, :, cols].T
+
     def confirm(self, observer: int, receiver: int, packet: int) -> None:
         """Record confirmed possession (own ACK or overheard ACK)."""
         col = self._col[observer].get(receiver)
@@ -88,8 +132,12 @@ class NeighborBelief:
         self, witnesses, receiver: int, packet: int
     ) -> None:
         """Let every node in ``witnesses`` record the same ACK evidence."""
-        for w in witnesses:
-            self.confirm(int(w), receiver, packet)
+        w = _index_array(witnesses)
+        if w.size == 0:
+            return
+        cols = self._pair_col[w, receiver]
+        keep = cols >= 0
+        self._belief3d[w[keep], packet, cols[keep]] = True
 
     def sync_possession(self, observer: int, receiver: int, held) -> None:
         """Absorb a possession summary advertised by ``receiver``.
@@ -110,13 +158,28 @@ class NeighborBelief:
         col = self._col[observer].get(receiver)
         if col is None:
             return
-        self._belief[observer][list(held), col] = True
+        self._belief[observer][_index_array(held), col] = True
 
     def sync_for_witnesses(self, witnesses, receiver: int, held) -> None:
-        """Broadcast one possession summary to several overhearers."""
-        held = list(held)
-        for w in witnesses:
-            self.sync_possession(int(w), receiver, held)
+        """Broadcast one possession summary to several overhearers.
+
+        One three-axis fancy assignment over (witness, packet) instead of
+        a Python loop over witnesses — this runs once per non-overheard
+        reception in DBAO's observe path.
+        """
+        w = _index_array(witnesses)
+        if w.size == 0:
+            return
+        held_idx = _index_array(held)
+        cols = self._pair_col[w, receiver]
+        keep = cols >= 0
+        if not keep.all():
+            w, cols = w[keep], cols[keep]
+            if w.size == 0:
+                return
+        if held_idx.size == 0:
+            return
+        self._belief3d[w[:, None], held_idx[None, :], cols[:, None]] = True
 
     def believed_coverage_count(self, observer: int, packet: int) -> int:
         """How many out-neighbors ``observer`` believes hold ``packet``."""

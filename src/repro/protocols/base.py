@@ -14,13 +14,13 @@ which reads ground-truth possession — that is the point of OPT.
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import Callable, Dict, List, Optional, Type
 
 import numpy as np
 
 from ..net.packet import FloodWorkload
-from ..net.radio import SlotOutcome, Transmission
+from ..net.radio import SlotOutcome, Transmission, TxBatch
 from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 
@@ -78,6 +78,15 @@ class SimView:
     def held_packets(self, node: int) -> np.ndarray:
         """Packet indices in ``node``'s buffer (ascending index)."""
         return np.flatnonzero(self._has[:, node])
+
+    def held_counts(self, nodes: np.ndarray) -> np.ndarray:
+        """Buffer sizes of ``nodes`` — batch form of ``len(held_packets)``.
+
+        Each count is the node's own-buffer cardinality, which any node
+        may advertise about itself; the batched accessor leaks nothing a
+        per-node query would not.
+        """
+        return self._has[:, nodes].sum(axis=0)
 
     def arrival_slot(self, node: int, packet: int) -> int:
         """When ``packet`` arrived at ``node`` (-1 if absent)."""
@@ -142,8 +151,16 @@ class SimView:
 class FloodingProtocol(ABC):
     """Base class for flooding protocols.
 
-    Lifecycle: ``prepare`` once per run, then per slot ``propose`` followed
+    Lifecycle: ``prepare`` once per run, then per slot a proposal followed
     by ``observe`` with the channel outcome.
+
+    A subclass implements **either** proposal method; each default
+    delegates to the other. List-returning protocols override
+    :meth:`propose` and get batching through the adapter; hot protocols
+    override :meth:`propose_batch` and emit structure-of-arrays
+    :class:`~repro.net.radio.TxBatch` directly — the engine only ever
+    consumes batches. Overriding neither raises ``NotImplementedError``
+    at proposal time.
     """
 
     #: Registry key; subclasses must override.
@@ -165,7 +182,6 @@ class FloodingProtocol(ABC):
     ) -> None:
         """One-time setup (tree construction, backoff ranks, beliefs)."""
 
-    @abstractmethod
     def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
         """Transmissions to commit at slot ``t``.
 
@@ -174,6 +190,23 @@ class FloodingProtocol(ABC):
         awake. Sending a packet the receiver already has is allowed
         (belief-limited protocols do it), it just wastes a slot.
         """
+        if type(self).propose_batch is FloodingProtocol.propose_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override propose or propose_batch"
+            )
+        return self.propose_batch(t, awake, view).to_transmissions()
+
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
+        """Batched form of :meth:`propose`; same contract, SoA container.
+
+        This is what the engine calls. The default adapts a
+        list-returning :meth:`propose`.
+        """
+        if type(self).propose is FloodingProtocol.propose:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override propose or propose_batch"
+            )
+        return TxBatch.from_transmissions(self.propose(t, awake, view))
 
     def observe(self, t: int, outcome: SlotOutcome, view: SimView) -> None:
         """Learn from the slot's outcome (ACKs, overheard receptions)."""

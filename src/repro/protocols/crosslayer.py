@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.tradeoff import EnergyModel, GainWeights, TradeoffPoint, optimal_duty_cycle
-from ..net.radio import Transmission, csma_select
+from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE, Topology
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -90,7 +90,7 @@ class CrossLayerFlooding(FloodingProtocol):
         deg = self._topo.out_neighbors(s).size
         return deg - self._belief.believed_coverage_count(s, packet)
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         choices: Dict[int, Tuple[int, int, float, int]] = {}
         # RX-mode rule: see FlashFlooding.propose.
         listening = {
@@ -116,21 +116,25 @@ class CrossLayerFlooding(FloodingProtocol):
                     choices[s] = (r, head, prr, useful)
         self._last_contenders = {}
         if not choices:
-            return []
+            return TxBatch.empty()
 
         # Deterministic back-off rank: best link first (like DBAO), then
         # most-useful transmission (overhearing turns usefulness into
         # free coverage), then id.
         ranked = sorted(choices, key=lambda s: (-choices[s][2], -choices[s][3], s))
         winners, _ = csma_select(ranked, self._topo)
-        txs: List[Transmission] = []
-        for winner in winners:
+        n = len(winners)
+        out_s = np.fromiter(winners, dtype=np.int64, count=n)
+        out_r = np.empty(n, dtype=np.int64)
+        out_p = np.empty(n, dtype=np.int64)
+        for i, winner in enumerate(winners):
             r, pkt, _, _ = choices[winner]
-            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
+            out_r[i] = r
+            out_p[i] = pkt
         # All contenders for r hear r's ACK (they are in range of r).
         for s, (r, _, _, _) in choices.items():
             self._last_contenders.setdefault(r, []).append(s)
-        return txs
+        return TxBatch(out_s, out_r, out_p)
 
     def observe(self, t, outcome, view):
         for rec in outcome.receptions:

@@ -27,6 +27,14 @@ update rules only record confirmed receptions, keeping beliefs sound
 
 ``overhearing=False`` ablates the second mechanism (bench
 ``abl-overhearing``).
+
+The proposal path is fully batched: the per-slot candidate set is the
+concatenation of every waking receiver's forwarder clique, flattened to
+parallel (sender, receiver, prr) arrays that depend only on the wake set
+and are therefore cached per schedule phase. Belief lookups, FCFS heads,
+the per-sender best-receiver choice, and the back-off ranking all run as
+single NumPy passes over those arrays; the scalar rules they replace are
+documented inline where each vectorized step must match them bit-exactly.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import Transmission, csma_select
+from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -100,66 +108,106 @@ class Dbao(FloodingProtocol):
             forwarder_clique(topo, r, anchor=int(tree.parent[r]))
             for r in range(topo.n_nodes)
         ]
+        # Flat per-receiver candidate arrays for the batched proposal:
+        # clique members (in clique order) and their link PRRs.
+        self._fwd_arrays = [
+            np.asarray(f, dtype=np.int64) for f in self._forwarders
+        ]
+        self._fwd_prr = [
+            topo.prr[f, r] for r, f in enumerate(self._fwd_arrays)
+        ]
+        # The candidate pair set depends only on the wake set; wake
+        # arrays repeat identically (same objects) each schedule period,
+        # so cache the flattened pairs keyed by wake-array identity. The
+        # cap bounds memory when a schedule model returns fresh arrays
+        # every slot (e.g. clock skew) — those simply never hit.
+        self._pair_cache: Dict[int, Tuple] = {}
+        self._pair_cache_cap = int(schedules.period)
+        self._listen_mask = np.zeros(topo.n_nodes, dtype=bool)
 
     # ------------------------------------------------------------------
 
-    def _sender_choices(
-        self, awake: np.ndarray, view: SimView
-    ) -> Dict[int, Tuple[int, int, float]]:
-        """Each potential sender's best (receiver, packet, prr) this slot.
-
-        A sender with multiple waking neighbors in need picks the one it
-        has the best link to — the deterministic choice every node can
-        compute locally from its schedule table and beliefs.
-        """
-        topo = self._topo
-        choices: Dict[int, Tuple[int, int, float]] = {}
-        # A node at its own active slot with an incomplete buffer stays in
-        # RX mode (see FlashFlooding.propose — the same rule prevents
-        # schedule-aligned neighbor pairs from starving each other).
-        listening = {
-            int(v) for v in awake.tolist()
-            if v != SOURCE and view.held_packets(int(v)).size < view.n_packets
-        }
+    def _pairs_for(self, awake: np.ndarray):
+        """Flattened (senders, receivers, prrs) candidate pairs for a wake set."""
+        hit = self._pair_cache.get(id(awake))
+        if hit is not None and hit[0] is awake:
+            return hit[1]
+        s_parts: List[np.ndarray] = []
+        r_parts: List[np.ndarray] = []
+        p_parts: List[np.ndarray] = []
         for r in awake.tolist():
-            if r == SOURCE:
+            fwd = self._fwd_arrays[r]
+            if r == SOURCE or fwd.size == 0:
                 continue
-            forwarders = self._forwarders[r]
-            if not forwarders:
-                continue
-            needs = self._belief.needs_matrix(r, forwarders)
-            heads, valid = view.fcfs_heads_batch(
-                np.asarray(forwarders), needs
+            s_parts.append(fwd)
+            r_parts.append(np.full(fwd.size, r, dtype=np.int64))
+            p_parts.append(self._fwd_prr[r])
+        if s_parts:
+            pairs = (
+                np.concatenate(s_parts),
+                np.concatenate(r_parts),
+                np.concatenate(p_parts),
             )
-            for i, s in enumerate(forwarders):
-                if not valid[i] or s in listening:
-                    continue
-                prr = topo.link_prr(s, r)
-                prev = choices.get(s)
-                if prev is None or prr > prev[2] or (prr == prev[2] and r < prev[0]):
-                    choices[s] = (r, int(heads[i]), prr)
-        return choices
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            pairs = (empty, empty, np.empty(0, dtype=np.float64))
+        if len(self._pair_cache) < self._pair_cache_cap:
+            self._pair_cache[id(awake)] = (awake, pairs)
+        return pairs
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
-        choices = self._sender_choices(awake, view)
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         self._last_contenders = {}
-        if not choices:
-            return []
+        s_flat, r_flat, prr_flat = self._pairs_for(awake)
+        if s_flat.size == 0:
+            return TxBatch.empty()
+
+        # What each candidate sender can offer its candidate receiver.
+        needs = self._belief.needs_pairs(s_flat, r_flat)
+        heads, valid = view.fcfs_heads_batch(s_flat, needs)
+
+        # A node at its own active slot with an incomplete buffer stays
+        # in RX mode (see FlashFlooding.propose — the same rule prevents
+        # schedule-aligned neighbor pairs from starving each other).
+        listen = self._listen_mask
+        active = awake[awake != SOURCE]
+        listen[active] = view.held_counts(active) < view.n_packets
+        eligible = valid & ~listen[s_flat]
+        listen[active] = False
+        if not eligible.any():
+            return TxBatch.empty()
+
+        s_e = s_flat[eligible]
+        r_e = r_flat[eligible]
+        prr_e = prr_flat[eligible]
+        h_e = heads[eligible]
+
+        # A sender with multiple waking neighbors in need picks the one
+        # it has the best link to, equal links tie-breaking to the
+        # smaller receiver id: sort by (sender, -prr, receiver) and keep
+        # each sender's first row.
+        order = np.lexsort((r_e, -prr_e, s_e))
+        s_sorted = s_e[order]
+        first = np.ones(s_sorted.size, dtype=bool)
+        first[1:] = s_sorted[1:] != s_sorted[:-1]
+        pick = order[first]
+        chosen_s = s_e[pick]  # ascending sender id by construction
+        chosen_r = r_e[pick]
+        chosen_p = h_e[pick]
+        chosen_prr = prr_e[pick]
 
         # Deterministic back-off rank: best link first, id tie-break.
-        ranked = sorted(choices, key=lambda s: (-choices[s][2], s))
-        winners, _ = csma_select(ranked, self._topo)
-        txs: List[Transmission] = []
-        for winner in winners:
-            r, pkt, _ = choices[winner]
-            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
+        rank = np.lexsort((chosen_s, -chosen_prr))
+        winners, _ = csma_select(chosen_s[rank].tolist(), self._topo)
+        w = np.asarray(winners, dtype=np.int64)
+        idx = np.searchsorted(chosen_s, w)
+
         if self.overhearing:
             # Every contender that chose receiver r is awake, within range
             # of r (it wanted to transmit to r), and hears r's link-layer
             # ACK — winner or not. They all learn from a success.
-            for s, (r, _, _) in choices.items():
+            for s, r in zip(chosen_s.tolist(), chosen_r.tolist()):
                 self._last_contenders.setdefault(r, []).append(s)
-        return txs
+        return TxBatch(w, chosen_r[idx], chosen_p[idx])
 
     def observe(self, t, outcome, view):
         # Transmitting senders always learn from their own ACK, which
@@ -168,7 +216,7 @@ class Dbao(FloodingProtocol):
         for rec in outcome.receptions:
             if rec.overheard:
                 # The overhearing third party now *holds* the packet (the
-                # engine recorded that); its own belief tables need no
+                # engine recorded that): its own belief tables need no
                 # update — beliefs are about neighbors.
                 continue
             held = view.held_packets(rec.receiver)

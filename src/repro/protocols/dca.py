@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import Transmission, csma_select
+from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE, Topology
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -84,7 +84,7 @@ class DutyCycleAwareFlooding(FloodingProtocol):
         )
         self._belief = NeighborBelief(topo, workload.n_packets)
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         choices: Dict[int, Tuple[int, int]] = {}
         # RX-mode rule: see FlashFlooding.propose.
         listening = {
@@ -101,13 +101,17 @@ class DutyCycleAwareFlooding(FloodingProtocol):
             if head is not None:
                 choices[s] = (r, head)
         if not choices:
-            return []
+            return TxBatch.empty()
         winners, _ = csma_select(sorted(choices), self._topo)  # id back-off
-        txs: List[Transmission] = []
-        for winner in winners:
+        n = len(winners)
+        out_s = np.fromiter(winners, dtype=np.int64, count=n)
+        out_r = np.empty(n, dtype=np.int64)
+        out_p = np.empty(n, dtype=np.int64)
+        for i, winner in enumerate(winners):
             r, pkt = choices[winner]
-            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
-        return txs
+            out_r[i] = r
+            out_p[i] = pkt
+        return TxBatch(out_s, out_r, out_p)
 
     def observe(self, t, outcome, view):
         # Tree parents track their children via ACK possession summaries.

@@ -24,7 +24,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import Transmission
+from ..net.radio import TxBatch
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -58,8 +58,8 @@ class FlashFlooding(FloodingProtocol):
         self._topo = topo
         self._belief = NeighborBelief(topo, workload.n_packets)
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
-        txs: List[Transmission] = []
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
+        rows: List[Tuple[int, int, int]] = []
         assigned = set()
         # A node whose own active slot is now and whose buffer is still
         # incomplete keeps its radio in RX mode: its active slot exists to
@@ -88,12 +88,13 @@ class FlashFlooding(FloodingProtocol):
                 s = int(nbs[i])
                 if not valid[i] or s in assigned or s in listening:
                     continue
-                txs.append(
-                    Transmission(sender=s, receiver=r, packet=int(heads[i]))
-                )
+                rows.append((s, r, int(heads[i])))
                 assigned.add(s)
                 sent += 1
-        return txs
+        if not rows:
+            return TxBatch.empty()
+        arr = np.asarray(rows, dtype=np.int64)
+        return TxBatch(arr[:, 0], arr[:, 1], arr[:, 2])
 
     def observe(self, t, outcome, view):
         for rec in outcome.receptions:

@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import Transmission
+from ..net.radio import TxBatch
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -52,7 +52,7 @@ class NaiveFlooding(FloodingProtocol):
         self._rng = rng
         self._belief = NeighborBelief(topo, workload.n_packets)
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         # Each sender independently picks one waking neighbor it believes
         # needs something — uniformly at random among its options, with no
         # coordination whatsoever.
@@ -65,14 +65,17 @@ class NaiveFlooding(FloodingProtocol):
                 if head is not None:
                     options.setdefault(s, []).append((r, head))
 
-        txs: List[Transmission] = []
+        rows: List[Tuple[int, int, int]] = []
         for s in sorted(options):
             if self.persistence < 1.0 and self._rng.random() >= self.persistence:
                 continue
             cands = options[s]
             r, pkt = cands[int(self._rng.integers(len(cands)))]
-            txs.append(Transmission(sender=s, receiver=r, packet=pkt))
-        return txs
+            rows.append((s, r, pkt))
+        if not rows:
+            return TxBatch.empty()
+        arr = np.asarray(rows, dtype=np.int64)
+        return TxBatch(arr[:, 0], arr[:, 1], arr[:, 2])
 
     def observe(self, t, outcome, view):
         # Even the naive baseline reads the ACK's possession summary —

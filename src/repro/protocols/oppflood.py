@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import Transmission, csma_select
+from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
 from .base import FloodingProtocol, SimView, register_protocol
@@ -98,7 +98,7 @@ class OpportunisticFlooding(FloodingProtocol):
         estimated_age = (t - arrival_here) + own_mean
         return estimated_age + self._hop_mean[s, r] <= self._quantiles[r]
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         choices: Dict[int, Tuple[int, int]] = {}
         for r in awake.tolist():
             if r == SOURCE:
@@ -115,18 +115,22 @@ class OpportunisticFlooding(FloodingProtocol):
                 if self._wants_to_send(t, s, r, head, view):
                     choices[s] = (r, head)
         if not choices:
-            return []
+            return TxBatch.empty()
 
         # Random back-off: contenders draw ranks uniformly at random (OF
         # has no deterministic rank assignment).
         senders = np.asarray(sorted(choices))
         ranked = senders[self._rng.permutation(senders.size)].tolist()
         winners, _ = csma_select(ranked, self._topo)
-        txs: List[Transmission] = []
-        for winner in winners:
+        n = len(winners)
+        out_s = np.fromiter(winners, dtype=np.int64, count=n)
+        out_r = np.empty(n, dtype=np.int64)
+        out_p = np.empty(n, dtype=np.int64)
+        for i, winner in enumerate(winners):
             r, pkt = choices[winner]
-            txs.append(Transmission(sender=winner, receiver=r, packet=pkt))
-        return txs
+            out_r[i] = r
+            out_p[i] = pkt
+        return TxBatch(out_s, out_r, out_p)
 
     def observe(self, t, outcome, view):
         # The receiver's ACK piggybacks its possession summary.

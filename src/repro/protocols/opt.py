@@ -33,7 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..net.radio import RadioModel, Transmission
+from ..net.radio import RadioModel, TxBatch
 from ..net.topology import SOURCE
 from .base import FloodingProtocol, SimView, register_protocol
 
@@ -108,7 +108,7 @@ class OptOracle(FloodingProtocol):
 
     # ------------------------------------------------------------------
 
-    def propose(self, t: int, awake: np.ndarray, view: SimView) -> List[Transmission]:
+    def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         awake_set = set(awake.tolist())
         # Starvation avoidance: drafting a node that is itself awake and
         # still missing packets as a sender costs it its own reception
@@ -123,16 +123,21 @@ class OptOracle(FloodingProtocol):
             return s in awake_set and bool(view.oracle_needed(s).any())
 
         if self.server_policy == "designated":
-            return self._propose_designated(
+            rows = self._propose_designated(
                 t, awake, view, is_receiving_priority, period_parity
             )
-        return self._propose_any(
-            t, awake, view, is_receiving_priority, period_parity
-        )
+        else:
+            rows = self._propose_any(
+                t, awake, view, is_receiving_priority, period_parity
+            )
+        if not rows:
+            return TxBatch.empty()
+        arr = np.asarray(rows, dtype=np.int64)
+        return TxBatch(arr[:, 0], arr[:, 1], arr[:, 2])
 
     def _propose_designated(
         self, t, awake, view, is_receiving_priority, period_parity
-    ) -> List[Transmission]:
+    ) -> List[tuple]:
         # Each waking sensor asks its fixed best server. The oracle
         # schedules the slot jointly, upstream-first (ascending ETX cost):
         # once a server commits to a receiver, that receiver is marked
@@ -150,7 +155,7 @@ class OptOracle(FloodingProtocol):
             if view.oracle_needed(r).any():
                 requests.setdefault(s, []).append(r)
 
-        txs: List[Transmission] = []
+        rows: List[tuple] = []
         assigned = set()
         receiving = set()
         rotation = t // max(self._period, 1)
@@ -166,16 +171,16 @@ class OptOracle(FloodingProtocol):
                 head = view.fcfs_head(s, view.oracle_needed(r))
                 if head is None:
                     continue
-                txs.append(Transmission(sender=s, receiver=r, packet=head))
+                rows.append((s, r, head))
                 assigned.add(s)
                 receiving.add(r)
                 break
-        return txs
+        return rows
 
     def _propose_any(
         self, t, awake, view, is_receiving_priority, period_parity
-    ) -> List[Transmission]:
-        txs: List[Transmission] = []
+    ) -> List[tuple]:
+        rows: List[tuple] = []
         assigned = set()
         # Receivers are served in order of how few candidate senders they
         # have (scarcest first), so the greedy matching wastes no sender.
@@ -211,6 +216,6 @@ class OptOracle(FloodingProtocol):
                 chosen = fallback
             if chosen is not None:
                 s, head = chosen
-                txs.append(Transmission(sender=s, receiver=r, packet=head))
+                rows.append((s, r, head))
                 assigned.add(s)
-        return txs
+        return rows

@@ -4,7 +4,13 @@ from .clock import SlottedClock
 from .energy import EnergyLedger, energy_summary
 from .engine import FloodResult, SimConfig, run_flood, run_single_packet_floods
 from .events import EventKind, EventLog, SimEvent
-from .metrics import FloodMetrics, PacketDelays, coverage_threshold
+from .metrics import FloodCounters, FloodMetrics, PacketDelays, coverage_threshold
+from .observers import (
+    CounterObserver,
+    EnergyObserver,
+    EventLogObserver,
+    SimObserver,
+)
 from .rng import RngStreams, derive_seed, spawn_generator
 from .runner import (
     ExperimentSpec,
@@ -20,7 +26,8 @@ __all__ = [
     "EnergyLedger", "energy_summary",
     "FloodResult", "SimConfig", "run_flood", "run_single_packet_floods",
     "EventKind", "EventLog", "SimEvent",
-    "FloodMetrics", "PacketDelays", "coverage_threshold",
+    "FloodCounters", "FloodMetrics", "PacketDelays", "coverage_threshold",
+    "SimObserver", "CounterObserver", "EnergyObserver", "EventLogObserver",
     "RngStreams", "derive_seed", "spawn_generator",
     "ExperimentSpec", "RunSummary", "run_experiment", "run_experiments",
     "run_protocol_sweep", "run_replication",

@@ -1,42 +1,58 @@
 """The slot-stepped low-duty-cycle flooding simulator.
 
-One :func:`run_flood` call simulates the paper's Sec. V setup end to end:
-the source injects ``M`` packets; every original-time slot the engine
+One :func:`run_flood` call simulates the paper's Sec. V setup end to end.
+The engine is a staged slot pipeline over batched transmissions: every
+original-time slot it
 
-1. injects packets whose generation slot arrived,
-2. determines which sensors wake (their active slot),
-3. asks the protocol for transmissions,
-4. validates the proposals against the model's hard constraints
-   (possession, one TX per sender, receiver awake),
-5. resolves the channel (collisions, capture, Bernoulli loss,
+1. **injects** packets whose generation slot arrived,
+2. determines the **wake sets** (believed vs actual active slots),
+3. asks the protocol to **propose** a transmission batch
+   (:class:`~repro.net.radio.TxBatch`, structure-of-arrays),
+4. **validates** the batch against the model's hard constraints
+   (possession, one TX per sender, receiver awake) with vectorized mask
+   checks,
+5. **resolves** the channel (collisions, capture, Bernoulli loss,
    overhearing) through :func:`repro.net.radio.resolve_slot`,
-6. applies receptions, updates metrics, and lets the protocol observe
-   the outcome (ACK/overhearing learning).
+6. **applies** receptions to the possession state and dispatches the
+   slot to the observer layer (:mod:`repro.sim.observers`), then lets
+   the protocol observe the outcome (ACK/overhearing learning).
 
 The run ends when every packet has reached the coverage target (the
 paper's 99% rule) or the horizon expires.
 
+Instrumentation — counters, the energy ledger, the optional event log —
+lives entirely in observers; the engine's own loop only advances state.
+Extra observers plug in via ``run_flood(..., observers=[...])``.
+
 Hot-loop note (per the HPC guides): possession and arrival state live in
 two preallocated NumPy arrays; per-slot work touches only the waking
-nodes (``O(N/T)`` of them), and protocols use vectorized row/column masks
-rather than per-packet Python loops.
+nodes (``O(N/T)`` of them), and proposals travel as int64 arrays rather
+than per-frame Python objects.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..net.packet import FloodWorkload
-from ..net.radio import RadioModel, SlotOutcome, Transmission, resolve_slot
+from ..net.radio import RadioModel, SlotOutcome, Transmission, TxBatch, resolve_slot
 from ..net.schedule import ScheduleTable
 from ..net.topology import SOURCE, Topology
 from ..protocols.base import FloodingProtocol, SimView
 from .energy import EnergyLedger
-from .events import EventKind, EventLog, SimEvent
-from .metrics import FloodMetrics, PacketDelays, coverage_threshold
+from .events import EventLog
+from .metrics import FloodCounters, FloodMetrics, PacketDelays, coverage_threshold
+from .observers import (
+    CounterObserver,
+    EnergyObserver,
+    EventLogObserver,
+    SimObserver,
+    overriders_of,
+)
 
 __all__ = ["ENGINE_VERSION", "SimConfig", "FloodResult", "run_flood",
            "run_single_packet_floods"]
@@ -103,12 +119,234 @@ def _default_horizon(topo: Topology, schedules: ScheduleTable, M: int) -> int:
     Scales with the Theorem-2 upper bound inflated by the network's mean
     k-class (loss) plus slack for collision-heavy baselines.
     """
-    import math
-
     m = max(int(math.ceil(math.log2(1 + topo.n_sensors))), 1)
     k = max(topo.mean_k_class(), 1.0)
     bound = schedules.period * (2 * m + M) * k
     return int(32 * bound) + 2048
+
+
+def _raise_invalid_proposal(
+    protocol: FloodingProtocol,
+    t: int,
+    proposals: List[Transmission],
+    has: np.ndarray,
+    awake_mask: np.ndarray,
+) -> None:
+    """Cold path: re-run the per-frame checks to raise the precise error.
+
+    The hot path only detects *that* a batch violates a constraint; this
+    loop reproduces the historical per-transmission check order so the
+    exception (message and which violation wins) is identical to the
+    pre-batching engine.
+    """
+    seen: set = set()
+    for tx in proposals:
+        if tx.sender in seen:
+            raise ValueError(
+                f"protocol {protocol.name!r} scheduled two transmissions "
+                f"for node {tx.sender} at slot {t}"
+            )
+        seen.add(tx.sender)
+        if not has[tx.packet, tx.sender]:
+            raise ValueError(
+                f"protocol {protocol.name!r} made node {tx.sender} send "
+                f"packet {tx.packet} it does not hold (slot {t})"
+            )
+        if not awake_mask[tx.receiver]:
+            raise ValueError(
+                f"protocol {protocol.name!r} targeted sleeping node "
+                f"{tx.receiver} at slot {t}"
+            )
+    raise AssertionError(
+        "batch validation flagged a proposal the per-frame checks accept"
+    )
+
+
+class _SlotPipeline:
+    """Mutable per-run state plus the staged slot loop of one flood.
+
+    Stage methods mutate the pipeline state and dispatch to the observer
+    layer; :meth:`run` strings them together. Only simulation state lives
+    here — instrumentation is the observers' business.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        schedules: ScheduleTable,
+        actual_schedules: ScheduleTable,
+        workload: FloodWorkload,
+        protocol: FloodingProtocol,
+        rng: np.random.Generator,
+        config: SimConfig,
+        dynamics,
+        observers: Sequence[SimObserver],
+    ):
+        self.topo = topo
+        self.schedules = schedules
+        self.actual_schedules = actual_schedules
+        self.protocol = protocol
+        self.rng = rng
+        self.config = config
+        self.dynamics = dynamics
+
+        n_nodes = topo.n_nodes
+        M = workload.n_packets
+        self.eligible = topo.reachable_from_source()
+        self.eligible[SOURCE] = False  # coverage counts sensors only
+        self.n_eligible = int(self.eligible.sum())
+        if self.n_eligible == 0:
+            raise ValueError("no sensor is reachable from the source")
+        self.need_count = coverage_threshold(
+            self.n_eligible, config.coverage_target
+        )
+
+        self.has = np.zeros((M, n_nodes), dtype=bool)
+        self.arrival = np.full((M, n_nodes), -1, dtype=np.int64)
+        self.covered = np.zeros(M, dtype=np.int64)  # eligible sensors holding p
+        self.generated = workload.generation_slots()
+        self.first_tx = np.full(M, -1, dtype=np.int64)
+        self.completed_at = np.full(M, -1, dtype=np.int64)
+        self.n_pending = M  # packets not yet at coverage target
+        self.elapsed = 0
+
+        self.view = SimView(topo, schedules, workload, self.has, self.arrival)
+
+        # Preallocated wake-mask scratch for proposal validation: an O(1)
+        # boolean lookup per receiver instead of rebuilding a Python set
+        # from the awake array every slot.
+        self._awake_mask = np.zeros(n_nodes, dtype=bool)
+        self._actual_mask = np.zeros(n_nodes, dtype=bool)
+
+        # Per-hook observer fan-out, resolved once: a hook nobody
+        # overrides costs nothing per slot.
+        self._slot_obs = overriders_of(observers, "on_slot")
+        self._inject_obs = overriders_of(observers, "on_inject")
+        self._tx_obs = overriders_of(observers, "on_tx")
+        self._rx_obs = overriders_of(observers, "on_reception")
+        self._complete_obs = overriders_of(observers, "on_complete")
+
+    # -- stages --------------------------------------------------------
+
+    def inject(self, t: int) -> None:
+        """Stage 1: materialise packets whose generation slot arrived."""
+        to_inject = np.flatnonzero((self.generated <= t) & ~self.has[:, SOURCE])
+        for p in to_inject.tolist():
+            self.has[p, SOURCE] = True
+            self.arrival[p, SOURCE] = t
+            for ob in self._inject_obs:
+                ob.on_inject(t, p)
+
+    def wake_sets(self, t: int):
+        """Stage 2: believed and actual wake sets for this slot."""
+        awake = self.schedules.awake_at(t)
+        actually_awake = (
+            awake if self.actual_schedules is self.schedules
+            else self.actual_schedules.awake_at(t)
+        )
+        return awake, actually_awake
+
+    def propose(self, t: int, awake: np.ndarray) -> TxBatch:
+        """Stage 3: the protocol commits this slot's transmission batch."""
+        if awake.size:
+            return self.protocol.propose_batch(t, awake, self.view)
+        return TxBatch.empty()
+
+    def validate(self, t: int, batch: TxBatch, awake: np.ndarray) -> None:
+        """Stage 4: batch mask checks of the model's hard constraints.
+
+        Violations divert to a cold path that replays the per-frame
+        checks for an exact, historically-ordered error message.
+        """
+        mask = self._awake_mask
+        mask[awake] = True
+        ok = (
+            np.unique(batch.senders).size == len(batch)
+            and self.has[batch.packets, batch.senders].all()
+            and mask[batch.receivers].all()
+        )
+        if not ok:
+            try:
+                _raise_invalid_proposal(
+                    self.protocol, t, batch.to_transmissions(), self.has, mask
+                )
+            finally:
+                mask[awake] = False
+        mask[awake] = False
+
+    def count_sleep_misses(self, batch: TxBatch, actually_awake) -> int:
+        """Clock skew: transmissions whose receiver is really dormant."""
+        if self.actual_schedules is self.schedules:
+            return 0
+        mask = self._actual_mask
+        mask[actually_awake] = True
+        misses = int(np.count_nonzero(~mask[batch.receivers]))
+        mask[actually_awake] = False
+        return misses
+
+    def resolve(self, batch: TxBatch, actually_awake) -> SlotOutcome:
+        """Stage 5: channel resolution (against reality)."""
+        return resolve_slot(
+            batch, self.topo, actually_awake, self.rng, self.config.radio,
+            dynamics=self.dynamics,
+        )
+
+    def apply(
+        self, t: int, batch: TxBatch, outcome: SlotOutcome, sleep_misses: int
+    ) -> None:
+        """Stage 6: update possession/coverage state, dispatch observers."""
+        for ob in self._tx_obs:
+            ob.on_tx(t, batch, outcome, sleep_misses)
+
+        src_rows = np.flatnonzero(batch.senders == SOURCE)
+        if src_rows.size:  # at most one row: one TX per sender
+            p = int(batch.packets[src_rows[0]])
+            if self.first_tx[p] < 0:
+                self.first_tx[p] = t
+
+        has = self.has
+        arrival = self.arrival
+        for rec in outcome.receptions:
+            if has[rec.packet, rec.receiver]:
+                for ob in self._rx_obs:
+                    ob.on_reception(t, rec, True)
+                continue
+            has[rec.packet, rec.receiver] = True
+            arrival[rec.packet, rec.receiver] = t
+            if self.eligible[rec.receiver]:
+                self.covered[rec.packet] += 1
+                if (
+                    self.completed_at[rec.packet] < 0
+                    and self.covered[rec.packet] >= self.need_count
+                ):
+                    self.completed_at[rec.packet] = t
+                    self.n_pending -= 1
+                    for ob in self._complete_obs:
+                        ob.on_complete(t, rec.packet)
+            for ob in self._rx_obs:
+                ob.on_reception(t, rec, False)
+
+        self.protocol.observe(t, outcome, self.view)
+
+    # -- loop ----------------------------------------------------------
+
+    def run(self, horizon: int) -> None:
+        t = 0
+        while t < horizon and self.n_pending > 0:
+            if self.dynamics is not None:
+                self.dynamics.step()  # links fade regardless of traffic
+            self.inject(t)
+            awake, actually_awake = self.wake_sets(t)
+            for ob in self._slot_obs:
+                ob.on_slot(t, awake)
+            batch = self.propose(t, awake)
+            if len(batch):
+                self.validate(t, batch, awake)
+                sleep_misses = self.count_sleep_misses(batch, actually_awake)
+                outcome = self.resolve(batch, actually_awake)
+                self.apply(t, batch, outcome, sleep_misses)
+            t += 1
+        self.elapsed = t
 
 
 def run_flood(
@@ -121,6 +359,7 @@ def run_flood(
     measure_transmission_delay: bool = False,
     dynamics=None,
     true_schedules: Optional[ScheduleTable] = None,
+    observers: Sequence[SimObserver] = (),
     _transmission_delay: Optional[np.ndarray] = None,
 ) -> FloodResult:
     """Simulate one flood of ``workload.n_packets`` packets.
@@ -150,6 +389,11 @@ def run_flood(
         counted as ``sleep_misses`` (plus ordinary failures) instead of
         protocol errors. Default: no skew — the paper's perfectly
         locally-synchronized model.
+    observers:
+        Extra :class:`~repro.sim.observers.SimObserver` instances hooked
+        into the slot pipeline after the built-in counter/energy/event
+        observers. Observers watch; they must not mutate simulation
+        state.
     """
     if len(schedules) != topo.n_nodes:
         raise ValueError(
@@ -160,163 +404,27 @@ def run_flood(
     if true_schedules is not None and len(true_schedules) != topo.n_nodes:
         raise ValueError("true_schedules does not match the topology")
     actual_schedules = true_schedules if true_schedules is not None else schedules
-    n_nodes = topo.n_nodes
     M = workload.n_packets
     horizon = config.max_slots or _default_horizon(topo, schedules, M)
 
-    eligible = topo.reachable_from_source()
-    eligible[SOURCE] = False  # coverage counts sensors only
-    n_eligible = int(eligible.sum())
-    if n_eligible == 0:
-        raise ValueError("no sensor is reachable from the source")
-    need_count = coverage_threshold(n_eligible, config.coverage_target)
+    counters = FloodCounters()
+    ledger = EnergyLedger(topo.n_nodes)
+    log_observer = EventLogObserver() if config.track_events else None
+    all_observers: List[SimObserver] = [
+        CounterObserver(counters), EnergyObserver(ledger)
+    ]
+    if log_observer is not None:
+        all_observers.append(log_observer)
+    all_observers.extend(observers)
 
-    has = np.zeros((M, n_nodes), dtype=bool)
-    arrival = np.full((M, n_nodes), -1, dtype=np.int64)
-    covered = np.zeros(M, dtype=np.int64)  # eligible sensors holding p
-    generated = workload.generation_slots()
-    first_tx = np.full(M, -1, dtype=np.int64)
-    completed_at = np.full(M, -1, dtype=np.int64)
-
-    ledger = EnergyLedger(n_nodes)
-    log = EventLog() if config.track_events else None
-    view = SimView(topo, schedules, workload, has, arrival)
+    pipeline = _SlotPipeline(
+        topo, schedules, actual_schedules, workload, protocol, rng, config,
+        dynamics, all_observers,
+    )
     protocol.prepare(topo, schedules, workload, rng)
+    pipeline.run(horizon)
 
-    tx_attempts = tx_failures = collisions = duplicates = overhears = 0
-    sleep_misses = 0
-    n_pending = M  # packets not yet at coverage target
-
-    # Preallocated wake-mask scratch for proposal validation: an O(1)
-    # boolean lookup per receiver instead of rebuilding a Python set
-    # from the awake array every slot (the sets dominated validation
-    # cost when proposal lists are tiny).
-    awake_mask = np.zeros(n_nodes, dtype=bool)
-    actual_mask = np.zeros(n_nodes, dtype=bool)
-
-    t = 0
-    while t < horizon and n_pending > 0:
-        # 0. Link dynamics advance regardless of traffic.
-        if dynamics is not None:
-            dynamics.step()
-
-        # 1. Injection.
-        to_inject = np.flatnonzero((generated <= t) & ~has[:, SOURCE])
-        for p in to_inject.tolist():
-            has[p, SOURCE] = True
-            arrival[p, SOURCE] = t
-            if log is not None:
-                log.record(SimEvent(t, EventKind.INJECT, p))
-
-        # 2. Wake sets: what the protocol believes vs what is true.
-        awake = schedules.awake_at(t)
-        actually_awake = (
-            awake if actual_schedules is schedules
-            else actual_schedules.awake_at(t)
-        )
-
-        # 3-4. Protocol proposals, validated against its *belief*.
-        if awake.size:
-            proposals = protocol.propose(t, awake, view)
-        else:
-            proposals = []
-        if proposals:
-            awake_mask[awake] = True
-            seen_senders = set()
-            for tx in proposals:
-                if tx.sender in seen_senders:
-                    raise ValueError(
-                        f"protocol {protocol.name!r} scheduled two transmissions "
-                        f"for node {tx.sender} at slot {t}"
-                    )
-                seen_senders.add(tx.sender)
-                if not has[tx.packet, tx.sender]:
-                    raise ValueError(
-                        f"protocol {protocol.name!r} made node {tx.sender} send "
-                        f"packet {tx.packet} it does not hold (slot {t})"
-                    )
-                if not awake_mask[tx.receiver]:
-                    raise ValueError(
-                        f"protocol {protocol.name!r} targeted sleeping node "
-                        f"{tx.receiver} at slot {t}"
-                    )
-            awake_mask[awake] = False
-
-            # Clock skew: transmissions addressed to nodes that are not
-            # really awake hit a dormant radio.
-            if actual_schedules is not schedules:
-                actual_mask[actually_awake] = True
-                sleep_misses += sum(
-                    1 for tx in proposals if not actual_mask[tx.receiver]
-                )
-                actual_mask[actually_awake] = False
-
-            # 5. Channel resolution (against reality).
-            outcome = resolve_slot(
-                proposals, topo, actually_awake, rng, config.radio,
-                dynamics=dynamics,
-            )
-
-            # 6. Bookkeeping.
-            tx_attempts += len(proposals)
-            tx_failures += len(outcome.failures)
-            collisions += len(outcome.collisions)
-            for tx in proposals:
-                ledger.note_tx(tx.sender)
-                if tx.sender == SOURCE and first_tx[tx.packet] < 0:
-                    first_tx[tx.packet] = t
-                if log is not None:
-                    log.record(
-                        SimEvent(t, EventKind.TX, tx.packet, tx.sender, tx.receiver)
-                    )
-            for tx in outcome.failures:
-                ledger.note_failure(tx.sender)
-            if log is not None:
-                for tx in outcome.collisions:
-                    log.record(
-                        SimEvent(
-                            t, EventKind.COLLISION, tx.packet, tx.sender, tx.receiver
-                        )
-                    )
-
-            for rec in outcome.receptions:
-                kind = EventKind.OVERHEAR if rec.overheard else EventKind.DELIVER
-                if has[rec.packet, rec.receiver]:
-                    duplicates += not rec.overheard
-                    if log is not None and not rec.overheard:
-                        log.record(
-                            SimEvent(
-                                t,
-                                EventKind.DUPLICATE,
-                                rec.packet,
-                                rec.sender,
-                                rec.receiver,
-                            )
-                        )
-                    continue
-                overhears += rec.overheard
-                has[rec.packet, rec.receiver] = True
-                arrival[rec.packet, rec.receiver] = t
-                ledger.note_rx(rec.receiver)
-                if eligible[rec.receiver]:
-                    covered[rec.packet] += 1
-                    if (
-                        completed_at[rec.packet] < 0
-                        and covered[rec.packet] >= need_count
-                    ):
-                        completed_at[rec.packet] = t
-                        n_pending -= 1
-                        if log is not None:
-                            log.record(SimEvent(t, EventKind.COMPLETE, rec.packet))
-                if log is not None:
-                    log.record(
-                        SimEvent(t, kind, rec.packet, rec.sender, rec.receiver)
-                    )
-
-            protocol.observe(t, outcome, view)
-        t += 1
-
-    ledger.note_elapsed(t)
+    ledger.note_elapsed(pipeline.elapsed)
     ledger.validate()
 
     transmission_delay = _transmission_delay
@@ -329,30 +437,36 @@ def run_flood(
         transmission_delay = run_single_packet_floods(
             topo, schedules, workload, type(protocol), rng, config,
             protocol_kwargs=protocol.init_kwargs,
+            dynamics=dynamics, true_schedules=true_schedules,
         )
 
     metrics = FloodMetrics(
         delays=PacketDelays(
-            generated=generated, first_tx=first_tx, completed=completed_at
+            generated=pipeline.generated,
+            first_tx=pipeline.first_tx,
+            completed=pipeline.completed_at,
         ),
-        tx_attempts=tx_attempts,
-        tx_failures=tx_failures,
-        collisions=collisions,
-        duplicates=duplicates,
-        overhears=overhears,
-        elapsed_slots=t,
-        coverage_per_packet=covered / n_eligible,
+        tx_attempts=counters.tx_attempts,
+        tx_failures=counters.tx_failures,
+        collisions=counters.collisions,
+        duplicates=counters.duplicates,
+        overhears=counters.overhears,
+        elapsed_slots=pipeline.elapsed,
+        coverage_per_packet=pipeline.covered / pipeline.n_eligible,
         transmission_delay=transmission_delay,
-        sleep_misses=sleep_misses,
+        sleep_misses=counters.sleep_misses,
     )
-    return FloodResult(
+    result = FloodResult(
         metrics=metrics,
-        has=has,
-        arrival=arrival,
+        has=pipeline.has,
+        arrival=pipeline.arrival,
         ledger=ledger,
-        events=log,
-        completed=bool(n_pending == 0),
+        events=log_observer.log if log_observer is not None else None,
+        completed=bool(pipeline.n_pending == 0),
     )
+    for ob in overriders_of(all_observers, "on_finish"):
+        ob.on_finish(result)
+    return result
 
 
 def run_single_packet_floods(
@@ -364,6 +478,8 @@ def run_single_packet_floods(
     config: Optional[SimConfig] = None,
     protocol_kwargs: Optional[dict] = None,
     n_probes: Optional[int] = None,
+    dynamics=None,
+    true_schedules: Optional[ScheduleTable] = None,
 ) -> np.ndarray:
     """Queueing-free per-packet delay: flood packets in isolation.
 
@@ -373,6 +489,12 @@ def run_single_packet_floods(
     floods are i.i.d. across packets, so ``n_probes`` (default
     ``min(M, 8)``) actual runs are cycled over the ``M`` packet slots
     instead of running all ``M``.
+
+    ``dynamics`` and ``true_schedules`` mirror :func:`run_flood`: probes
+    must measure the same channel the parent flood ran on. Each probe
+    gets an independent fork of the Gilbert-Elliott state (same burst
+    statistics, fresh randomness) so probes stay i.i.d.; the skewed
+    ``true_schedules`` are shared as-is because skew is deterministic.
     """
     from ..net.packet import FloodWorkload as _WL
 
@@ -385,6 +507,13 @@ def run_single_packet_floods(
     probes = np.full(n_probes, -1, dtype=np.int64)
     for i in range(n_probes):
         sub_rng = np.random.default_rng(rng.integers(0, 2**63))
+        probe_dynamics = None
+        if dynamics is not None:
+            # Drawn only on the dynamics path so burst-free runs consume
+            # the parent stream exactly as they always have.
+            probe_dynamics = dynamics.fork(
+                np.random.default_rng(rng.integers(0, 2**63))
+            )
         result = run_flood(
             topo,
             schedules,
@@ -392,6 +521,8 @@ def run_single_packet_floods(
             protocol_cls(**kwargs),
             sub_rng,
             config,
+            dynamics=probe_dynamics,
+            true_schedules=true_schedules,
         )
         probes[i] = result.metrics.delays.total_delay()[0]
     return probes[np.arange(M) % n_probes]

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["coverage_threshold", "PacketDelays", "FloodMetrics"]
+__all__ = ["coverage_threshold", "FloodCounters", "PacketDelays", "FloodMetrics"]
 
 
 def coverage_threshold(n_eligible: int, coverage_target: float) -> int:
@@ -26,6 +26,22 @@ def coverage_threshold(n_eligible: int, coverage_target: float) -> int:
     if not (0.0 < coverage_target <= 1.0):
         raise ValueError(f"coverage target must be in (0, 1], got {coverage_target}")
     return max(int(math.ceil(coverage_target * n_eligible)), 1)
+
+
+@dataclass
+class FloodCounters:
+    """Mutable aggregate counters accumulated while a flood runs.
+
+    Maintained by :class:`repro.sim.observers.CounterObserver`; the final
+    values feed the corresponding :class:`FloodMetrics` fields.
+    """
+
+    tx_attempts: int = 0
+    tx_failures: int = 0
+    collisions: int = 0
+    duplicates: int = 0
+    overhears: int = 0
+    sleep_misses: int = 0
 
 
 @dataclass

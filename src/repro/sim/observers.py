@@ -1,0 +1,172 @@
+"""Observer layer: instrumentation hooks for the slot pipeline.
+
+The engine's job is to advance simulation state; everything that merely
+*watches* a flood — counters, the energy ledger, the event log, and any
+future tracing or metrics — implements :class:`SimObserver` and is
+dispatched at fixed points of each slot. This replaces the scattered
+inline bookkeeping the engine used to carry and gives external code a
+sanctioned hook point (``run_flood(..., observers=[...])``) instead of
+forking the loop.
+
+Hook order within one slot with traffic::
+
+    on_slot(t, awake)                 # once, after wake sets are known
+    on_inject(t, packet)              # per packet injected this slot
+    on_tx(t, batch, outcome, misses)  # once, after channel resolution
+    on_reception(t, rec, is_dup)      # per reception, receiver-ascending
+    on_complete(t, packet)            # before the completing reception
+
+``on_complete`` fires *before* the ``on_reception`` call of the
+reception that pushed the packet over the coverage target — this
+preserves the historical event-log ordering (COMPLETE precedes the
+DELIVER/OVERHEAR record). ``on_finish`` fires once with the final
+:class:`~repro.sim.engine.FloodResult`.
+
+Dispatch is pay-for-what-you-use: the engine only calls a hook on
+observers that actually override it (see :func:`overriders_of`), so a
+registered observer with two hooks costs nothing on the other four.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.radio import Reception, SlotOutcome, TxBatch
+from .energy import EnergyLedger
+from .events import EventKind, EventLog, SimEvent
+from .metrics import FloodCounters
+
+__all__ = [
+    "SimObserver",
+    "CounterObserver",
+    "EnergyObserver",
+    "EventLogObserver",
+    "overriders_of",
+]
+
+
+class SimObserver:
+    """Base class for flood instrumentation; every hook is a no-op.
+
+    Subclasses override only the hooks they care about. Observers must
+    treat every argument as read-only — they watch the simulation, they
+    do not steer it.
+    """
+
+    def on_slot(self, t: int, awake: np.ndarray) -> None:
+        """A slot began; ``awake`` is the believed wake set."""
+
+    def on_inject(self, t: int, packet: int) -> None:
+        """The source generated ``packet`` at slot ``t``."""
+
+    def on_tx(
+        self, t: int, batch: TxBatch, outcome: SlotOutcome, sleep_misses: int
+    ) -> None:
+        """The slot's transmissions resolved.
+
+        ``batch`` holds the validated proposals, ``outcome`` what the
+        channel did with them, and ``sleep_misses`` how many of them
+        addressed a radio that was actually dormant (clock skew).
+        """
+
+    def on_reception(self, t: int, rec: Reception, is_duplicate: bool) -> None:
+        """A frame was received; ``is_duplicate`` if the receiver had it."""
+
+    def on_complete(self, t: int, packet: int) -> None:
+        """``packet`` reached the coverage target at slot ``t``."""
+
+    def on_finish(self, result) -> None:
+        """The run ended; ``result`` is the final FloodResult."""
+
+
+_HOOKS = ("on_slot", "on_inject", "on_tx", "on_reception", "on_complete",
+          "on_finish")
+
+
+def overriders_of(
+    observers: Sequence[SimObserver], hook: str
+) -> List[SimObserver]:
+    """Observers in ``observers`` that override ``hook``, in order."""
+    if hook not in _HOOKS:
+        raise ValueError(f"unknown observer hook {hook!r}")
+    base = getattr(SimObserver, hook)
+    return [ob for ob in observers if getattr(type(ob), hook) is not base]
+
+
+class CounterObserver(SimObserver):
+    """Accumulates the aggregate :class:`FloodCounters` of a run."""
+
+    def __init__(self, counters: Optional[FloodCounters] = None):
+        self.counters = counters if counters is not None else FloodCounters()
+
+    def on_tx(self, t, batch, outcome, sleep_misses):
+        c = self.counters
+        c.tx_attempts += len(batch)
+        c.tx_failures += len(outcome.failures)
+        c.collisions += len(outcome.collisions)
+        c.sleep_misses += sleep_misses
+
+    def on_reception(self, t, rec, is_duplicate):
+        if is_duplicate:
+            self.counters.duplicates += not rec.overheard
+        else:
+            self.counters.overhears += rec.overheard
+
+
+class EnergyObserver(SimObserver):
+    """Feeds an :class:`EnergyLedger` from the transmission stream."""
+
+    def __init__(self, ledger: EnergyLedger):
+        self.ledger = ledger
+
+    def on_tx(self, t, batch, outcome, sleep_misses):
+        self.ledger.note_tx_batch(batch.senders)
+        n_failed = len(outcome.failures)
+        if n_failed:
+            self.ledger.note_failure_batch(
+                np.fromiter(
+                    (tx.sender for tx in outcome.failures),
+                    np.int64,
+                    count=n_failed,
+                )
+            )
+
+    def on_reception(self, t, rec, is_duplicate):
+        if not is_duplicate:
+            self.ledger.note_rx(rec.receiver)
+
+
+class EventLogObserver(SimObserver):
+    """Materialises the full :class:`EventLog` (``track_events`` mode)."""
+
+    def __init__(self, log: Optional[EventLog] = None):
+        self.log = log if log is not None else EventLog()
+
+    def on_inject(self, t, packet):
+        self.log.record(SimEvent(t, EventKind.INJECT, packet))
+
+    def on_tx(self, t, batch, outcome, sleep_misses):
+        record = self.log.record
+        for tx in batch.to_transmissions():
+            record(SimEvent(t, EventKind.TX, tx.packet, tx.sender, tx.receiver))
+        for tx in outcome.collisions:
+            record(
+                SimEvent(t, EventKind.COLLISION, tx.packet, tx.sender, tx.receiver)
+            )
+
+    def on_reception(self, t, rec, is_duplicate):
+        if is_duplicate:
+            if not rec.overheard:
+                self.log.record(
+                    SimEvent(
+                        t, EventKind.DUPLICATE, rec.packet, rec.sender, rec.receiver
+                    )
+                )
+            return
+        kind = EventKind.OVERHEAR if rec.overheard else EventKind.DELIVER
+        self.log.record(SimEvent(t, kind, rec.packet, rec.sender, rec.receiver))
+
+    def on_complete(self, t, packet):
+        self.log.record(SimEvent(t, EventKind.COMPLETE, packet))

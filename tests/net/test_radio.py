@@ -7,6 +7,7 @@ from repro.net.generators import line_topology, star_topology
 from repro.net.radio import (
     RadioModel,
     Transmission,
+    TxBatch,
     carrier_sense_groups,
     csma_select,
     resolve_slot,
@@ -271,3 +272,81 @@ class TestCarrierSenseGroups:
     def test_duplicate_rejected(self, line5):
         with pytest.raises(ValueError):
             carrier_sense_groups([2, 2], line5)
+
+
+class TestTxBatch:
+    def test_round_trip(self):
+        txs = [Transmission(0, 1, 0), Transmission(2, 1, 1)]
+        batch = TxBatch.from_transmissions(txs)
+        assert len(batch) == 2
+        assert batch.senders.tolist() == [0, 2]
+        assert batch.receivers.tolist() == [1, 1]
+        assert batch.packets.tolist() == [0, 1]
+        # from_transmissions caches the originals verbatim.
+        assert batch.to_transmissions() is not None
+        assert batch.to_transmissions()[0] is txs[0]
+        assert list(batch) == txs
+
+    def test_materialisation_from_arrays(self):
+        batch = TxBatch([3, 1], [0, 0], [2, 2])
+        assert batch.to_transmissions() == [
+            Transmission(3, 0, 2), Transmission(1, 0, 2)
+        ]
+        assert batch == TxBatch.from_transmissions(batch.to_transmissions())
+
+    def test_empty(self):
+        batch = TxBatch.empty()
+        assert len(batch) == 0
+        assert not batch
+        assert batch.to_transmissions() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="must differ"):
+            TxBatch([1], [1], [0])
+        with pytest.raises(ValueError, match="non-negative"):
+            TxBatch([0], [1], [-1])
+        with pytest.raises(ValueError, match="equal length"):
+            TxBatch([0, 1], [1], [0])
+        with pytest.raises(ValueError, match="one-dimensional"):
+            TxBatch([[0]], [[1]], [[0]])
+
+    def test_resolve_slot_accepts_batch(self, line5, rng):
+        txs = [Transmission(0, 1, 0), Transmission(2, 3, 0)]
+        out_list = resolve_slot(
+            txs, line5, awake=[1, 3], rng=np.random.default_rng(5),
+            model=lossless(),
+        )
+        out_batch = resolve_slot(
+            TxBatch.from_transmissions(txs), line5, awake=[1, 3],
+            rng=np.random.default_rng(5), model=lossless(),
+        )
+        assert out_batch.receptions == out_list.receptions
+        assert out_batch.failures == out_list.failures
+        assert out_batch.collisions == out_list.collisions
+
+    def test_resolve_slot_duplicate_sender_in_batch(self, line5, rng):
+        batch = TxBatch([1, 1], [0, 2], [0, 0])
+        with pytest.raises(ValueError, match="two transmissions"):
+            resolve_slot(batch, line5, awake=[0, 2], rng=rng)
+
+    def test_batch_equivalence_under_loss_and_collisions(self, rng):
+        # Same seed, list vs batch input: identical trajectories through
+        # jitter, capture, and Bernoulli draws.
+        prr = np.zeros((5, 5))
+        for a, b in [(0, 2), (1, 2), (0, 3), (3, 4), (2, 4)]:
+            prr[a, b] = 0.6
+            prr[b, a] = 0.6
+        topo = Topology(prr)
+        txs = [Transmission(0, 2, 0), Transmission(1, 2, 1),
+               Transmission(3, 4, 0)]
+        for seed in range(20):
+            out_list = resolve_slot(
+                txs, topo, awake=[2, 4], rng=np.random.default_rng(seed)
+            )
+            out_batch = resolve_slot(
+                TxBatch.from_transmissions(txs), topo, awake=[2, 4],
+                rng=np.random.default_rng(seed),
+            )
+            assert out_batch.receptions == out_list.receptions
+            assert out_batch.failures == out_list.failures
+            assert out_batch.collisions == out_list.collisions

@@ -179,3 +179,68 @@ class TestSimView:
         assert possession.shape == (3, 5)
         with pytest.raises(ValueError):
             possession[0, 0] = False  # read-only view
+
+
+class TestBatchContract:
+    """Either proposal method may be overridden; each adapts the other."""
+
+    def test_list_protocol_gets_batch_adapter(self, view):
+        from repro.net.radio import Transmission, TxBatch
+
+        class ListProto(FloodingProtocol):
+            name = ""
+
+            def propose(self, t, awake, view):
+                return [Transmission(sender=0, receiver=1, packet=0)]
+
+        batch = ListProto().propose_batch(0, np.asarray([1]), view)
+        assert isinstance(batch, TxBatch)
+        assert batch.senders.tolist() == [0]
+        assert batch.receivers.tolist() == [1]
+        assert batch.packets.tolist() == [0]
+
+    def test_batch_protocol_gets_list_adapter(self, view):
+        from repro.net.radio import TxBatch
+
+        class BatchProto(FloodingProtocol):
+            name = ""
+
+            def propose_batch(self, t, awake, view):
+                return TxBatch(
+                    np.asarray([0], dtype=np.int64),
+                    np.asarray([1], dtype=np.int64),
+                    np.asarray([2], dtype=np.int64),
+                )
+
+        txs = BatchProto().propose(0, np.asarray([1]), view)
+        assert [(tx.sender, tx.receiver, tx.packet) for tx in txs] == [(0, 1, 2)]
+
+    def test_overriding_neither_raises(self, view):
+        class Neither(FloodingProtocol):
+            name = ""
+
+        with pytest.raises(NotImplementedError, match="must override"):
+            Neither().propose(0, np.asarray([1]), view)
+        with pytest.raises(NotImplementedError, match="must override"):
+            Neither().propose_batch(0, np.asarray([1]), view)
+
+    def test_all_registered_protocols_emit_batches(self, view):
+        # The engine only ever consumes batches: every registered
+        # protocol must produce a TxBatch through propose_batch
+        # (natively or via the adapter).
+        from repro.net.radio import TxBatch
+        from repro.net.generators import line_topology
+        from repro.sim.engine import SimConfig, run_flood
+
+        topo = line_topology(4, prr=1.0)
+        for name in available_protocols():
+            proto = make_protocol(name)
+            rng = np.random.default_rng(3)
+            schedules = ScheduleTable.random(5, 4, np.random.default_rng(4))
+            proto.prepare(topo, schedules, FloodWorkload(2), rng)
+            has = np.zeros((2, 5), dtype=bool)
+            has[:, 0] = True
+            arrival = np.where(has, 0, -1).astype(np.int64)
+            v = SimView(topo, schedules, FloodWorkload(2), has, arrival)
+            batch = proto.propose_batch(0, schedules.awake_at(0), v)
+            assert isinstance(batch, TxBatch)

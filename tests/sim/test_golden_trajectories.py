@@ -1,0 +1,365 @@
+"""Golden-trajectory pins for the simulation engine.
+
+These tests freeze the *exact* trajectories of small seeded floods — per
+packet delays, every aggregate counter, per-node energy checksums, and a
+content hash of the arrival matrix — across all registered protocols and
+the engine's optional code paths (skew, bursty dynamics, event tracking,
+probe floods).
+
+They are the safety net for engine refactors: any change that alters RNG
+consumption order, channel resolution, or bookkeeping semantics trips
+them immediately. A refactor that keeps them green is trajectory-
+preserving and does NOT need an ``ENGINE_VERSION`` bump; a deliberate
+semantic change must bump the version and regenerate the pins:
+
+    PYTHONPATH=src python tests/sim/test_golden_trajectories.py
+
+prints a fresh ``GOLDEN`` dict to paste below.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.experiments.skew import JitteredSchedules
+from repro.net.dynamics import GilbertElliott
+from repro.net.generators import random_geometric_topology
+from repro.net.packet import FloodWorkload
+from repro.net.radio import RadioModel
+from repro.net.schedule import ScheduleTable
+from repro.protocols import available_protocols, make_protocol
+from repro.protocols.opt import opt_radio_model
+from repro.sim.energy import energy_summary
+from repro.sim.engine import SimConfig, run_flood
+from repro.sim.events import EventKind
+
+M = 3
+PERIOD = 5
+MAX_SLOTS = 600
+
+
+def _substrate():
+    rng = np.random.default_rng(7)
+    topo = random_geometric_topology(25, area_m=180.0, rng=rng)
+    schedules = ScheduleTable.random(topo.n_nodes, PERIOD, np.random.default_rng(8))
+    return topo, schedules
+
+
+def _config(protocol: str, **kwargs) -> SimConfig:
+    if protocol == "opt":
+        kwargs.setdefault("radio", opt_radio_model())
+    elif protocol == "crosslayer":
+        kwargs.setdefault("radio", RadioModel(overhearing=True))
+    kwargs.setdefault("max_slots", MAX_SLOTS)
+    return SimConfig(**kwargs)
+
+
+def _flood(protocol: str, *, track_events=False, probes=False, dynamics=None,
+           skew=False):
+    topo, schedules = _substrate()
+    true_schedules = (
+        JitteredSchedules(schedules, 0.3, seed=99) if skew else None
+    )
+    dyn = GilbertElliott(topo, rng=np.random.default_rng(123)) if dynamics else None
+    return run_flood(
+        topo,
+        schedules,
+        FloodWorkload(M),
+        make_protocol(protocol),
+        np.random.default_rng(42),
+        _config(protocol, track_events=track_events),
+        measure_transmission_delay=probes,
+        dynamics=dyn,
+        true_schedules=true_schedules,
+    )
+
+
+def _checksum(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()[:16]
+
+
+def _observe(result) -> dict:
+    m = result.metrics
+    ledger = result.ledger
+    n = ledger.n_nodes
+    weights = np.arange(1, n + 1, dtype=np.int64)
+    obs = {
+        "completed": bool(result.completed),
+        "delays": m.delays.total_delay().tolist(),
+        "first_tx": m.delays.first_tx.tolist(),
+        "completed_at": m.delays.completed.tolist(),
+        "tx_attempts": m.tx_attempts,
+        "tx_failures": m.tx_failures,
+        "collisions": m.collisions,
+        "duplicates": m.duplicates,
+        "overhears": m.overhears,
+        "sleep_misses": m.sleep_misses,
+        "elapsed": m.elapsed_slots,
+        "coverage": [round(c, 10) for c in m.coverage_per_packet.tolist()],
+        "arrival_sha": _checksum(result.arrival),
+        # Position-weighted ledger checksums catch any per-node
+        # redistribution that sum-only pins would miss.
+        "ledger_tx": [int(ledger.tx_attempts.sum()),
+                      int(ledger.tx_attempts @ weights)],
+        "ledger_failures": [int(ledger.tx_failures.sum()),
+                            int(ledger.tx_failures @ weights)],
+        "ledger_rx": [int(ledger.rx_successes.sum()),
+                      int(ledger.rx_successes @ weights)],
+        "energy_total": round(
+            energy_summary(ledger, 1.0 / PERIOD)["total_energy"], 6
+        ),
+    }
+    if result.events is not None:
+        obs["event_counts"] = {
+            kind.value: result.events.count(kind) for kind in EventKind
+        }
+        obs["n_events"] = len(result.events)
+    if result.metrics.transmission_delay is not None:
+        obs["transmission_delay"] = result.metrics.transmission_delay.tolist()
+    return obs
+
+
+SCENARIOS = {
+    "opt": dict(protocol="opt"),
+    "dbao": dict(protocol="dbao"),
+    "of": dict(protocol="of"),
+    "naive": dict(protocol="naive"),
+    "dca": dict(protocol="dca"),
+    "flash": dict(protocol="flash"),
+    "crosslayer": dict(protocol="crosslayer"),
+    "dbao-skew": dict(protocol="dbao", skew=True),
+    "dbao-bursty": dict(protocol="dbao", dynamics=True),
+    "opt-events": dict(protocol="opt", track_events=True),
+    "of-probes": dict(protocol="of", probes=True),
+}
+
+# Generated against the seed engine (pre-refactor) via the __main__ helper.
+GOLDEN = {'crosslayer': {'arrival_sha': '412193f653f56f5d',
+                'collisions': 6,
+                'completed': True,
+                'completed_at': [18, 30, 48],
+                'coverage': [1.0, 1.0, 1.0],
+                'delays': [19, 23, 36],
+                'duplicates': 35,
+                'elapsed': 49,
+                'energy_total': 479.8,
+                'first_tx': [0, 8, 13],
+                'ledger_failures': [8, 117],
+                'ledger_rx': [72, 972],
+                'ledger_tx': [90, 1271],
+                'overhears': 25,
+                'sleep_misses': 0,
+                'tx_attempts': 90,
+                'tx_failures': 8},
+ 'dbao': {'arrival_sha': '354d15be16837900',
+          'collisions': 10,
+          'completed': True,
+          'completed_at': [38, 70, 75],
+          'coverage': [1.0, 1.0, 1.0],
+          'delays': [39, 63, 63],
+          'duplicates': 39,
+          'elapsed': 76,
+          'energy_total': 722.7,
+          'first_tx': [0, 8, 13],
+          'ledger_failures': [20, 323],
+          'ledger_rx': [72, 972],
+          'ledger_tx': [131, 1861],
+          'overhears': 0,
+          'sleep_misses': 0,
+          'tx_attempts': 131,
+          'tx_failures': 20},
+ 'dbao-bursty': {'arrival_sha': '5c2f467119a72495',
+                 'collisions': 7,
+                 'completed': True,
+                 'completed_at': [53, 61, 97],
+                 'coverage': [1.0, 1.0, 1.0],
+                 'delays': [54, 54, 85],
+                 'duplicates': 38,
+                 'elapsed': 98,
+                 'energy_total': 942.1,
+                 'first_tx': [0, 8, 13],
+                 'ledger_failures': [63, 987],
+                 'ledger_rx': [72, 972],
+                 'ledger_tx': [173, 2517],
+                 'overhears': 0,
+                 'sleep_misses': 0,
+                 'tx_attempts': 173,
+                 'tx_failures': 63},
+ 'dbao-skew': {'arrival_sha': '5f3ab6492dd8fb0b',
+               'collisions': 10,
+               'completed': True,
+               'completed_at': [113, 118, 123],
+               'coverage': [1.0, 1.0, 1.0],
+               'delays': [114, 111, 111],
+               'duplicates': 40,
+               'elapsed': 124,
+               'energy_total': 1122.3,
+               'first_tx': [0, 8, 13],
+               'ledger_failures': [79, 1076],
+               'ledger_rx': [72, 972],
+               'ledger_tx': [191, 2637],
+               'overhears': 0,
+               'sleep_misses': 55,
+               'tx_attempts': 191,
+               'tx_failures': 79},
+ 'dca': {'arrival_sha': '5f25f99bd1046fc0',
+         'collisions': 0,
+         'completed': True,
+         'completed_at': [201, 206, 211],
+         'coverage': [1.0, 1.0, 1.0],
+         'delays': [202, 202, 202],
+         'duplicates': 0,
+         'elapsed': 212,
+         'energy_total': 1382.4,
+         'first_tx': [0, 5, 10],
+         'ledger_failures': [40, 161],
+         'ledger_rx': [72, 972],
+         'ledger_tx': [112, 749],
+         'overhears': 0,
+         'sleep_misses': 0,
+         'tx_attempts': 112,
+         'tx_failures': 40},
+ 'flash': {'arrival_sha': '52d2543d9d076245',
+           'collisions': 2092,
+           'completed': False,
+           'completed_at': [-1, -1, -1],
+           'coverage': [0.9166666667, 0.8333333333, 0.8333333333],
+           'delays': [-1, -1, -1],
+           'duplicates': 72,
+           'elapsed': 600,
+           'energy_total': 11412.5,
+           'first_tx': [0, 5, 10],
+           'ledger_failures': [3183, 39386],
+           'ledger_rx': [62, 811],
+           'ledger_tx': [3317, 41040],
+           'overhears': 0,
+           'sleep_misses': 0,
+           'tx_attempts': 3317,
+           'tx_failures': 3183},
+ 'naive': {'arrival_sha': '49aecb822125df6c',
+           'collisions': 649,
+           'completed': True,
+           'completed_at': [163, 188, 496],
+           'coverage': [1.0, 1.0, 1.0],
+           'delays': [159, 174, 417],
+           'duplicates': 220,
+           'elapsed': 497,
+           'energy_total': 5789.4,
+           'first_tx': [5, 15, 80],
+           'ledger_failures': [990, 12095],
+           'ledger_rx': [72, 972],
+           'ledger_tx': [1282, 16124],
+           'overhears': 0,
+           'sleep_misses': 0,
+           'tx_attempts': 1282,
+           'tx_failures': 990},
+ 'of': {'arrival_sha': '446ba340b0f282fc',
+        'collisions': 1,
+        'completed': True,
+        'completed_at': [109, 114, 119],
+        'coverage': [1.0, 1.0, 1.0],
+        'delays': [110, 110, 110],
+        'duplicates': 6,
+        'elapsed': 120,
+        'energy_total': 831.5,
+        'first_tx': [0, 5, 10],
+        'ledger_failures': [5, 40],
+        'ledger_rx': [72, 972],
+        'ledger_tx': [83, 841],
+        'overhears': 0,
+        'sleep_misses': 0,
+        'tx_attempts': 83,
+        'tx_failures': 5},
+ 'of-probes': {'arrival_sha': '446ba340b0f282fc',
+               'collisions': 1,
+               'completed': True,
+               'completed_at': [109, 114, 119],
+               'coverage': [1.0, 1.0, 1.0],
+               'delays': [110, 110, 110],
+               'duplicates': 6,
+               'elapsed': 120,
+               'energy_total': 831.5,
+               'first_tx': [0, 5, 10],
+               'ledger_failures': [5, 40],
+               'ledger_rx': [72, 972],
+               'ledger_tx': [83, 841],
+               'overhears': 0,
+               'sleep_misses': 0,
+               'transmission_delay': [50, 40, 50],
+               'tx_attempts': 83,
+               'tx_failures': 5},
+ 'opt': {'arrival_sha': '26659e4992609e87',
+         'collisions': 0,
+         'completed': True,
+         'completed_at': [27, 38, 47],
+         'coverage': [1.0, 1.0, 1.0],
+         'delays': [25, 26, 25],
+         'duplicates': 0,
+         'elapsed': 48,
+         'energy_total': 434.6,
+         'first_tx': [3, 13, 23],
+         'ledger_failures': [2, 44],
+         'ledger_rx': [72, 972],
+         'ledger_tx': [74, 1046],
+         'overhears': 0,
+         'sleep_misses': 0,
+         'tx_attempts': 74,
+         'tx_failures': 2},
+ 'opt-events': {'arrival_sha': '26659e4992609e87',
+                'collisions': 0,
+                'completed': True,
+                'completed_at': [27, 38, 47],
+                'coverage': [1.0, 1.0, 1.0],
+                'delays': [25, 26, 25],
+                'duplicates': 0,
+                'elapsed': 48,
+                'energy_total': 434.6,
+                'event_counts': {'collision': 0,
+                                 'complete': 3,
+                                 'deliver': 72,
+                                 'duplicate': 0,
+                                 'inject': 3,
+                                 'loss': 0,
+                                 'overhear': 0,
+                                 'tx': 74},
+                'first_tx': [3, 13, 23],
+                'ledger_failures': [2, 44],
+                'ledger_rx': [72, 972],
+                'ledger_tx': [74, 1046],
+                'n_events': 152,
+                'overhears': 0,
+                'sleep_misses': 0,
+                'tx_attempts': 74,
+                'tx_failures': 2}}
+
+
+def test_all_registered_protocols_are_pinned():
+    pinned = {spec["protocol"] for spec in SCENARIOS.values()}
+    assert pinned == set(available_protocols())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_trajectory(name):
+    spec = dict(SCENARIOS[name])
+    protocol = spec.pop("protocol")
+    observed = _observe(_flood(protocol, **spec))
+    assert name in GOLDEN, f"no golden pin for scenario {name!r}"
+    expected = GOLDEN[name]
+    # Compare key by key for a readable diff on failure.
+    assert set(observed) == set(expected)
+    for key in sorted(expected):
+        assert observed[key] == expected[key], (
+            f"{name}: {key} drifted\n  expected {expected[key]!r}\n"
+            f"  observed {observed[key]!r}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration helper
+    import pprint
+
+    fresh = {}
+    for name in sorted(SCENARIOS):
+        spec = dict(SCENARIOS[name])
+        fresh[name] = _observe(_flood(spec.pop("protocol"), **spec))
+    print("GOLDEN =", pprint.pformat(fresh, width=76, sort_dicts=True))

@@ -1,0 +1,121 @@
+"""The observer layer: dispatch rules and user-supplied observers."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import FloodWorkload
+from repro.net.schedule import ScheduleTable
+from repro.protocols.dbao import Dbao
+from repro.protocols.opt import OptOracle, opt_radio_model
+from repro.sim.engine import SimConfig, run_flood
+from repro.sim.events import EventKind
+from repro.sim.observers import (
+    CounterObserver,
+    EventLogObserver,
+    SimObserver,
+    overriders_of,
+)
+
+
+class _TxOnly(SimObserver):
+    def __init__(self):
+        self.calls = 0
+
+    def on_tx(self, t, batch, outcome, sleep_misses):
+        self.calls += 1
+
+
+class _Recorder(SimObserver):
+    """Overrides every hook and tallies the stream it sees."""
+
+    def __init__(self):
+        self.injects = []
+        self.slots = 0
+        self.tx_attempts = 0
+        self.receptions = 0
+        self.completes = []
+        self.result = None
+
+    def on_slot(self, t, awake):
+        self.slots += 1
+
+    def on_inject(self, t, packet):
+        self.injects.append((t, packet))
+
+    def on_tx(self, t, batch, outcome, sleep_misses):
+        self.tx_attempts += len(batch)
+
+    def on_reception(self, t, rec, is_duplicate):
+        self.receptions += 1
+
+    def on_complete(self, t, packet):
+        self.completes.append(packet)
+
+    def on_finish(self, result):
+        self.result = result
+
+
+class TestOverridersOf:
+    def test_filters_by_overridden_hook(self):
+        base, tx_only = SimObserver(), _TxOnly()
+        obs = [base, tx_only]
+        assert overriders_of(obs, "on_tx") == [tx_only]
+        assert overriders_of(obs, "on_reception") == []
+
+    def test_preserves_registration_order(self):
+        a, b = _TxOnly(), _TxOnly()
+        assert overriders_of([a, b], "on_tx") == [a, b]
+
+    def test_unknown_hook_rejected(self):
+        with pytest.raises(ValueError, match="unknown observer hook"):
+            overriders_of([], "on_teardown")
+
+
+class TestUserObservers:
+    def _run(self, topo, observers, track_events=False):
+        rng = np.random.default_rng(5)
+        schedules = ScheduleTable.random(topo.n_nodes, 4, np.random.default_rng(6))
+        return run_flood(
+            topo, schedules, FloodWorkload(3), OptOracle(), rng,
+            SimConfig(coverage_target=1.0, radio=opt_radio_model(),
+                      track_events=track_events),
+            observers=observers,
+        )
+
+    def test_recorder_matches_metrics(self, line5):
+        rec = _Recorder()
+        result = self._run(line5, [rec])
+        assert result.completed
+        assert rec.result is result
+        assert rec.tx_attempts == result.metrics.tx_attempts
+        assert rec.slots == result.metrics.elapsed_slots
+        assert [p for _, p in rec.injects] == [0, 1, 2]
+        assert sorted(rec.completes) == [0, 1, 2]
+
+    def test_extra_event_log_matches_builtin(self, line5):
+        mirror = EventLogObserver()
+        result = self._run(line5, [mirror], track_events=True)
+        assert list(mirror.log) == list(result.events)
+
+    def test_counter_observer_standalone(self, line5):
+        extra = CounterObserver()
+        result = self._run(line5, [extra])
+        m = result.metrics
+        assert extra.counters.tx_attempts == m.tx_attempts
+        assert extra.counters.tx_failures == m.tx_failures
+        assert extra.counters.duplicates == m.duplicates
+
+    def test_observers_see_dbao_collision_stream(self, small_rgg):
+        # A contention-prone run: user observers receive the same event
+        # stream the built-in log records, collisions included.
+        mirror = EventLogObserver()
+        rng = np.random.default_rng(9)
+        schedules = ScheduleTable.random(
+            small_rgg.n_nodes, 10, np.random.default_rng(10))
+        result = run_flood(
+            small_rgg, schedules, FloodWorkload(2), Dbao(), rng,
+            SimConfig(max_slots=4000, track_events=True),
+            observers=[mirror],
+        )
+        assert list(mirror.log) == list(result.events)
+        assert mirror.log.count(EventKind.TX) == result.metrics.tx_attempts
