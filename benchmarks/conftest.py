@@ -1,15 +1,29 @@
 """Benchmark-suite configuration.
 
 Trace-driven experiments are expensive (seconds to minutes); every bench
-uses ``benchmark.pedantic(rounds=1, iterations=1)`` so the wall-clock
-equals one honest run. Closed-form theory benches use normal calibration.
+uses ``benchmark.pedantic`` with explicit rounds so the wall-clock equals
+honest runs. Closed-form theory benches use normal calibration.
+
+Engine benches additionally journal their numbers: anything put into the
+``bench_journal`` mapping is merged into ``BENCH_engine.json`` at the
+repo root when the session ends, keyed by scenario id. The file is the
+committed performance record — CI's bench smoke diffs fresh numbers
+against it — so entries carry everything needed to recompute the
+comparison: scenario id, wall-clock, slot count, slots/sec, and the
+fast-forward setting that produced them.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
 """
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture
@@ -21,3 +35,74 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def best_of(benchmark):
+    """Run the target N times, return the run with the best wall-clock.
+
+    The target must return ``(result, elapsed_seconds)`` — it times
+    itself with a perf counter so imports and fixture setup never leak
+    into the number. Best-of suppresses scheduler noise the way the
+    committed baselines were measured.
+    """
+
+    used = []
+
+    def runner(fn, rounds=3):
+        runs = []
+        if not used:
+            # The benchmark fixture accepts a single pedantic call per
+            # test; comparison benches time their remaining variants
+            # with the same self-reported perf counter.
+            used.append(True)
+            benchmark.pedantic(
+                lambda: runs.append(fn()), rounds=rounds, iterations=1
+            )
+        else:
+            for _ in range(rounds):
+                runs.append(fn())
+        return min(runs, key=lambda pair: pair[1])
+
+    return runner
+
+
+@pytest.fixture(scope="session")
+def bench_journal():
+    """Session-wide scenario-id -> record mapping, flushed to disk.
+
+    Records merge into the existing ``BENCH_engine.json`` (running a
+    subset of benches must not erase the others' committed numbers).
+    """
+    records = {}
+    yield records
+    if not records:
+        return
+    from repro.sim.engine import ENGINE_VERSION
+
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data["engine_version"] = ENGINE_VERSION
+    data["measured_at"] = time.strftime("%Y-%m-%d", time.gmtime())
+    data.setdefault("results", {}).update(records)
+    BENCH_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """The journal entry schema, in one place."""
+
+    def make(scenario, elapsed, slots, *, fast_forward, rounds):
+        return {
+            "scenario": scenario,
+            "wallclock_s": round(elapsed, 4),
+            "slots": int(slots),
+            "slots_per_sec": round(slots / elapsed, 1),
+            "fast_forward": bool(fast_forward),
+            "best_of": int(rounds),
+        }
+
+    return make

@@ -27,6 +27,12 @@ from .topology import Topology
 
 __all__ = ["GilbertElliott"]
 
+#: Row budget for :meth:`GilbertElliott.advance` block draws: one chunk
+#: draws at most this many doubles, bounding peak memory on very long
+#: idle spans. Equality with ``k`` sequential ``step()`` draws holds for
+#: any positive value (tests shrink it to force the chunked path).
+_ADVANCE_BLOCK_DRAWS = 4_000_000
+
 
 @dataclass(frozen=True)
 class _GeParams:
@@ -138,6 +144,62 @@ class GilbertElliott:
         go_bad = ~self._bad & (u < self._params.p_good_to_bad)
         go_good = self._bad & (u < self._params.p_bad_to_good)
         self._bad ^= go_bad | go_good
+
+    def advance(self, k: int) -> None:
+        """Advance every link by ``k`` slots, bit-identical to ``k`` steps.
+
+        The engine's quiescence fast-forward must keep the RNG stream and
+        the final link states exactly as if :meth:`step` had run ``k``
+        times. NumPy generators fill multi-dimensional ``random`` output
+        in C order, so ``random((m, n_links))`` consumes the same doubles
+        as ``m`` sequential ``random(n_links)`` calls — one block draw per
+        chunk replaces ``k`` per-slot draws.
+
+        The per-row Markov recursion then collapses into a closed form.
+        With thresholds ``lo = min(p_gb, p_bg)`` and ``hi = max(...)``,
+        a draw ``u < lo`` flips the state no matter what it is (both
+        transitions fire for their respective states), while
+        ``lo <= u < hi`` *forces* the state whose exit probability is the
+        larger threshold's complement: e.g. for ``p_gb < p_bg`` it sends
+        BAD to GOOD and leaves GOOD alone — the row ends GOOD either way.
+        A link's final state is therefore the last forcing row's outcome
+        (or the initial state if none) flipped once per later toggle row,
+        which five vectorized passes over the block compute exactly.
+        """
+        if k < 0:
+            raise ValueError(f"cannot advance by a negative count, got {k}")
+        if k == 0 or self._bad.size == 0:
+            return
+        p_gb = self._params.p_good_to_bad
+        p_bg = self._params.p_bad_to_good
+        lo, hi = min(p_gb, p_bg), max(p_gb, p_bg)
+        forced_bad = p_gb > p_bg  # the forcing event lands on BAD
+        n = self._bad.size
+        bad = self._bad
+        # Chunk the block draw so a long idle span cannot balloon memory.
+        chunk = max(1, _ADVANCE_BLOCK_DRAWS // n)
+        done = 0
+        link_ix = np.arange(n)
+        while done < k:
+            m = min(chunk, k - done)
+            u = self._rng.random((m, n))
+            toggle = u < lo
+            n_toggles = toggle.sum(axis=0)
+            if lo == hi:
+                bad ^= (n_toggles & 1).astype(bool)
+            else:
+                force = (u < hi) & ~toggle
+                any_force = force.any(axis=0)
+                # Last forcing row per link; toggles strictly after it.
+                last = (m - 1) - np.argmax(force[::-1], axis=0)
+                cum = np.cumsum(toggle, axis=0)
+                after = n_toggles - np.where(
+                    any_force, cum[last, link_ix], 0
+                )
+                base = np.where(any_force, forced_bad, bad)
+                bad = base ^ (after & 1).astype(bool)
+            done += m
+        self._bad = bad
 
     def gain(self, sender: int, receiver: int) -> float:
         """Current PRR multiplier of a directed link (1.0 when GOOD)."""

@@ -123,6 +123,16 @@ class MultiSlotScheduleTable:
         waits = slots_until_phase(self.offsets_matrix, t, self.period)
         return t + waits.min(axis=1)
 
+    def next_wake_after(self, t: int, nodes=None) -> np.ndarray:
+        """Earliest active slot strictly after ``t`` (see ScheduleTable)."""
+        t = validate_slot_index(t)
+        mat = (
+            self.offsets_matrix if nodes is None
+            else self.offsets_matrix[nodes]
+        )
+        waits = slots_until_phase(mat, t + 1, self.period)
+        return (t + 1) + waits.min(axis=1)
+
     def schedule_of(self, node: int) -> WorkingSchedule:
         return WorkingSchedule(
             period=self.period,

@@ -352,7 +352,9 @@ def resolve_slot(
         return outcome
 
     senders = batch.senders
-    if np.unique(senders).size != k:
+    # Duplicate-sender guard without the per-slot sort np.unique costs:
+    # bincount over the (small, bounded-by-n_nodes) id range.
+    if k > 1 and int(np.bincount(senders).max()) > 1:
         seen: Set[int] = set()
         for s in senders.tolist():
             if s in seen:

@@ -229,6 +229,21 @@ class ScheduleTable:
         t = validate_slot_index(t)
         return t + slots_until_phase(self.offsets, t, self.period)
 
+    def next_wake_after(self, t: int, nodes=None) -> np.ndarray:
+        """Earliest active slot *strictly after* ``t``, vectorized.
+
+        This is the quiescence-frontier primitive: a protocol that knows
+        which receivers it could still serve asks when the earliest of
+        them can next receive, and the engine fast-forwards to that slot.
+        ``nodes`` restricts the query to an id array (duplicates allowed);
+        default is all nodes. A node active at ``t`` itself maps to
+        ``t + period`` — "after" is strict, matching
+        :meth:`WorkingSchedule.next_active_after`.
+        """
+        t = validate_slot_index(t)
+        offsets = self.offsets if nodes is None else self.offsets[nodes]
+        return (t + 1) + slots_until_phase(offsets, t + 1, self.period)
+
     def schedule_of(self, node: int) -> WorkingSchedule:
         """Materialize the :class:`WorkingSchedule` view of one node."""
         return WorkingSchedule.single(self.period, int(self.offsets[node]))

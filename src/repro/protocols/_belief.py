@@ -66,9 +66,17 @@ class NeighborBelief:
         )
         self._col: List[Dict[int, int]] = []
         self._belief: List[np.ndarray] = []
+        #: Padded neighbor ids aligned with the belief columns, plus the
+        #: mask of real (non-padding) columns — the offer queries below
+        #: translate column hits back to receiver ids through these.
+        max_deg = self._belief3d.shape[2]
+        self._nbr_pad = np.zeros((n, max_deg), dtype=np.int64)
+        self._nbr_valid = np.zeros((n, max_deg), dtype=bool)
         for node in range(n):
             nbs = topo.out_neighbors(node)
             self._pair_col[node, nbs] = np.arange(nbs.size)
+            self._nbr_pad[node, : nbs.size] = nbs
+            self._nbr_valid[node, : nbs.size] = True
             self._col.append({int(r): i for i, r in enumerate(nbs.tolist())})
             # A view, not a copy: scalar and batched APIs share storage.
             self._belief.append(self._belief3d[node, :, : nbs.size])
@@ -184,3 +192,34 @@ class NeighborBelief:
     def believed_coverage_count(self, observer: int, packet: int) -> int:
         """How many out-neighbors ``observer`` believes hold ``packet``."""
         return int(self._belief[observer][packet].sum())
+
+    # -- Quiescence-frontier queries -----------------------------------
+
+    def offer_pairs(
+        self, observers: np.ndarray, receivers: np.ndarray, has: np.ndarray
+    ) -> np.ndarray:
+        """(P,) mask: pair ``i``'s observer has something to offer.
+
+        Pair ``i`` offers when ``observers[i]`` holds (per ``has``, the
+        ``(M, n_nodes)`` possession matrix — each observer's own column)
+        at least one packet it believes ``receivers[i]`` lacks. This is
+        exactly the condition under which the belief-driven protocols
+        would commit a transmission on that pair, so the pairs' receivers
+        form the protocol's pending frontier.
+        """
+        cols = self._pair_col[observers, receivers]
+        believed = self._belief3d[observers, :, cols]  # (P, M)
+        return (has[:, observers].T & ~believed).any(axis=1)
+
+    def offer_receivers(self, has: np.ndarray) -> np.ndarray:
+        """Receivers some believing in-neighbor could serve, over all links.
+
+        The all-pairs form of :meth:`offer_pairs` for protocols whose
+        candidate senders are simply the receiver's in-neighbors. Returns
+        receiver ids (possibly with duplicates — one per offering link).
+        """
+        offers = (
+            (has.T[:, :, None] & ~self._belief3d).any(axis=1)
+            & self._nbr_valid
+        )
+        return self._nbr_pad[offers]

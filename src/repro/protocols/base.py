@@ -25,11 +25,35 @@ from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 
 __all__ = ["SimView", "FloodingProtocol", "register_protocol", "make_protocol",
-           "available_protocols"]
+           "available_protocols", "NEVER", "earliest_wake"]
 
 #: Sentinel arrival for absent packets in FCFS computations (hoisted —
 #: ``np.iinfo`` on every call shows up hard in profiles).
 _INT64_MAX = np.iinfo(np.int64).max
+
+#: "No action possible ever" sentinel for :meth:`next_action_slot`.
+#: Far beyond any horizon yet small enough that the engine's clamping
+#: arithmetic cannot overflow int64.
+NEVER = _INT64_MAX // 4
+
+
+def earliest_wake(schedules, t: int, receivers: np.ndarray) -> int:
+    """Earliest slot after ``t`` at which any of ``receivers`` can receive.
+
+    The shared tail of every protocol's quiescence frontier: given the
+    receivers the protocol could still serve, the earliest of their next
+    active slots bounds the next slot with possible traffic. An empty
+    receiver set means no transmission is ever possible again
+    (:data:`NEVER` — the engine clamps it to injections/horizon); a
+    schedule object without the vectorized ``next_wake_after`` bulk query
+    degrades to the conservative ``t + 1`` (no fast-forward).
+    """
+    if len(receivers) == 0:
+        return NEVER
+    bulk = getattr(schedules, "next_wake_after", None)
+    if bulk is None:
+        return t + 1
+    return int(bulk(t, receivers).min())
 
 
 class SimView:
@@ -135,6 +159,22 @@ class SimView:
         sub = self._has[:, neighbors] & needed_mask[:, None]
         return neighbors[sub.any(axis=0)]
 
+    def possession_by_holder(self) -> np.ndarray:
+        """Read-only ``(M, n_nodes)`` possession matrix; column = own buffer.
+
+        For quiescence-frontier queries
+        (:meth:`FloodingProtocol.next_action_slot`): the frontier asks,
+        for every (holder, receiver) pair at once, whether the holder
+        owns a packet it believes the receiver lacks. Each column is the
+        corresponding node's *own* buffer — information that node may
+        freely use about itself — so, like :meth:`held_counts`, the
+        batched accessor leaks nothing a per-node :meth:`holds` scan
+        would not.
+        """
+        view = self._has.view()
+        view.flags.writeable = False
+        return view
+
     # -- Oracle-only accessors (used by OPT; audited in tests) ---------
 
     def oracle_needed(self, receiver: int) -> np.ndarray:
@@ -210,6 +250,29 @@ class FloodingProtocol(ABC):
 
     def observe(self, t: int, outcome: SlotOutcome, view: SimView) -> None:
         """Learn from the slot's outcome (ACKs, overheard receptions)."""
+
+    def next_action_slot(self, t: int, awake: np.ndarray, view: SimView) -> int:
+        """Quiescence contract: earliest slot after ``t`` with possible traffic.
+
+        Called by the engine after an executed slot ``t`` whose proposal
+        came back empty. The returned slot is a *sound lower bound*: the
+        protocol guarantees that at every slot in ``(t, returned)`` it
+        would again propose nothing **and consume no randomness** —
+        possession, beliefs, and injections cannot change while no
+        transmission occurs, so only schedule progression matters and the
+        bound is typically the minimum
+        :meth:`~repro.net.schedule.ScheduleTable.next_wake_after` over
+        the receivers the protocol could still serve (its pending
+        frontier). The engine fast-forwards to the bound (clamped by
+        pending injections and the horizon), advancing link dynamics and
+        energy accounting exactly.
+
+        Under-estimating is always safe — the skipped-to slot simply
+        executes as a no-op. Over-estimating breaks trajectory fidelity;
+        when in doubt return the conservative default ``t + 1`` (no
+        skip), which keeps any protocol correct.
+        """
+        return t + 1
 
 
 _REGISTRY: Dict[str, Type[FloodingProtocol]] = {}

@@ -31,7 +31,7 @@ from ..core.tradeoff import EnergyModel, GainWeights, TradeoffPoint, optimal_dut
 from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE, Topology
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["CrossLayerFlooding", "recommended_configuration"]
 
@@ -84,6 +84,29 @@ class CrossLayerFlooding(FloodingProtocol):
             forwarder_clique(topo, r, anchor=int(tree.parent[r]))
             for r in range(topo.n_nodes)
         ]
+        self._schedules = schedules
+        # Quiescence frontier: all (clique member, receiver) pairs, like
+        # DBAO's — the opportunistic ranking only reorders senders, it
+        # never adds pairs beyond the cliques.
+        s_parts = []
+        r_parts = []
+        for r, fwd in enumerate(self._forwarders):
+            if r == SOURCE or not fwd:
+                continue
+            s_parts.append(np.asarray(fwd, dtype=np.int64))
+            r_parts.append(np.full(len(fwd), r, dtype=np.int64))
+        if s_parts:
+            self._frontier_s = np.concatenate(s_parts)
+            self._frontier_r = np.concatenate(r_parts)
+        else:
+            self._frontier_s = np.empty(0, dtype=np.int64)
+            self._frontier_r = np.empty(0, dtype=np.int64)
+
+    def next_action_slot(self, t, awake, view):
+        offers = self._belief.offer_pairs(
+            self._frontier_s, self._frontier_r, view.possession_by_holder()
+        )
+        return earliest_wake(self._schedules, t, self._frontier_r[offers])
 
     def _usefulness(self, s: int, packet: int) -> int:
         """How many of s's out-neighbors still (believably) need ``packet``."""

@@ -46,7 +46,7 @@ import numpy as np
 from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["Dbao", "forwarder_clique"]
 
@@ -124,6 +124,36 @@ class Dbao(FloodingProtocol):
         self._pair_cache: Dict[int, Tuple] = {}
         self._pair_cache_cap = int(schedules.period)
         self._listen_mask = np.zeros(topo.n_nodes, dtype=bool)
+        self._schedules = schedules
+        # Quiescence frontier: every (clique member, receiver) pair of
+        # the whole network, flattened once — next_action_slot scans them
+        # in one batched belief query.
+        s_parts = []
+        r_parts = []
+        for r, fwd in enumerate(self._fwd_arrays):
+            if r == SOURCE or fwd.size == 0:
+                continue
+            s_parts.append(fwd)
+            r_parts.append(np.full(fwd.size, r, dtype=np.int64))
+        if s_parts:
+            self._frontier_s = np.concatenate(s_parts)
+            self._frontier_r = np.concatenate(r_parts)
+        else:
+            self._frontier_s = np.empty(0, dtype=np.int64)
+            self._frontier_r = np.empty(0, dtype=np.int64)
+
+    def next_action_slot(self, t, awake, view):
+        # A receiver is actionable when some clique member holds a packet
+        # it believes that receiver lacks — the same offer condition the
+        # proposal's needs/FCFS pass enforces, minus the per-slot listen
+        # rule and back-off (which only shrink a slot's batch, keeping
+        # this bound conservative). DBAO's back-off carries no cross-slot
+        # phase state — ranks are recomputed each slot — so schedule
+        # progression alone decides when the frontier can next transmit.
+        offers = self._belief.offer_pairs(
+            self._frontier_s, self._frontier_r, view.possession_by_holder()
+        )
+        return earliest_wake(self._schedules, t, self._frontier_r[offers])
 
     # ------------------------------------------------------------------
 
@@ -220,7 +250,14 @@ class Dbao(FloodingProtocol):
                 # update — beliefs are about neighbors.
                 continue
             held = view.held_packets(rec.receiver)
-            self._belief.sync_possession(rec.sender, rec.receiver, held)
-            if self.overhearing:
-                audience = self._last_contenders.get(rec.receiver, ())
+            audience = (
+                self._last_contenders.get(rec.receiver)
+                if self.overhearing else None
+            )
+            if audience:
+                # The winner contended for this receiver, so it is part
+                # of the audience: one witness broadcast covers its own
+                # ACK learning too, saving a separate sync per reception.
                 self._belief.sync_for_witnesses(audience, rec.receiver, held)
+            else:
+                self._belief.sync_possession(rec.sender, rec.receiver, held)

@@ -26,7 +26,7 @@ import numpy as np
 from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE, Topology
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["DutyCycleAwareFlooding", "build_delay_optimal_tree"]
 
@@ -79,10 +79,24 @@ class DutyCycleAwareFlooding(FloodingProtocol):
 
     def prepare(self, topo, schedules, workload, rng):
         self._topo = topo
+        self._schedules = schedules
         self._parent, _ = build_delay_optimal_tree(
             topo, schedules.offsets, schedules.period
         )
         self._belief = NeighborBelief(topo, workload.n_packets)
+        # Quiescence frontier: the only candidate pairs are tree edges.
+        rs = np.flatnonzero(self._parent >= 0)
+        rs = rs[rs != SOURCE]
+        self._frontier_r = rs
+        self._frontier_s = self._parent[rs]
+
+    def next_action_slot(self, t, awake, view):
+        offers = self._belief.offer_pairs(
+            self._frontier_s, self._frontier_r, view.possession_by_holder()
+        )
+        # The listen rule and sender conflicts only shrink slots further;
+        # the tree-edge offer set stays a sound (conservative) frontier.
+        return earliest_wake(self._schedules, t, self._frontier_r[offers])
 
     def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         choices: Dict[int, Tuple[int, int]] = {}

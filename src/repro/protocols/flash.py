@@ -27,7 +27,7 @@ import numpy as np
 from ..net.radio import TxBatch
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["FlashFlooding"]
 
@@ -56,7 +56,18 @@ class FlashFlooding(FloodingProtocol):
 
     def prepare(self, topo, schedules, workload, rng):
         self._topo = topo
+        self._schedules = schedules
         self._belief = NeighborBelief(topo, workload.n_packets)
+
+    def next_action_slot(self, t, awake, view):
+        # Candidate senders are exactly the receiver's in-neighbors, so
+        # the frontier is every receiver with an offering believed link.
+        # The cap and the RX-mode listen rule only *shrink* a slot's
+        # batch — ignoring them keeps the bound conservative (a bounded
+        # slot may still execute empty, never the reverse).
+        receivers = self._belief.offer_receivers(view.possession_by_holder())
+        receivers = receivers[receivers != SOURCE]
+        return earliest_wake(self._schedules, t, receivers)
 
     def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         rows: List[Tuple[int, int, int]] = []

@@ -20,7 +20,7 @@ import numpy as np
 from ..net.radio import TxBatch
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["NaiveFlooding"]
 
@@ -50,7 +50,18 @@ class NaiveFlooding(FloodingProtocol):
     def prepare(self, topo, schedules, workload, rng):
         self._topo = topo
         self._rng = rng
+        self._schedules = schedules
         self._belief = NeighborBelief(topo, workload.n_packets)
+
+    def next_action_slot(self, t, awake, view):
+        # The proposal considers every (in-neighbor, waking receiver)
+        # link, so the frontier is every receiver some believing holder
+        # could serve. Exact for naive: options (and hence persistence
+        # draws — the RNG-quiescence requirement) are nonempty iff an
+        # offering link has a waking receiver.
+        receivers = self._belief.offer_receivers(view.possession_by_holder())
+        receivers = receivers[receivers != SOURCE]
+        return earliest_wake(self._schedules, t, receivers)
 
     def propose_batch(self, t: int, awake: np.ndarray, view: SimView) -> TxBatch:
         # Each sender independently picks one waking neighbor it believes

@@ -29,7 +29,7 @@ import numpy as np
 from ..net.radio import TxBatch, csma_select
 from ..net.topology import SOURCE
 from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 from .tree import EtxTree, build_etx_tree, hop_delay_moments
 
 __all__ = ["OpportunisticFlooding"]
@@ -59,6 +59,7 @@ class OpportunisticFlooding(FloodingProtocol):
     def prepare(self, topo, schedules, workload, rng):
         self._topo = topo
         self._period = schedules.period
+        self._schedules = schedules
         self._rng = rng
         self._tree = build_etx_tree(topo, schedules.period)
         self._belief = NeighborBelief(topo, workload.n_packets)
@@ -131,6 +132,16 @@ class OpportunisticFlooding(FloodingProtocol):
             out_r[i] = r
             out_p[i] = pkt
         return TxBatch(out_s, out_r, out_p)
+
+    def next_action_slot(self, t, awake, view):
+        # Frontier over every believed in-neighbor link. The statistical
+        # lateness gate (:meth:`_wants_to_send`) only suppresses choices,
+        # so the ungated offer set is a conservative superset — crucially
+        # it also bounds the back-off permutation draw: choices (and the
+        # RNG consumption) are empty whenever no link offers.
+        receivers = self._belief.offer_receivers(view.possession_by_holder())
+        receivers = receivers[receivers != SOURCE]
+        return earliest_wake(self._schedules, t, receivers)
 
     def observe(self, t, outcome, view):
         # The receiver's ACK piggybacks its possession summary.

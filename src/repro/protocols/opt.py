@@ -35,7 +35,7 @@ import numpy as np
 
 from ..net.radio import RadioModel, TxBatch
 from ..net.topology import SOURCE
-from .base import FloodingProtocol, SimView, register_protocol
+from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
 
 __all__ = ["OptOracle", "opt_radio_model"]
 
@@ -77,6 +77,7 @@ class OptOracle(FloodingProtocol):
 
         self._topo = topo
         self._period = schedules.period
+        self._schedules = schedules
         # In-neighbor lists ordered by descending link quality: the
         # oracle always tries the best link first.
         self._ranked_in = []
@@ -84,6 +85,14 @@ class OptOracle(FloodingProtocol):
             nbs = topo.in_neighbors(r)
             order = np.argsort(-topo.prr[nbs, r], kind="stable")
             self._ranked_in.append(nbs[order])
+        # Padded in-neighbor ids for the "any"-policy frontier query.
+        max_deg = max((a.size for a in self._ranked_in), default=1) or 1
+        n = topo.n_nodes
+        self._in_pad = np.zeros((n, max_deg), dtype=np.int64)
+        self._in_valid = np.zeros((n, max_deg), dtype=bool)
+        for r, nbs in enumerate(self._ranked_in):
+            self._in_pad[r, : nbs.size] = nbs
+            self._in_valid[r, : nbs.size] = True
 
         if self.server_policy == "designated":
             tree = build_etx_tree(topo, schedules.period)
@@ -105,6 +114,30 @@ class OptOracle(FloodingProtocol):
                 designated[r] = best
             self._designated = designated
             self._etx_cost = np.asarray(tree.etx_cost, dtype=np.float64)
+            # Quiescence frontier under the designated policy: only the
+            # fixed (server, sensor) pairs can ever carry traffic.
+            rs = np.flatnonzero(designated >= 0)
+            rs = rs[rs != SOURCE]
+            self._frontier_r = rs
+            self._frontier_s = designated[rs]
+
+    def next_action_slot(self, t, awake, view):
+        # OPT's frontier reads ground truth (that is the point of OPT):
+        # a sensor is actionable iff a candidate server truly holds a
+        # packet the sensor truly lacks. Round-robin rotation, parity
+        # fallback, and semi-duplex conflicts only *defer* service within
+        # a wake slot — they never create traffic where no pair offers —
+        # so the oracle offer set is a sound frontier.
+        has = view.oracle_possession()
+        if self.server_policy == "designated":
+            offers = (has[:, self._frontier_s] & ~has[:, self._frontier_r])
+            receivers = self._frontier_r[offers.any(axis=0)]
+        else:
+            held = has[:, self._in_pad]  # (M, n, max_deg)
+            offers = (held & ~has[:, :, None]).any(axis=0) & self._in_valid
+            receivers = np.flatnonzero(offers.any(axis=1))
+            receivers = receivers[receivers != SOURCE]
+        return earliest_wake(self._schedules, t, receivers)
 
     # ------------------------------------------------------------------
 

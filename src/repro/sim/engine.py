@@ -63,6 +63,12 @@ __all__ = ["ENGINE_VERSION", "SimConfig", "FloodResult", "run_flood",
 #: metric definitions, ...) so stale cached results can never be served.
 ENGINE_VERSION = "2011.1"
 
+#: Span length (in slots) above which a fast-forward jump marks the
+#: landing slot as "sparse regime": the slot attempts another skip even
+#: if it carried traffic. Purely a performance heuristic — it changes
+#: where frontier queries run, never the trajectory.
+_LONG_JUMP = 4
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -80,12 +86,22 @@ class SimConfig:
         Channel behaviour (collisions/capture/overhearing/lossless).
     track_events:
         Keep a full :class:`~repro.sim.events.EventLog` (memory-heavy).
+    fast_forward:
+        Skip provably-quiescent slots in one jump (the paper's compact
+        time scale, Sec. IV-A): after an idle slot the engine asks the
+        protocol's quiescence contract
+        (:meth:`~repro.protocols.base.FloodingProtocol.next_action_slot`)
+        for the next slot with possible traffic and fast-forwards to it,
+        advancing link dynamics and energy accounting exactly.
+        Trajectories are bit-identical either way — this is purely a
+        performance switch, kept so the equivalence is testable.
     """
 
     coverage_target: float = 0.99
     max_slots: Optional[int] = None
     radio: RadioModel = field(default_factory=RadioModel)
     track_events: bool = False
+    fast_forward: bool = True
 
     def __post_init__(self):
         if not (0.0 < self.coverage_target <= 1.0):
@@ -205,6 +221,13 @@ class _SlotPipeline:
         self.arrival = np.full((M, n_nodes), -1, dtype=np.int64)
         self.covered = np.zeros(M, dtype=np.int64)  # eligible sensors holding p
         self.generated = workload.generation_slots()
+        # Injection cursor: packets sorted by (generation slot, index) —
+        # generation slots are nondecreasing, so injection consumes this
+        # list monotonically instead of rescanning all M packets per slot.
+        order = np.argsort(self.generated, kind="stable")
+        self._inject_order = [int(p) for p in order]
+        self._inject_slots = [int(s) for s in self.generated[order]]
+        self._inject_cursor = 0
         self.first_tx = np.full(M, -1, dtype=np.int64)
         self.completed_at = np.full(M, -1, dtype=np.int64)
         self.n_pending = M  # packets not yet at coverage target
@@ -214,13 +237,16 @@ class _SlotPipeline:
 
         # Preallocated wake-mask scratch for proposal validation: an O(1)
         # boolean lookup per receiver instead of rebuilding a Python set
-        # from the awake array every slot.
+        # from the awake array every slot. The sender mask plays the same
+        # role for the duplicate-sender check (no sort, no allocation).
         self._awake_mask = np.zeros(n_nodes, dtype=bool)
         self._actual_mask = np.zeros(n_nodes, dtype=bool)
+        self._sender_mask = np.zeros(n_nodes, dtype=bool)
 
         # Per-hook observer fan-out, resolved once: a hook nobody
         # overrides costs nothing per slot.
         self._slot_obs = overriders_of(observers, "on_slot")
+        self._idle_obs = overriders_of(observers, "on_idle_span")
         self._inject_obs = overriders_of(observers, "on_inject")
         self._tx_obs = overriders_of(observers, "on_tx")
         self._rx_obs = overriders_of(observers, "on_reception")
@@ -229,13 +255,25 @@ class _SlotPipeline:
     # -- stages --------------------------------------------------------
 
     def inject(self, t: int) -> None:
-        """Stage 1: materialise packets whose generation slot arrived."""
-        to_inject = np.flatnonzero((self.generated <= t) & ~self.has[:, SOURCE])
-        for p in to_inject.tolist():
+        """Stage 1: materialise packets whose generation slot arrived.
+
+        Generation slots are nondecreasing, so a monotone cursor over the
+        slot-sorted packet list replaces the historical O(M) mask scan;
+        ties inject in ascending packet index, exactly as the scan did.
+        """
+        cur = self._inject_cursor
+        slots = self._inject_slots
+        if cur >= len(slots) or slots[cur] > t:
+            return
+        order = self._inject_order
+        while cur < len(slots) and slots[cur] <= t:
+            p = order[cur]
             self.has[p, SOURCE] = True
             self.arrival[p, SOURCE] = t
             for ob in self._inject_obs:
                 ob.on_inject(t, p)
+            cur += 1
+        self._inject_cursor = cur
 
     def wake_sets(self, t: int):
         """Stage 2: believed and actual wake sets for this slot."""
@@ -260,8 +298,13 @@ class _SlotPipeline:
         """
         mask = self._awake_mask
         mask[awake] = True
+        senders = batch.senders
+        smask = self._sender_mask
+        smask[senders] = True
+        no_dups = int(np.count_nonzero(smask)) == len(batch)
+        smask[senders] = False
         ok = (
-            np.unique(batch.senders).size == len(batch)
+            no_dups
             and self.has[batch.packets, batch.senders].all()
             and mask[batch.receivers].all()
         )
@@ -331,21 +374,70 @@ class _SlotPipeline:
     # -- loop ----------------------------------------------------------
 
     def run(self, horizon: int) -> None:
+        """The slot loop, with compact-time fast-forward over idle gaps.
+
+        After a slot whose proposal came back empty, the protocol's
+        quiescence contract (:meth:`FloodingProtocol.next_action_slot`)
+        bounds the next slot that could carry traffic; nothing can change
+        in between (no receptions, no belief updates, no randomness), so
+        the engine jumps there directly — clamped to the next pending
+        injection (injected packets change the frontier) and the horizon.
+        Link dynamics advance through the gap with the bit-identical
+        block form (:meth:`GilbertElliott.advance`) and observers get one
+        ``on_idle_span`` event, so trajectories, counters and energy are
+        exactly those of the slot-by-slot loop.
+
+        Skip-attempt policy: a frontier query costs about as much as an
+        idle slot, so it must not run where it cannot pay off. Idle slots
+        always attempt one (the protocol just proved quiescence cheaply);
+        traffic slots attempt one only when a long jump landed here — the
+        signature of the sparse regime, where each wake event is an
+        island and the query routinely buys a period-length jump. In
+        dense phases (every slot has traffic, jumps are short or absent)
+        traffic slots therefore pay nothing.
+        """
         t = 0
+        dynamics = self.dynamics
+        protocol = self.protocol
+        fast_forward = self.config.fast_forward
+        inject_slots = self._inject_slots
+        n_inject = len(inject_slots)
+        long_jump = False  # did a span of >= _LONG_JUMP slots land here?
         while t < horizon and self.n_pending > 0:
-            if self.dynamics is not None:
-                self.dynamics.step()  # links fade regardless of traffic
+            if dynamics is not None:
+                dynamics.step()  # links fade regardless of traffic
             self.inject(t)
             awake, actually_awake = self.wake_sets(t)
             for ob in self._slot_obs:
                 ob.on_slot(t, awake)
             batch = self.propose(t, awake)
+            t += 1
             if len(batch):
-                self.validate(t, batch, awake)
+                self.validate(t - 1, batch, awake)
                 sleep_misses = self.count_sleep_misses(batch, actually_awake)
                 outcome = self.resolve(batch, actually_awake)
-                self.apply(t, batch, outcome, sleep_misses)
-            t += 1
+                self.apply(t - 1, batch, outcome, sleep_misses)
+                if not long_jump:
+                    continue
+            long_jump = False
+            if not fast_forward or t >= horizon or self.n_pending == 0:
+                continue
+            target = protocol.next_action_slot(t - 1, awake, self.view)
+            if target <= t:
+                continue
+            cur = self._inject_cursor
+            if cur < n_inject and inject_slots[cur] < target:
+                target = inject_slots[cur]  # > t - 1: inject(t-1) drained
+                if target <= t:
+                    continue
+            if target > horizon:
+                target = horizon
+            if dynamics is not None:
+                dynamics.advance(target - t)
+            for ob in self._idle_obs:
+                ob.on_idle_span(t, target)
+            long_jump = target - t >= _LONG_JUMP
+            t = target
         self.elapsed = t
 
 

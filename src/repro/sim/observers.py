@@ -8,13 +8,17 @@ inline bookkeeping the engine used to carry and gives external code a
 sanctioned hook point (``run_flood(..., observers=[...])``) instead of
 forking the loop.
 
-Hook order within one slot with traffic::
+Hook order within one executed slot with traffic::
 
-    on_slot(t, awake)                 # once, after wake sets are known
     on_inject(t, packet)              # per packet injected this slot
+    on_slot(t, awake)                 # once, after wake sets are known
     on_tx(t, batch, outcome, misses)  # once, after channel resolution
     on_reception(t, rec, is_dup)      # per reception, receiver-ascending
     on_complete(t, packet)            # before the completing reception
+
+Slots the engine can prove quiescent are not executed at all: a single
+``on_idle_span(t_start, t_end)`` reports each skipped half-open span
+(the compact-time fast-forward), and no per-slot hook fires inside it.
 
 ``on_complete`` fires *before* the ``on_reception`` call of the
 reception that pushed the packet over the coverage target — this
@@ -56,7 +60,22 @@ class SimObserver:
     """
 
     def on_slot(self, t: int, awake: np.ndarray) -> None:
-        """A slot began; ``awake`` is the believed wake set."""
+        """An *executed* slot began; ``awake`` is the believed wake set.
+
+        Slots the engine fast-forwards over do not fire this hook — they
+        are reported in bulk through :meth:`on_idle_span` instead.
+        """
+
+    def on_idle_span(self, t_start: int, t_end: int) -> None:
+        """Slots ``[t_start, t_end)`` were fast-forwarded in one jump.
+
+        The engine proved (via the protocol's quiescence contract,
+        :meth:`~repro.protocols.base.FloodingProtocol.next_action_slot`)
+        that no transmission, injection, or protocol state change could
+        occur in the span, so per-slot hooks never fire inside it.
+        Observers that count or integrate over time must add the span's
+        width to stay exact.
+        """
 
     def on_inject(self, t: int, packet: int) -> None:
         """The source generated ``packet`` at slot ``t``."""
@@ -81,8 +100,8 @@ class SimObserver:
         """The run ended; ``result`` is the final FloodResult."""
 
 
-_HOOKS = ("on_slot", "on_inject", "on_tx", "on_reception", "on_complete",
-          "on_finish")
+_HOOKS = ("on_slot", "on_idle_span", "on_inject", "on_tx", "on_reception",
+          "on_complete", "on_finish")
 
 
 def overriders_of(

@@ -88,6 +88,101 @@ class TestStateEvolution:
         assert corr > 0.3
 
 
+class TestAdvance:
+    """``advance(k)`` must be bit-identical to ``k`` sequential steps.
+
+    The engine's quiescence fast-forward replaces per-slot ``step()``
+    calls with one block ``advance(k)``; if the final link states *or*
+    the generator position diverged by a single draw, every later loss
+    draw would differ and fast-forwarded trajectories would no longer
+    match the slot-by-slot engine. Both are pinned here, including the
+    degenerate symmetric (``p_gb == p_bg``) and always-toggle (``p = 1``)
+    parameterizations that exercise the closed form's branches.
+    """
+
+    PARAMS = [
+        (0.02, 0.1),    # paper-ish asymmetric, p_gb < p_bg
+        (0.3, 0.05),    # asymmetric the other way, p_gb > p_bg
+        (0.07, 0.07),   # symmetric: forcing band is empty
+        (1.0, 1.0),     # every draw toggles: pure parity
+    ]
+    KS = [0, 1, 2, 3, 7, 64, 1001]
+
+    @staticmethod
+    def _pair(topo, p_gb, p_bg, seed):
+        mk = lambda: GilbertElliott(
+            topo, p_good_to_bad=p_gb, p_bad_to_good=p_bg, bad_factor=0.2,
+            rng=np.random.default_rng(seed), start_stationary=True,
+        )
+        return mk(), mk()
+
+    @pytest.mark.parametrize("p_gb,p_bg", PARAMS)
+    @pytest.mark.parametrize("k", KS)
+    def test_state_and_stream_match_sequential_steps(
+        self, small_rgg, p_gb, p_bg, k
+    ):
+        stepped, jumped = self._pair(small_rgg, p_gb, p_bg, seed=11)
+        for _ in range(k):
+            stepped.step()
+        jumped.advance(k)
+        np.testing.assert_array_equal(stepped._bad, jumped._bad)
+        # Downstream draws — the loss coins the engine flips after the
+        # gap — must come from the same stream position.
+        np.testing.assert_array_equal(
+            stepped._rng.random(32), jumped._rng.random(32)
+        )
+
+    def test_interleaved_with_steps(self, small_rgg):
+        # step/advance can alternate arbitrarily (the engine does).
+        stepped, mixed = self._pair(small_rgg, 0.05, 0.2, seed=3)
+        for _ in range(25):
+            stepped.step()
+        for _ in range(2):
+            mixed.step()
+        mixed.advance(9)
+        mixed.step()
+        mixed.advance(13)
+        np.testing.assert_array_equal(stepped._bad, mixed._bad)
+        np.testing.assert_array_equal(
+            stepped._rng.random(8), mixed._rng.random(8)
+        )
+
+    def test_chunked_path_matches(self, small_rgg, monkeypatch):
+        # Force the internal chunking (normally only hit on multi-day
+        # gaps) by shrinking the row budget: the per-chunk block draws
+        # must still consume the stream identically.
+        from repro.net import dynamics as dyn_mod
+
+        stepped, jumped = self._pair(small_rgg, 0.04, 0.12, seed=9)
+        monkeypatch.setattr(dyn_mod, "_ADVANCE_BLOCK_DRAWS", 7 * jumped.n_links)
+        k = 5000
+        for _ in range(k):
+            stepped.step()
+        jumped.advance(k)
+        np.testing.assert_array_equal(stepped._bad, jumped._bad)
+        np.testing.assert_array_equal(
+            stepped._rng.random(4), jumped._rng.random(4)
+        )
+
+    def test_negative_rejected(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.advance(-1)
+
+    def test_zero_is_noop(self, dyn):
+        before = dyn._bad.copy()
+        dyn.advance(0)
+        np.testing.assert_array_equal(dyn._bad, before)
+        # and consumed nothing from the stream
+        probe = GilbertElliott(
+            line_topology(4, prr=1.0), p_good_to_bad=0.1, p_bad_to_good=0.3,
+            bad_factor=0.2, rng=np.random.default_rng(0),
+            start_stationary=False,
+        )
+        np.testing.assert_array_equal(
+            dyn._rng.random(4), probe._rng.random(4)
+        )
+
+
 class TestEngineIntegration:
     def test_flood_completes_under_bursts(self, line5):
         from repro.net.packet import FloodWorkload

@@ -75,6 +75,26 @@ class TestQueries:
             for v in range(8):
                 assert arr[v] == table.next_active(v, t)
 
+    def test_next_wake_after_strict_and_minimal(self, table):
+        for t in (0, 5, 19, 20, 41):
+            arr = table.next_wake_after(t)
+            for v in range(8):
+                nxt = int(arr[v])
+                assert t < nxt <= t + table.period
+                assert table.is_active(v, nxt)
+                for u in range(t + 1, nxt):
+                    assert not table.is_active(v, u)
+
+    def test_next_wake_after_boundaries(self):
+        # Node active at t itself must map to its *next* active slot,
+        # which with multiple slots per period may be inside the same
+        # period rather than a full period away.
+        table = MultiSlotScheduleTable(6, np.asarray([[0, 3]]))
+        assert table.next_wake_after(0)[0] == 3
+        assert table.next_wake_after(3)[0] == 6
+        assert table.next_wake_after(6)[0] == 9
+        assert table.next_wake_after(2, nodes=np.array([0, 0])).tolist() == [3, 3]
+
     def test_schedule_of(self, table):
         ws = table.schedule_of(2)
         assert ws.period == 20

@@ -11,7 +11,38 @@ from repro.net.schedule import (
     duty_ratio_to_period,
     period_to_duty_ratio,
     random_schedules,
+    slots_until_phase,
 )
+
+
+class TestSlotsUntilPhase:
+    """Boundary cases of the phase-arithmetic helper.
+
+    ``slots_until_phase(offsets, t, period)`` is the *inclusive* wait —
+    0 when ``t`` already sits on the phase — which is why the strict
+    ``next_wake_after`` queries it at ``t + 1``.
+    """
+
+    def test_zero_wait_on_own_phase(self):
+        assert slots_until_phase(3, 3, 10) == 0
+        assert slots_until_phase(0, 0, 10) == 0
+        assert slots_until_phase(0, 20, 10) == 0  # t % period == 0
+
+    def test_wraps_past_period_boundary(self):
+        assert slots_until_phase(1, 9, 10) == 2
+        assert slots_until_phase(0, 1, 10) == 9
+
+    def test_period_one_is_always_zero(self):
+        offsets = np.zeros(4, dtype=np.int64)
+        for t in (0, 1, 99):
+            assert np.all(slots_until_phase(offsets, t, 1) == 0)
+
+    def test_vectorized_matches_scalar(self):
+        offsets = np.array([0, 1, 5, 9])
+        for t in (0, 9, 10, 37):
+            vec = slots_until_phase(offsets, t, 10)
+            for o, w in zip(offsets.tolist(), vec.tolist()):
+                assert w == slots_until_phase(o, t, 10)
 
 
 class TestDutyConversions:
@@ -126,6 +157,18 @@ class TestScheduleTable:
             for v in range(25):
                 assert arr[v] == table.next_active(v, t)
 
+    def test_next_active_array_boundaries(self):
+        # Inclusive semantics at the period boundary: a node whose
+        # offset matches t % period is active *now* (wait 0), unlike
+        # the strict next_wake_after.
+        table = ScheduleTable(period=4, offsets=[0, 2])
+        assert table.next_active_array(0).tolist() == [0, 2]
+        assert table.next_active_array(4).tolist() == [4, 6]
+        assert table.next_active_array(3).tolist() == [4, 6]
+        one = ScheduleTable(period=1, offsets=[0])
+        for t in (0, 5):
+            assert one.next_active_array(t)[0] == t
+
     def test_is_active(self, rng):
         table = ScheduleTable(period=4, offsets=[0, 1, 2, 3])
         assert table.is_active(0, 0) and table.is_active(0, 4)
@@ -159,6 +202,60 @@ class TestScheduleTable:
         assert np.all(arr < t + period)
         for v in range(min(n_nodes, 8)):
             assert table.is_active(v, int(arr[v]))
+
+
+class TestNextWakeAfter:
+    """Boundary behaviour of the quiescence-frontier primitive.
+
+    ``next_wake_after(t)`` is strictly-after: a node whose active phase
+    is exactly ``t``'s phase maps to ``t + period``, never ``t``.
+    """
+
+    def test_strictly_after_at_own_phase(self):
+        # t % period == offset: the node is active *now*, so the next
+        # wake is one full period away.
+        table = ScheduleTable(period=5, offsets=[0, 2, 4])
+        assert table.next_wake_after(0).tolist() == [5, 2, 4]
+        assert table.next_wake_after(2).tolist() == [5, 7, 4]
+        assert table.next_wake_after(4).tolist() == [5, 7, 9]
+
+    def test_period_boundary(self):
+        # t on a period boundary (t % period == 0) with offset 0 —
+        # the off-by-one trap: must return t + period, not t.
+        table = ScheduleTable(period=4, offsets=[0])
+        for t in (0, 4, 8, 400):
+            assert table.next_wake_after(t)[0] == t + 4
+
+    def test_period_one_always_next_slot(self):
+        # Always-on nodes: strictly-after collapses to t + 1.
+        table = ScheduleTable(period=1, offsets=[0, 0, 0])
+        for t in (0, 1, 17):
+            assert table.next_wake_after(t).tolist() == [t + 1] * 3
+
+    def test_node_subset_with_duplicates(self):
+        table = ScheduleTable(period=6, offsets=[0, 1, 2, 3])
+        out = table.next_wake_after(2, nodes=np.array([3, 1, 1]))
+        assert out.tolist() == [3, 7, 7]
+
+    def test_agrees_with_object_model(self, rng):
+        table = ScheduleTable.random(15, 7, rng)
+        for t in (0, 6, 7, 13, 50):
+            arr = table.next_wake_after(t)
+            for v in range(15):
+                assert arr[v] == table.schedule_of(v).next_active_after(t)
+
+    @given(st.integers(1, 40), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_property_minimal_strict_wake(self, period, t):
+        table = ScheduleTable.random(12, period, np.random.default_rng(8))
+        arr = table.next_wake_after(t)
+        assert np.all(arr > t)
+        assert np.all(arr <= t + period)
+        for v in range(12):
+            nxt = int(arr[v])
+            assert table.is_active(v, nxt)
+            # minimality: no active slot strictly between t and nxt
+            assert table.next_active(v, t + 1) == nxt
 
 
 class TestRandomSchedules:

@@ -31,6 +31,8 @@ class _Recorder(SimObserver):
     def __init__(self):
         self.injects = []
         self.slots = 0
+        self.executed = []
+        self.spans = []
         self.tx_attempts = 0
         self.receptions = 0
         self.completes = []
@@ -38,6 +40,10 @@ class _Recorder(SimObserver):
 
     def on_slot(self, t, awake):
         self.slots += 1
+        self.executed.append(t)
+
+    def on_idle_span(self, t_start, t_end):
+        self.spans.append((t_start, t_end))
 
     def on_inject(self, t, packet):
         self.injects.append((t, packet))
@@ -88,7 +94,16 @@ class TestUserObservers:
         assert result.completed
         assert rec.result is result
         assert rec.tx_attempts == result.metrics.tx_attempts
-        assert rec.slots == result.metrics.elapsed_slots
+        # Executed slots plus fast-forwarded spans tile [0, elapsed)
+        # exactly: every slot is either executed (one on_slot call) or
+        # inside exactly one idle span, and no per-slot hook ever fires
+        # inside a span.
+        skipped = sum(b - a for a, b in rec.spans)
+        assert rec.slots + skipped == result.metrics.elapsed_slots
+        executed = set(rec.executed)
+        for a, b in rec.spans:
+            assert a < b
+            assert not executed.intersection(range(a, b))
         assert [p for _, p in rec.injects] == [0, 1, 2]
         assert sorted(rec.completes) == [0, 1, 2]
 
