@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+EXEC_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
 
 
 @pytest.fixture
@@ -87,6 +88,32 @@ def bench_journal():
     data["measured_at"] = time.strftime("%Y-%m-%d", time.gmtime())
     data.setdefault("results", {}).update(records)
     BENCH_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def exec_journal():
+    """Like ``bench_journal``, but for the execution-layer benches.
+
+    Records merge into ``BENCH_exec.json`` at the repo root — the
+    committed record of dispatch performance (warm pool vs the legacy
+    cold-pool/per-tuple-topology baseline) that CI's exec bench smoke
+    diffs fresh numbers against.
+    """
+    records = {}
+    yield records
+    if not records:
+        return
+    from repro.sim.engine import ENGINE_VERSION
+
+    data = {}
+    if EXEC_BENCH_PATH.exists():
+        data = json.loads(EXEC_BENCH_PATH.read_text())
+    data["engine_version"] = ENGINE_VERSION
+    data["measured_at"] = time.strftime("%Y-%m-%d", time.gmtime())
+    data.setdefault("results", {}).update(records)
+    EXEC_BENCH_PATH.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
 

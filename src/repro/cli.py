@@ -6,9 +6,12 @@ Commands
     Show all registered experiments.
 ``run EXPERIMENT [--scale SCALE] [--jobs N] [--cache-dir PATH] [--no-sparklines]``
     Run one experiment and render it as text. ``--jobs N`` fans the
-    replications/sweep grid over ``N`` worker processes (bit-identical
-    to serial); ``--cache-dir`` persists result summaries so a repeated
-    invocation is answered from the cache.
+    replications/sweep grid over ``N`` warm worker processes
+    (bit-identical to serial) and reports an ``[exec]`` dispatch-stats
+    line — tasks, chunks, pickled vs shared-memory bytes, pool spin-up,
+    per-task wall-time spread — on stderr; ``--cache-dir`` persists
+    result summaries so a repeated invocation is answered from the
+    cache.
 ``trace [--seed N] [--out PATH]``
     Synthesize the GreenOrbs-like trace, print its statistics, optionally
     save it as ``.npz``.
@@ -41,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=None, metavar="N",
             help="worker processes for simulation tasks (default: serial; "
-                 "results are bit-identical across backends)",
+                 "results are bit-identical across backends; prints an "
+                 "[exec] dispatch-stats line on stderr)",
         )
         p.add_argument(
             "--cache-dir", default=None, metavar="PATH",
@@ -87,6 +91,17 @@ def _report_cache(args: argparse.Namespace) -> None:
     print(f"[cache] {store.stats} -> {args.cache_dir}", file=sys.stderr)
 
 
+def _report_exec(args: argparse.Namespace) -> None:
+    """Dispatch observability: what the execution layer actually moved."""
+    if getattr(args, "jobs", None) is None:
+        return
+    from .exec import execution_context
+
+    executor = execution_context().executor
+    if executor.stats.dispatches:
+        print(f"[exec] {executor!r}: {executor.stats}", file=sys.stderr)
+
+
 def _cmd_list() -> int:
     from .experiments import experiment_ids
 
@@ -108,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(exc, file=sys.stderr)
                 return 2
             _report_cache(args)
+            _report_exec(args)
     except NotADirectoryError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -159,6 +175,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 print(f"running {eid} at scale {args.scale} ...", flush=True)
                 results[eid] = run_experiment_by_id(eid, scale=args.scale)
             _report_cache(args)
+            _report_exec(args)
     except NotADirectoryError as exc:
         print(exc, file=sys.stderr)
         return 2

@@ -5,12 +5,18 @@ work is dispatched and memoized:
 
 * :class:`Executor` / :class:`SerialExecutor` / :class:`ParallelExecutor`
   — map independent ``(spec, replication)`` tasks serially or over a
-  process pool, with bit-identical results either way;
+  **warm, reusable** process pool, with bit-identical results either
+  way; dispatch-shared state (the topology) broadcasts once per
+  dispatch over :mod:`multiprocessing.shared_memory`
+  (:mod:`repro.exec.shared`), and every dispatch is metered by an
+  :class:`ExecutorStats` record;
 * :class:`ResultStore` — layered (memory + optional disk) cache of
   :class:`~repro.sim.runner.RunSummary` payloads keyed by
-  ``hash(spec, topology, engine version)``;
+  ``hash(spec, topology, engine version)``, with batched
+  ``get_many``/``put_many`` access over a one-scan directory index;
 * :class:`ExecutionContext` — the process-wide pair the experiment
-  harness and CLI route everything through (``--jobs``/``--cache-dir``).
+  harness and CLI route everything through (``--jobs``/``--cache-dir``),
+  with an explicit ``close()`` releasing pools and shared segments.
 """
 
 from .context import (
@@ -22,16 +28,25 @@ from .context import (
 )
 from .executor import (
     Executor,
+    ExecutorStats,
     ParallelExecutor,
     SerialExecutor,
     WorkerCrashError,
     resolve_executor,
 )
+from .shared import (
+    PickledRef,
+    SharedTopologyHandle,
+    SharedTopologyRef,
+    share_topology,
+)
 from .store import ResultStore, StoreStats, result_key, spec_fingerprint
 
 __all__ = [
-    "Executor", "SerialExecutor", "ParallelExecutor", "WorkerCrashError",
-    "resolve_executor",
+    "Executor", "SerialExecutor", "ParallelExecutor", "ExecutorStats",
+    "WorkerCrashError", "resolve_executor",
+    "SharedTopologyHandle", "SharedTopologyRef", "PickledRef",
+    "share_topology",
     "ResultStore", "StoreStats", "result_key", "spec_fingerprint",
     "ExecutionContext", "execution_context", "configure_execution",
     "reset_execution", "use_execution",

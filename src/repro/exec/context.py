@@ -36,6 +36,12 @@ class ExecutionContext:
     executor: Executor
     store: ResultStore
 
+    def close(self) -> None:
+        """Release executor resources (warm worker pool, shared-memory
+        segments). The store needs no teardown; a closed context's
+        executor transparently re-arms if used again."""
+        self.executor.close()
+
 
 _DEFAULT: ExecutionContext = ExecutionContext(
     executor=SerialExecutor(), store=ResultStore()
@@ -67,9 +73,15 @@ def configure_execution(
 
 
 def reset_execution() -> ExecutionContext:
-    """Restore the default serial executor and a fresh in-memory store."""
+    """Restore the default serial executor and a fresh in-memory store.
+
+    The replaced context is closed — its warm pool and shared segments
+    are released — since a reset explicitly discards it.
+    """
     global _DEFAULT
+    previous = _DEFAULT
     _DEFAULT = ExecutionContext(executor=SerialExecutor(), store=ResultStore())
+    previous.close()
     return _DEFAULT
 
 
@@ -82,14 +94,21 @@ def use_execution(
     """Temporarily install a context, restoring the previous one on exit.
 
     With every argument ``None`` the current context is reused unchanged
-    (so wrapping a call site is always safe).
+    (so wrapping a call site is always safe). The temporary context is
+    closed on exit — worker pools and shared-memory segments never
+    outlive the ``with`` block.
     """
     global _DEFAULT
     previous = _DEFAULT
     if backend is None and jobs is None and cache_dir is None:
         yield previous
         return
+    ctx = None
     try:
-        yield configure_execution(backend=backend, jobs=jobs, cache_dir=cache_dir)
+        ctx = configure_execution(backend=backend, jobs=jobs,
+                                  cache_dir=cache_dir)
+        yield ctx
     finally:
         _DEFAULT = previous
+        if ctx is not None:
+            ctx.close()

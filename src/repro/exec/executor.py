@@ -8,11 +8,22 @@ implementations are
 
 * :class:`SerialExecutor` — a plain in-process loop (the reference
   backend; zero overhead, always available), and
-* :class:`ParallelExecutor` — a ``concurrent.futures``
-  ``ProcessPoolExecutor`` with a configurable worker count and chunked
-  dispatch. Worker crashes (segfault, OOM-kill, interpreter death) are
-  surfaced as :class:`WorkerCrashError` instead of the opaque
-  ``BrokenProcessPool``.
+* :class:`ParallelExecutor` — a **warm** ``concurrent.futures`` process
+  pool: spun up lazily on first dispatch and reused across dispatches
+  until ``close()``, with chunked dispatch and one-shot broadcast of
+  dispatch-shared state. Broadcast items exposing
+  ``to_shared()``/``fingerprint()`` (the :class:`~repro.net.topology.Topology`)
+  travel via shared-memory segments instead of per-chunk pickling —
+  task payloads shrink from megabytes to tuples of ints. Worker crashes
+  (segfault, OOM-kill, interpreter death) are surfaced as
+  :class:`WorkerCrashError` instead of the opaque ``BrokenProcessPool``,
+  the dead pool is discarded, and the next dispatch re-arms a fresh one.
+
+Every dispatch is metered: :class:`ExecutorStats` records tasks, chunks,
+bytes actually pickled to workers, bytes transported zero-copy, pool
+spin-up time, and the per-task wall-time spread. ``executor.stats``
+accumulates across dispatches, ``executor.last`` holds the most recent
+dispatch alone.
 
 Determinism contract: for the same task list and a deterministic task
 function, every backend returns bit-identical results in task order.
@@ -21,15 +32,23 @@ Parallelism only changes *when* a task runs, never its inputs.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
+import pickle
+import time
+import weakref
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from .shared import InlineRef, PickledRef, resolve_ref
 
 __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ExecutorStats",
     "WorkerCrashError",
     "resolve_executor",
 ]
@@ -43,7 +62,86 @@ class WorkerCrashError(RuntimeError):
 
     Raised in place of ``concurrent.futures``' ``BrokenProcessPool`` so
     callers see how many tasks were in flight and which backend failed.
+    The broken pool is discarded; the executor re-arms a fresh pool on
+    its next dispatch.
     """
+
+
+@dataclass
+class ExecutorStats:
+    """Dispatch observability: what crossed the process boundary, and when.
+
+    ``pickled_bytes`` counts bytes actually serialized into worker
+    payloads (function refs, broadcast refs, task tuples); with
+    shared-memory broadcast the substrate does not appear here —
+    ``shared_bytes`` counts what traveled zero-copy instead.
+    """
+
+    dispatches: int = 0
+    tasks: int = 0
+    chunks: int = 0
+    pickled_bytes: int = 0
+    shared_bytes: int = 0
+    pool_spinups: int = 0
+    spinup_s: float = 0.0
+    task_s_total: float = 0.0
+    task_s_min: float = math.inf
+    task_s_max: float = 0.0
+
+    def record_task_times(self, times: Sequence[float]) -> None:
+        for t in times:
+            self.task_s_total += t
+            if t < self.task_s_min:
+                self.task_s_min = t
+            if t > self.task_s_max:
+                self.task_s_max = t
+
+    def task_spread(self) -> Tuple[float, float, float]:
+        """(min, mean, max) per-task wall-time in seconds."""
+        if not self.tasks or not math.isfinite(self.task_s_min):
+            return (0.0, 0.0, 0.0)
+        return (self.task_s_min, self.task_s_total / self.tasks,
+                self.task_s_max)
+
+    def merge(self, other: "ExecutorStats") -> None:
+        self.dispatches += other.dispatches
+        self.tasks += other.tasks
+        self.chunks += other.chunks
+        self.pickled_bytes += other.pickled_bytes
+        self.shared_bytes += other.shared_bytes
+        self.pool_spinups += other.pool_spinups
+        self.spinup_s += other.spinup_s
+        self.task_s_total += other.task_s_total
+        self.task_s_min = min(self.task_s_min, other.task_s_min)
+        self.task_s_max = max(self.task_s_max, other.task_s_max)
+
+    def __str__(self) -> str:
+        lo, mean, hi = self.task_spread()
+        parts = [
+            f"{self.dispatches} dispatch(es), {self.tasks} task(s) "
+            f"in {self.chunks} chunk(s)",
+            f"{_human_bytes(self.pickled_bytes)} pickled",
+        ]
+        if self.shared_bytes:
+            parts.append(f"{_human_bytes(self.shared_bytes)} shared-memory")
+        if self.pool_spinups:
+            parts.append(
+                f"{self.pool_spinups} pool spin-up(s) "
+                f"({self.spinup_s * 1e3:.0f} ms)"
+            )
+        parts.append(
+            f"task wall {lo * 1e3:.0f}/{mean * 1e3:.0f}/{hi * 1e3:.0f} ms "
+            f"(min/mean/max)"
+        )
+        return "; ".join(parts)
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
 
 
 class Executor(ABC):
@@ -52,12 +150,41 @@ class Executor(ABC):
     #: Nominal worker count (1 for the serial backend).
     jobs: int = 1
 
+    def __init__(self):
+        #: Cumulative stats across every dispatch of this executor.
+        self.stats = ExecutorStats()
+        #: Stats of the most recent dispatch alone (``None`` before any).
+        self.last: Optional[ExecutorStats] = None
+
     @abstractmethod
-    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every task; results come back in task order."""
+    def map(self, fn: Callable[..., R], tasks: Iterable[T],
+            broadcast: Tuple = ()) -> List[R]:
+        """Apply ``fn`` to every task; results come back in task order.
+
+        With ``broadcast`` items the task function is called as
+        ``fn(*broadcast, task)`` — parallel backends transport the
+        broadcast once per dispatch instead of once per task.
+        """
+
+    def close(self) -> None:
+        """Release pooled workers and shared segments (no-op by default)."""
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+def _run_inline(fn, task_list, broadcast, stats: ExecutorStats) -> List:
+    """Shared in-process path (serial backend, 1-job/1-task fallback)."""
+    results = []
+    times = []
+    for task in task_list:
+        t0 = time.perf_counter()
+        results.append(fn(*broadcast, task) if broadcast else fn(task))
+        times.append(time.perf_counter() - t0)
+    stats.dispatches += 1
+    stats.tasks += len(results)
+    stats.record_task_times(times)
+    return results
 
 
 class SerialExecutor(Executor):
@@ -65,12 +192,50 @@ class SerialExecutor(Executor):
 
     jobs = 1
 
-    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
-        return [fn(task) for task in tasks]
+    def map(self, fn: Callable[..., R], tasks: Iterable[T],
+            broadcast: Tuple = ()) -> List[R]:
+        dispatch = ExecutorStats()
+        results = _run_inline(fn, tasks, broadcast, dispatch)
+        self.stats.merge(dispatch)
+        self.last = dispatch
+        return results
+
+
+def _execute_chunk(payload: bytes):
+    """Worker entry point: run one chunk, timing each task.
+
+    The payload is pre-pickled by the dispatcher (so payload size is
+    metered exactly once and never double-serialized); broadcast refs
+    resolve through the worker-side memo — a warm worker attaches each
+    shared topology once, then every later chunk finds it cached.
+    """
+    fn, refs, tasks = pickle.loads(payload)
+    broadcast = tuple(resolve_ref(ref) for ref in refs)
+    results = []
+    times = []
+    for task in tasks:
+        t0 = time.perf_counter()
+        results.append(fn(*broadcast, task) if broadcast else fn(task))
+        times.append(time.perf_counter() - t0)
+    return results, times
+
+
+#: Executors with possibly-open pools/segments, closed at interpreter
+#: exit as a safety net (weak refs: normal GC still runs ``__del__``).
+_LIVE_EXECUTORS: "weakref.WeakSet[ParallelExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_executors() -> None:  # pragma: no cover - exit hook
+    for ex in list(_LIVE_EXECUTORS):
+        try:
+            ex.close()
+        except Exception:
+            pass
 
 
 class ParallelExecutor(Executor):
-    """Process-pool backend with chunked dispatch.
+    """Warm process-pool backend with chunked dispatch and broadcast.
 
     Parameters
     ----------
@@ -81,47 +246,186 @@ class ParallelExecutor(Executor):
         path.
     chunksize:
         Tasks handed to a worker per dispatch. Default: enough chunks
-        for ~4 rounds per worker, which amortizes pickling of the shared
-        topology without starving the pool on skewed task durations.
+        for ~4 rounds per worker (``ceil(n / (4 * jobs))``), which
+        amortizes per-chunk payload pickling without starving the pool
+        on skewed task durations.
+    warm:
+        Keep the pool alive between ``map`` calls (the default). A cold
+        executor tears the pool down after every dispatch — the pre-warm
+        behavior, kept for benchmarking and for callers that dispatch
+        once in a long-lived process.
+    shared_memory:
+        Transport ``to_shared()``-capable broadcast items (topologies)
+        via shared-memory segments. Off, or when segment creation fails,
+        they fall back to once-per-chunk pickle payloads.
 
     ``fn`` and every task must be picklable (module-level functions and
-    plain data); the runner's replication task satisfies this.
+    plain data); the runner's replication task satisfies this. The pool
+    and any shared segments live until :meth:`close` (also invoked by
+    ``__del__``, ``with``-exit and an atexit safety net); a closed
+    executor transparently re-arms on its next dispatch, as does one
+    whose pool died with :class:`WorkerCrashError`.
     """
 
-    def __init__(self, jobs: Optional[int] = None, chunksize: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None,
+                 chunksize: Optional[int] = None,
+                 warm: bool = True, shared_memory: bool = True):
+        super().__init__()
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
         self.chunksize = chunksize
+        self.warm = bool(warm)
+        self.shared_memory = bool(shared_memory)
+        self._pool = None
+        self._handles = {}  # broadcast token -> SharedTopologyHandle
+        self._refs = {}     # broadcast token -> picklable ref
+        _LIVE_EXECUTORS.add(self)
+
+    # -- chunking ------------------------------------------------------
 
     def _chunksize_for(self, n_tasks: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
         return max(1, math.ceil(n_tasks / (4 * self.jobs)))
 
-    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> List[R]:
-        task_list: Sequence[T] = list(tasks)
-        if self.jobs <= 1 or len(task_list) <= 1:
-            return [fn(task) for task in task_list]
+    def _chunk_policy(self) -> str:
+        if self.chunksize is not None:
+            return str(self.chunksize)
+        return f"auto:ceil(n/{4 * self.jobs})"
 
-        from concurrent.futures import ProcessPoolExecutor as _Pool
+    def __repr__(self) -> str:
+        mode = "warm" if self.warm else "cold"
+        transport = "shm" if self.shared_memory else "pickle"
+        return (
+            f"{type(self).__name__}(jobs={self.jobs}, "
+            f"chunksize={self._chunk_policy()}, {mode}, "
+            f"broadcast={transport})"
+        )
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _ensure_pool(self, dispatch: ExecutorStats):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import resource_tracker
+
+            t0 = time.perf_counter()
+            # Start the resource tracker *before* the workers fork: they
+            # inherit its fd and report segment attachments to the one
+            # shared tracker. A worker forked tracker-less would lazily
+            # spawn its own on the first attach and warn about "leaked"
+            # segments (that the owner meanwhile unlinked) at shutdown.
+            resource_tracker.ensure_running()
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            dispatch.pool_spinups += 1
+            dispatch.spinup_s += time.perf_counter() - t0
+        return self._pool
+
+    def _discard_pool(self, wait: bool = True) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment.
+
+        Idempotent; a later ``map`` re-arms from scratch.
+        """
+        self._discard_pool()
+        handles, self._handles = self._handles, {}
+        for handle in handles.values():
+            handle.close()
+        self._refs.clear()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- broadcast transport -------------------------------------------
+
+    def _ref_for(self, item, dispatch: ExecutorStats):
+        """A picklable ref for one broadcast item, cached by fingerprint."""
+        if not (hasattr(item, "to_shared") and hasattr(item, "fingerprint")):
+            return InlineRef(item)
+        token = item.fingerprint()
+        ref = self._refs.get(token)
+        if ref is None:
+            if self.shared_memory:
+                try:
+                    handle = item.to_shared()
+                except Exception:
+                    handle = None  # no /dev/shm etc. -> pickle fallback
+                if handle is not None:
+                    self._handles[token] = handle
+                    dispatch.shared_bytes += handle.nbytes
+                    ref = handle.ref
+            if ref is None:
+                ref = PickledRef(
+                    token, pickle.dumps(item, pickle.HIGHEST_PROTOCOL)
+                )
+            self._refs[token] = ref
+        return ref
+
+    # -- dispatch ------------------------------------------------------
+
+    def map(self, fn: Callable[..., R], tasks: Iterable[T],
+            broadcast: Tuple = ()) -> List[R]:
+        task_list = tasks if isinstance(tasks, list) else list(tasks)
+        dispatch = ExecutorStats()
+        if self.jobs <= 1 or len(task_list) <= 1:
+            # In-process fallback: no pool, no pickling — and the task
+            # iterable was materialized exactly once above.
+            results = _run_inline(fn, task_list, broadcast, dispatch)
+            self.stats.merge(dispatch)
+            self.last = dispatch
+            return results
+
         from concurrent.futures.process import BrokenProcessPool
 
-        workers = min(self.jobs, len(task_list))
+        refs = tuple(self._ref_for(item, dispatch) for item in broadcast)
+        chunksize = self._chunksize_for(len(task_list))
+        payloads = [
+            pickle.dumps((fn, refs, task_list[i:i + chunksize]),
+                         pickle.HIGHEST_PROTOCOL)
+            for i in range(0, len(task_list), chunksize)
+        ]
+        dispatch.dispatches = 1
+        dispatch.tasks = len(task_list)
+        dispatch.chunks = len(payloads)
+        dispatch.pickled_bytes = sum(len(p) for p in payloads)
+
+        pool = self._ensure_pool(dispatch)
+        results: List[R] = []
         try:
-            with _Pool(max_workers=workers) as pool:
-                return list(
-                    pool.map(fn, task_list,
-                             chunksize=self._chunksize_for(len(task_list)))
-                )
+            futures = [pool.submit(_execute_chunk, p) for p in payloads]
+            for future in futures:
+                chunk_results, chunk_times = future.result()
+                results.extend(chunk_results)
+                dispatch.record_task_times(chunk_times)
         except BrokenProcessPool as exc:
+            self._discard_pool()  # re-armed lazily on the next dispatch
             raise WorkerCrashError(
                 f"a worker process died while executing {len(task_list)} "
-                f"task(s) on {workers} worker(s); the usual causes are "
+                f"task(s) on {self.jobs} worker(s); the usual causes are "
                 f"out-of-memory kills and native crashes"
             ) from exc
+        finally:
+            if not self.warm:
+                self._discard_pool()
+            self.stats.merge(dispatch)
+            self.last = dispatch
+        return results
 
 
 def resolve_executor(

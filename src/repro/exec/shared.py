@@ -1,0 +1,219 @@
+"""Zero-copy broadcast transport for dispatch-shared state.
+
+Monte Carlo grids fan hundreds of `(spec, replication)` tasks over one
+fixed :class:`~repro.net.topology.Topology`, and until this module the
+substrate rode along *inside every task tuple*: each dispatch chunk
+re-pickled megabytes of PRR/position/RSSI matrices that every worker
+already had. The broadcast transport ships such shared state once:
+
+* :func:`share_topology` exports a topology's arrays into
+  ``multiprocessing.shared_memory`` segments and returns a
+  :class:`SharedTopologyHandle` whose picklable :class:`SharedTopologyRef`
+  is a few hundred bytes of segment names and dtypes;
+* workers resolve a ref with :func:`resolve_ref`, attaching **read-only
+  zero-copy numpy views** over the segments
+  (:meth:`~repro.net.topology.Topology.from_shared`) and memoizing the
+  result by content fingerprint, so a warm worker pays the attach cost
+  once per topology, not once per chunk;
+* :class:`PickledRef` is the fallback when shared memory is unavailable
+  (no ``/dev/shm``, exotic platforms): the payload is ordinary pickle
+  bytes, still deduplicated worker-side by the same fingerprint token;
+* :class:`InlineRef` wraps small broadcast items (e.g. the spec table)
+  that are cheap enough to ride in each chunk payload.
+
+Ownership contract: the *dispatching* process owns the segments — the
+handle (via :meth:`SharedTopologyHandle.close`, or the executor's
+``close()``) unlinks them. Workers only ever attach. Pool workers share
+the dispatcher's ``multiprocessing.resource_tracker`` (its fd is
+inherited by both fork- and spawn-started children), and the tracker
+deduplicates registrations per segment name, so worker attachments
+neither spuriously unlink a live segment at worker exit nor leave
+leaked-resource warnings behind — the owner's single ``unlink()``
+settles the books.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedTopologyRef",
+    "SharedTopologyHandle",
+    "PickledRef",
+    "InlineRef",
+    "share_topology",
+    "attach_array",
+    "resolve_ref",
+]
+
+#: Worker-side cap on memoized broadcast objects (a sweep session uses a
+#: handful of topologies at most; this only bounds pathological churn).
+_CACHE_LIMIT = 8
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable descriptor of one array living in a shared segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        import numpy as np
+
+        n = int(np.dtype(self.dtype).itemsize)
+        for dim in self.shape:
+            n *= int(dim)
+        return n
+
+
+def _export_array(arr, segments: List) -> SharedArraySpec:
+    """Copy ``arr`` into a fresh shared segment (appended to ``segments``)."""
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+    segments.append(shm)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    return SharedArraySpec(shm.name, arr.dtype.str, tuple(arr.shape))
+
+
+def attach_array(spec: SharedArraySpec):
+    """Attach a read-only zero-copy view; returns ``(view, segment)``.
+
+    The caller must keep the returned segment object alive as long as
+    the view is used — dropping it unmaps the buffer.
+    """
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return view, shm
+
+
+@dataclass(frozen=True)
+class SharedTopologyRef:
+    """Picklable address of a topology exported to shared memory."""
+
+    token: str  # the topology's content fingerprint
+    neighbor_threshold: float
+    prr: SharedArraySpec
+    positions: Optional[SharedArraySpec]
+    rssi: Optional[SharedArraySpec]
+
+    def resolve(self):
+        from ..net.topology import Topology
+
+        return Topology.from_shared(self)
+
+
+class SharedTopologyHandle:
+    """Owner side of one exported topology: the segments plus their ref."""
+
+    def __init__(self, ref: SharedTopologyRef, segments: List):
+        self.ref = ref
+        self._segments = segments
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes transported zero-copy instead of being pickled."""
+        return sum(shm.size for shm in self._segments)
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def share_topology(topo) -> SharedTopologyHandle:
+    """Export ``topo``'s substrate arrays into shared memory.
+
+    Only the primary arrays travel — adjacency, audibility and neighbor
+    lists are cheap to re-derive and would double the footprint.
+    Raises (after releasing any partial segments) when shared memory is
+    unavailable; callers fall back to :class:`PickledRef`.
+    """
+    segments: List = []
+    try:
+        prr = _export_array(topo.prr, segments)
+        positions = (
+            _export_array(topo.positions, segments)
+            if topo.positions is not None else None
+        )
+        rssi = (
+            _export_array(topo.rssi, segments)
+            if topo.rssi is not None else None
+        )
+        ref = SharedTopologyRef(
+            token=topo.fingerprint(),
+            neighbor_threshold=topo.neighbor_threshold,
+            prr=prr,
+            positions=positions,
+            rssi=rssi,
+        )
+    except BaseException:
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        raise
+    return SharedTopologyHandle(ref, segments)
+
+
+@dataclass(frozen=True)
+class PickledRef:
+    """Pickle-transported broadcast item, still memoized by token."""
+
+    token: str
+    payload: bytes
+
+    def resolve(self):
+        return pickle.loads(self.payload)
+
+
+@dataclass(frozen=True)
+class InlineRef:
+    """A broadcast item small enough to ride in every chunk payload."""
+
+    value: Any
+
+    def resolve(self):
+        return self.value
+
+
+#: Worker-side memo: broadcast token -> resolved object. Populated lazily
+#: in each worker process; with a warm pool this makes topology transport
+#: a once-per-worker cost instead of once-per-chunk.
+_RESOLVED: Dict[str, Any] = {}
+
+
+def resolve_ref(ref) -> Any:
+    """Materialize a broadcast ref, memoizing token-carrying ones."""
+    token = getattr(ref, "token", None)
+    if token is None:
+        return ref.resolve()
+    try:
+        return _RESOLVED[token]
+    except KeyError:
+        pass
+    value = ref.resolve()
+    while len(_RESOLVED) >= _CACHE_LIMIT:
+        _RESOLVED.pop(next(iter(_RESOLVED)))
+    _RESOLVED[token] = value
+    return value

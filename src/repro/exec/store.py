@@ -20,7 +20,12 @@ and an optional on-disk directory persists entries across CLI
 invocations. Disk entries are self-verifying — a JSON header records the
 key and a payload digest, and any mismatch (truncation, corruption,
 tampering, an entry recorded under a different key) is treated as a miss
-and recomputed rather than served.
+and recomputed rather than served. Disk access is batched: a lazily
+built one-scan directory index answers existence probes (a fig10/fig11
+grid costs one ``scandir``, not hundreds of per-key file opens),
+:meth:`ResultStore.get_many`/:meth:`ResultStore.put_many` move whole
+grids at once, and each key's payload digest is verified once per
+process with the verdict memoized.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence, Set
 
 __all__ = [
     "ResultStore",
@@ -145,6 +150,16 @@ class ResultStore:
             )
         self.stats = StoreStats()
         self._mem: Dict[str, Any] = {}
+        # One-scan directory index: key -> entry exists on disk. Built
+        # lazily on the first disk lookup so a fig10/fig11 grid costs a
+        # single ``scandir`` instead of one open-per-key probe. Entries
+        # written by *other* processes after the scan are not seen until
+        # a new store instance — a miss there only costs a recompute.
+        self._index: Optional[Set[str]] = None
+        # Keys whose on-disk payload already passed the digest check in
+        # this process; later loads (e.g. after ``clear()``) skip the
+        # full-payload re-hash.
+        self._verified: Set[str] = set()
 
     # -- counters exposed flat for convenience -------------------------
 
@@ -171,6 +186,21 @@ class ResultStore:
 
     # -- get / put -----------------------------------------------------
 
+    def _disk_index(self) -> Set[str]:
+        """Keys present on disk, from one directory scan (cached)."""
+        if self._index is None:
+            index: Set[str] = set()
+            if self.cache_dir is not None:
+                try:
+                    with os.scandir(self.cache_dir) as entries:
+                        for entry in entries:
+                            if entry.name.endswith(".rsum"):
+                                index.add(entry.name[: -len(".rsum")])
+                except OSError:
+                    pass  # directory not created yet -> empty index
+            self._index = index
+        return self._index
+
     def get(self, key: str) -> Optional[Any]:
         """Return the stored summary or ``None`` (counting hit/miss).
 
@@ -182,7 +212,7 @@ class ResultStore:
         if key in self._mem:
             self.stats.hits += 1
             return self._mem[key]
-        if self.cache_dir is not None:
+        if self.cache_dir is not None and key in self._disk_index():
             value = self._load_disk(key)
             if value is not None:
                 self._mem[key] = value
@@ -191,12 +221,41 @@ class ResultStore:
         self.stats.misses += 1
         return None
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Batch lookup: every found key -> value, one disk scan total.
+
+        Hit/miss counters advance per key, exactly as per-key ``get``
+        calls would — only the disk probing is batched (the directory
+        index is built once and shared with every later lookup).
+        """
+        found: Dict[str, Any] = {}
+        for key in keys:
+            if key in found:  # duplicate key in the request: one probe
+                self.stats.hits += 1
+                continue
+            value = self.get(key)
+            if value is not None:
+                found[key] = value
+        return found
+
     def put(self, key: str, value: Any) -> None:
         """Record ``value`` under ``key`` (memory, plus disk if configured)."""
         self._mem[key] = value
         if self.cache_dir is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._write_disk(key, value)
+
+    def put_many(self, items: Dict[str, Any]) -> None:
+        """Record a batch of summaries (one mkdir, then per-entry writes)."""
+        self._mem.update(items)
+        if self.cache_dir is None or not items:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        for key, value in items.items():
+            self._write_disk(key, value)
+
+    def _write_disk(self, key: str, value: Any) -> None:
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         header = json.dumps({
             "format": _FORMAT,
@@ -217,6 +276,11 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        # We computed this digest ourselves: the key is verified, and
+        # the index (if already built) learns the new entry.
+        self._verified.add(key)
+        if self._index is not None:
+            self._index.add(key)
 
     def _load_disk(self, key: str) -> Optional[Any]:
         path = self._path(key)
@@ -227,16 +291,18 @@ class ResultStore:
         try:
             head, payload = raw.split(b"\n", 1)
             meta = json.loads(head.decode("utf-8"))
-            if (
-                meta.get("format") != _FORMAT
-                or meta.get("key") != key
-                or meta.get("digest")
-                != hashlib.sha256(payload).hexdigest()
-            ):
+            if meta.get("format") != _FORMAT or meta.get("key") != key:
                 raise ValueError("integrity check failed")
+            # Hash the payload once per key per process; a key that
+            # already passed keeps its verdict (e.g. across ``clear()``).
+            if key not in self._verified:
+                if meta.get("digest") != hashlib.sha256(payload).hexdigest():
+                    raise ValueError("integrity check failed")
+                self._verified.add(key)
             return pickle.loads(payload)
         except Exception:
             self.stats.rejected += 1
+            self._verified.discard(key)
             return None
 
     def clear(self) -> None:

@@ -3,12 +3,15 @@
 Both figures come from the same simulation grid (protocols x duty
 ratios on the GreenOrbs trace). The grid runs through the process-wide
 :class:`repro.exec.ExecutionContext`: the executor fans every
-``(protocol, duty, replication)`` task out in one dispatch, and the
-content-addressed result store deduplicates the work — fig10 computes
-the grid, fig11 is answered entirely from the store (and, with a cache
-directory configured, so is the next CLI invocation). This replaces the
-old process-local ``lru_cache`` memoization, which evaporated between
-processes and ignored ``--jobs``.
+``(protocol, duty, replication)`` task out in one dispatch — the trace
+topology broadcasts to the warm worker pool once, via shared memory,
+instead of riding inside every task tuple — and the content-addressed
+result store answers the whole grid through one batched
+``get_many``/``put_many`` round trip (one directory scan, not one probe
+per cell). fig10 computes the grid, fig11 is answered entirely from the
+store (and, with a cache directory configured, so is the next CLI
+invocation). This replaces the old process-local ``lru_cache``
+memoization, which evaporated between processes and ignored ``--jobs``.
 """
 
 from __future__ import annotations

@@ -102,7 +102,14 @@ class Topology:
 
         # Content fingerprint for the result store, computed lazily.
         self._fingerprint: Optional[str] = None
+        # Shared-memory segments backing the arrays (zero-copy transport
+        # only; ``None`` for ordinarily constructed topologies).
+        self._shm_keepalive = None
 
+        self._derive()
+
+    def _derive(self) -> None:
+        """Compute the views the hot loops use from the primary arrays."""
         # Adjacency by usable links (boolean, directed).
         self.adjacency = self.prr > 0.0
         # Symmetric audibility (either direction in range): the carrier-
@@ -223,6 +230,58 @@ class Topology:
                     h.update(np.ascontiguousarray(arr).tobytes())
             self._fingerprint = h.hexdigest()
         return self._fingerprint
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport (zero-copy broadcast to worker processes)
+    # ------------------------------------------------------------------
+
+    def to_shared(self):
+        """Export the substrate into ``multiprocessing.shared_memory``.
+
+        Returns a :class:`repro.exec.shared.SharedTopologyHandle`: the
+        owner of the segments, whose picklable ``ref`` is a few hundred
+        bytes of segment names — workers rebuild the topology zero-copy
+        with :meth:`from_shared`. The caller must ``close()`` the handle
+        (executors do this in their own ``close()``).
+        """
+        from ..exec.shared import share_topology
+
+        return share_topology(self)
+
+    @classmethod
+    def from_shared(cls, ref) -> "Topology":
+        """Attach a topology exported by :meth:`to_shared`, zero-copy.
+
+        The primary arrays become **read-only** views over the shared
+        segments (no copy, no re-validation — the exporting process
+        already thresholded the PRR matrix); derived state (adjacency,
+        audibility, neighbor lists) is recomputed locally, and the
+        content fingerprint is inherited so store keys and broadcast
+        dedup agree across processes.
+        """
+        from ..exec.shared import attach_array
+
+        keepalive = []
+        prr, shm = attach_array(ref.prr)
+        keepalive.append(shm)
+        positions = rssi = None
+        if ref.positions is not None:
+            positions, shm = attach_array(ref.positions)
+            keepalive.append(shm)
+        if ref.rssi is not None:
+            rssi, shm = attach_array(ref.rssi)
+            keepalive.append(shm)
+
+        topo = cls.__new__(cls)
+        topo.prr = prr
+        topo.neighbor_threshold = float(ref.neighbor_threshold)
+        topo.n_nodes = int(prr.shape[0])
+        topo.positions = positions
+        topo.rssi = rssi
+        topo._fingerprint = ref.token
+        topo._shm_keepalive = keepalive
+        topo._derive()
+        return topo
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes (requires positions)."""

@@ -8,12 +8,16 @@ protocol at the same replication index), and summary aggregation.
 
 Execution is pluggable: every entry point decomposes its work into
 independent :func:`run_replication` tasks and maps them through an
-optional :class:`repro.exec.Executor` (serial by default, process-pool
-parallel on request). Each task derives its schedule/channel streams
-from ``(seed, rep)`` alone and shares no RNG state, so serial and
-parallel backends produce **bit-identical** results. An optional
-:class:`repro.exec.ResultStore` memoizes whole :class:`RunSummary`
-payloads by content (spec + topology fingerprint + engine version).
+optional :class:`repro.exec.Executor` (serial by default, warm
+process-pool parallel on request). Task payloads are
+``(spec_index, rep)`` pairs — the fixed topology and the spec table
+broadcast once per dispatch, the topology zero-copy via shared memory.
+Each task derives its schedule/channel streams from ``(seed, rep)``
+alone and shares no RNG state, so serial and parallel backends produce
+**bit-identical** results. An optional :class:`repro.exec.ResultStore`
+memoizes whole :class:`RunSummary` payloads by content (spec + topology
+fingerprint + engine version), with whole grids probed and recorded in
+one batched ``get_many``/``put_many`` round trip.
 """
 
 from __future__ import annotations
@@ -186,9 +190,28 @@ def run_replication(topo: Topology, spec: ExperimentSpec, rep: int) -> FloodResu
 
 
 def _run_task(task: Tuple[Topology, ExperimentSpec, int]) -> FloodResult:
-    """Picklable task adapter for :meth:`repro.exec.Executor.map`."""
+    """Self-contained task adapter: the topology rides in every tuple.
+
+    Kept as the pre-broadcast dispatch shape (and as the benchmark
+    baseline for it); the harness now dispatches :func:`_run_grid_task`
+    tuples against a broadcast topology instead.
+    """
     topo, spec, rep = task
     return run_replication(topo, spec, rep)
+
+
+def _run_grid_task(
+    topo: Topology, specs: Sequence[ExperimentSpec], task: Tuple[int, int]
+) -> FloodResult:
+    """Broadcast-style task adapter for :meth:`repro.exec.Executor.map`.
+
+    The task payload is just ``(spec_index, rep)`` — the topology and
+    the spec table broadcast once per dispatch (the topology zero-copy
+    via shared memory), so a Monte Carlo grid's per-task pickle cost is
+    a couple of ints instead of megabytes of substrate.
+    """
+    i, rep = task
+    return run_replication(topo, specs[i], rep)
 
 
 def run_experiment(
@@ -237,29 +260,34 @@ def run_experiments(
     keys: List[Optional[str]] = [None] * len(specs)
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
     if store is not None:
-        for i, spec in enumerate(specs):
-            keys[i] = store.key_for(topo, spec)
-            summaries[i] = store.get(keys[i])
+        keys = [store.key_for(topo, spec) for spec in specs]
+        cached = store.get_many(keys)
+        summaries = [cached.get(key) for key in keys]
 
-    tasks: List[Tuple[Topology, ExperimentSpec, int]] = []
-    owners: List[int] = []
+    spec_table = tuple(specs)
+    tasks: List[Tuple[int, int]] = []
     for i, spec in enumerate(specs):
         if summaries[i] is None:
-            tasks.extend((topo, spec, rep) for rep in range(spec.n_replications))
-            owners.extend([i] * spec.n_replications)
+            tasks.extend((i, rep) for rep in range(spec.n_replications))
 
     if tasks:
         if executor is None:
-            results = [_run_task(task) for task in tasks]
+            results = [run_replication(topo, specs[i], rep)
+                       for i, rep in tasks]
         else:
-            results = executor.map(_run_task, tasks)
+            results = executor.map(
+                _run_grid_task, tasks, broadcast=(topo, spec_table)
+            )
         grouped: Dict[int, List[FloodResult]] = {}
-        for owner, result in zip(owners, results):
+        for (owner, _rep), result in zip(tasks, results):
             grouped.setdefault(owner, []).append(result)
+        fresh: Dict[str, RunSummary] = {}
         for i, flood_results in grouped.items():
             summaries[i] = RunSummary(spec=specs[i], results=flood_results)
             if store is not None:
-                store.put(keys[i], summaries[i])
+                fresh[keys[i]] = summaries[i]
+        if store is not None:
+            store.put_many(fresh)
     return summaries  # type: ignore[return-value]
 
 

@@ -19,6 +19,10 @@ def _restore_context():
     reset_execution()
 
 
+def _double(x):
+    return 2 * x
+
+
 class TestContext:
     def test_default_is_serial_with_memory_store(self):
         ctx = reset_execution()
@@ -52,6 +56,32 @@ class TestContext:
             with use_execution(jobs=2):
                 raise RuntimeError("boom")
         assert execution_context() is before
+
+
+class TestContextClose:
+    def test_use_execution_closes_temporary_executor(self):
+        reset_execution()
+        with use_execution(jobs=2) as ctx:
+            assert ctx.executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+            assert ctx.executor._pool is not None  # warm pool armed
+        assert ctx.executor._pool is None  # released with the block
+
+    def test_reset_closes_replaced_context(self):
+        ctx = configure_execution(jobs=2)
+        ctx.executor.map(_double, [1, 2, 3, 4])
+        assert ctx.executor._pool is not None
+        reset_execution()
+        assert ctx.executor._pool is None
+
+    def test_close_is_idempotent_and_rearmable(self):
+        ctx = configure_execution(jobs=2)
+        ctx.executor.map(_double, [1, 2])
+        ctx.close()
+        ctx.close()
+        assert ctx.executor._pool is None
+        # A closed context's executor transparently re-arms.
+        assert ctx.executor.map(_double, [5]) == [10]
+        ctx.close()
 
 
 class TestHarnessIntegration:

@@ -27,6 +27,14 @@ def _explode(task):
     raise ValueError(f"bad task {task}")
 
 
+def _pid(_task):
+    return os.getpid()
+
+
+def _add_offset(offset, task):
+    return offset + task
+
+
 @pytest.fixture
 def topo():
     return line_topology(5, prr=0.9)
@@ -63,12 +71,102 @@ class TestParallelExecutor:
         assert ex._chunksize_for(1000) * 2 * 4 >= 1000
 
     def test_worker_crash_surfaced(self):
-        with pytest.raises(WorkerCrashError, match="worker process died"):
-            ParallelExecutor(jobs=2).map(_crash, [1, 2, 3])
+        with ParallelExecutor(jobs=2) as ex:
+            with pytest.raises(WorkerCrashError, match="worker process died"):
+                ex.map(_crash, [1, 2, 3])
 
     def test_task_exception_propagates(self):
-        with pytest.raises(ValueError, match="bad task"):
-            ParallelExecutor(jobs=2).map(_explode, [1, 2])
+        with ParallelExecutor(jobs=2) as ex:
+            with pytest.raises(ValueError, match="bad task"):
+                ex.map(_explode, [1, 2])
+
+    def test_warm_pool_reused_across_dispatches(self):
+        with ParallelExecutor(jobs=2) as ex:
+            first = set(ex.map(_pid, list(range(8))))
+            pool = ex._pool
+            second = set(ex.map(_pid, list(range(8))))
+            assert ex._pool is pool  # same pool object, no respawn
+            # Workers spawn lazily, so per-dispatch PID sets can differ,
+            # but one persistent pool caps the distinct PIDs at `jobs`
+            # (two cold dispatches could use up to 2 * jobs).
+            assert len(first | second) <= 2
+            assert ex.stats.pool_spinups == 1
+            assert ex.stats.dispatches == 2
+
+    def test_cold_executor_tears_pool_down_per_dispatch(self):
+        with ParallelExecutor(jobs=2, warm=False) as ex:
+            ex.map(_square, list(range(4)))
+            assert ex._pool is None  # torn down eagerly
+            ex.map(_square, list(range(4)))
+            assert ex.stats.pool_spinups == 2
+
+    def test_rearm_after_worker_crash(self):
+        with ParallelExecutor(jobs=2) as ex:
+            with pytest.raises(WorkerCrashError):
+                ex.map(_crash, [1, 2, 3])
+            assert ex._pool is None  # the dead pool was discarded
+            # The next dispatch re-arms a fresh pool and works.
+            assert ex.map(_square, list(range(6))) == [
+                x * x for x in range(6)
+            ]
+            assert ex.stats.pool_spinups == 2
+
+    def test_map_usable_again_after_close(self):
+        ex = ParallelExecutor(jobs=2)
+        ex.map(_square, [1, 2, 3])
+        ex.close()
+        assert ex._pool is None
+        assert ex.map(_square, [2, 3]) == [4, 9]  # transparent re-arm
+        ex.close()
+        ex.close()  # idempotent
+
+    def test_generator_input_consumed_exactly_once(self):
+        pulls = []
+
+        def tasks():
+            for x in range(5):
+                pulls.append(x)
+                yield x
+
+        # Inline fallback path (jobs=1) and pooled path both must
+        # materialize the iterable exactly once.
+        assert ParallelExecutor(jobs=1).map(_square, tasks()) == [
+            x * x for x in range(5)
+        ]
+        assert pulls == list(range(5))
+        pulls.clear()
+        with ParallelExecutor(jobs=2) as ex:
+            assert ex.map(_square, tasks()) == [x * x for x in range(5)]
+        assert pulls == list(range(5))
+
+    def test_broadcast_matches_serial(self):
+        tasks = list(range(10))
+        expected = SerialExecutor().map(_add_offset, tasks, broadcast=(100,))
+        assert expected == [100 + x for x in tasks]
+        with ParallelExecutor(jobs=2) as ex:
+            assert ex.map(_add_offset, tasks, broadcast=(100,)) == expected
+
+    def test_repr_shows_chunk_heuristic(self):
+        assert "ceil(n/8)" in repr(ParallelExecutor(jobs=2))
+        assert "chunksize=5" in repr(ParallelExecutor(jobs=2, chunksize=5))
+        assert "cold" in repr(ParallelExecutor(jobs=2, warm=False))
+        assert "broadcast=pickle" in repr(
+            ParallelExecutor(jobs=2, shared_memory=False)
+        )
+
+    def test_dispatch_stats_recorded(self):
+        with ParallelExecutor(jobs=2, chunksize=3) as ex:
+            ex.map(_square, list(range(10)))
+            assert ex.last.tasks == 10
+            assert ex.last.chunks == 4  # ceil(10 / 3)
+            assert ex.last.pickled_bytes > 0
+            lo, mean, hi = ex.last.task_spread()
+            assert 0 <= lo <= mean <= hi
+        # The inline fallback records tasks but never pickles.
+        ex1 = ParallelExecutor(jobs=1)
+        ex1.map(_square, list(range(4)))
+        assert ex1.stats.tasks == 4
+        assert ex1.stats.pickled_bytes == 0 and ex1.stats.chunks == 0
 
 
 class TestResolveExecutor:

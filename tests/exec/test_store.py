@@ -133,3 +133,74 @@ class TestDiskStore:
         store.clear()
         assert len(store) == 0
         assert store.get(store.key_for(topo, spec)) is not None  # from disk
+
+
+class TestBatchedAccess:
+    def test_get_many_put_many_round_trip(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        specs = [dataclasses.replace(spec, seed=s) for s in (1, 2, 3)]
+        items = {store.key_for(topo, s): run_experiment(topo, s)
+                 for s in specs}
+        store.put_many(items)
+
+        fresh = ResultStore(tmp_path)  # simulates a new process
+        keys = list(items)
+        found = fresh.get_many(keys + ["0" * 64])
+        assert set(found) == set(keys)
+        assert fresh.hits == 3 and fresh.misses == 1
+        for key in keys:
+            assert np.array_equal(found[key].per_replication_delays(),
+                                  items[key].per_replication_delays())
+
+    def test_get_many_counts_duplicate_keys_as_hits(self, topo, spec):
+        store = ResultStore()
+        summary = run_experiment(topo, spec)
+        key = store.key_for(topo, spec)
+        store.put(key, summary)
+        assert store.get_many([key, key, key]) == {key: summary}
+        assert store.hits == 3 and store.misses == 0
+
+    def test_absent_keys_answered_by_index_without_file_io(
+        self, tmp_path, topo, spec, monkeypatch
+    ):
+        run_experiment(topo, spec, store=ResultStore(tmp_path))
+        fresh = ResultStore(tmp_path)
+        loads = []
+        orig = ResultStore._load_disk
+        monkeypatch.setattr(
+            ResultStore, "_load_disk",
+            lambda self, key: loads.append(key) or orig(self, key),
+        )
+        # Keys not in the one-scan directory index never touch a file.
+        assert fresh.get_many(["f" * 64, "e" * 64]) == {}
+        assert loads == []
+        assert fresh.misses == 2
+
+    def test_put_updates_already_built_index(self, tmp_path, topo, spec):
+        store = ResultStore(tmp_path)
+        key = store.key_for(topo, spec)
+        assert store.get(key) is None  # builds the (empty) index
+        summary = run_experiment(topo, spec)
+        store.put(key, summary)
+        store.clear()  # force the next get through the disk path
+        assert store.get(key) is not None
+
+    def test_digest_verified_once_per_key_per_process(
+        self, tmp_path, topo, spec, monkeypatch
+    ):
+        import repro.exec.store as store_mod
+
+        run_experiment(topo, spec, store=ResultStore(tmp_path))
+        fresh = ResultStore(tmp_path)
+        key = fresh.key_for(topo, spec)  # computed before counting begins
+
+        calls = []
+        real = store_mod.hashlib.sha256
+        monkeypatch.setattr(store_mod.hashlib, "sha256",
+                            lambda *a: calls.append(1) or real(*a))
+        assert fresh.get(key) is not None  # first disk load hashes payload
+        first = len(calls)
+        assert first >= 1
+        fresh.clear()
+        assert fresh.get(key) is not None  # verdict memoized: no re-hash
+        assert len(calls) == first
