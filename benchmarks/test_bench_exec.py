@@ -33,7 +33,13 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.exec import ParallelExecutor, SerialExecutor
 from repro.experiments._common import get_trace
-from repro.sim.runner import ExperimentSpec, run_experiments, _run_task
+from repro.sim.runner import ExperimentSpec, run_experiments, run_replication
+
+
+def _legacy_task(task):
+    """PR3's worker function verbatim: one self-contained tuple per task."""
+    topo, spec, rep = task
+    return run_replication(topo, spec, rep)
 
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or 4
 
@@ -67,7 +73,7 @@ def _legacy_map(topo, specs, jobs):
         for i in range(0, len(tasks), chunksize)
     )
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        results = list(pool.map(_run_task, tasks, chunksize=chunksize))
+        results = list(pool.map(_legacy_task, tasks, chunksize=chunksize))
     return results, pickled
 
 

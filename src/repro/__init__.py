@@ -1,7 +1,7 @@
 """repro — reproduction of *Understanding the Flooding in Low-Duty-Cycle
 Wireless Sensor Networks* (Li, Li, Liu, Tang; ICPP 2011).
 
-The package has five layers:
+The package has six layers:
 
 * :mod:`repro.core` — the paper's analytical results: FWL/FDL limits
   (Lemmas 2-3, Theorems 1-2, Table I, Corollary 1), the matrix-based
@@ -19,6 +19,11 @@ The package has five layers:
 * :mod:`repro.exec` — pluggable execution backends (serial /
   process-pool parallel, bit-identical results) and a content-addressed
   result store shared by the runner, sweeps, experiments and CLI.
+* :mod:`repro.scenario` — the declarative layer: a frozen, serializable
+  :class:`~repro.scenario.Scenario` spec (topology, schedule, protocol,
+  workload, sim overrides) with a canonical content fingerprint, plus
+  :class:`~repro.scenario.ScenarioGrid` sweeps loadable from JSON files
+  (``repro run-scenario FILE.json``).
 
 Quickstart::
 
@@ -64,6 +69,13 @@ from .net import (
     synthesize_greenorbs,
 )
 from .protocols import available_protocols, make_protocol
+from .scenario import (
+    Scenario,
+    ScenarioGrid,
+    TopologySpec,
+    as_scenario,
+    load_scenario_file,
+)
 from .sim import (
     ExperimentSpec,
     RngStreams,
@@ -74,6 +86,7 @@ from .sim import (
     run_flood,
     run_protocol_sweep,
     run_replication,
+    run_scenarios,
 )
 
 __version__ = "1.0.0"
@@ -86,9 +99,11 @@ __all__ = [
     "duty_ratio_to_period", "grid_topology", "random_geometric_topology",
     "synthesize_greenorbs",
     "available_protocols", "make_protocol",
+    "Scenario", "ScenarioGrid", "TopologySpec", "as_scenario",
+    "load_scenario_file",
     "ExperimentSpec", "RngStreams", "RunSummary", "SimConfig",
     "run_experiment", "run_experiments", "run_flood", "run_protocol_sweep",
-    "run_replication",
+    "run_replication", "run_scenarios",
     "ExecutionContext", "ParallelExecutor", "ResultStore", "SerialExecutor",
     "configure_execution", "execution_context", "use_execution",
     "__version__",

@@ -21,14 +21,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.topology import Topology
-from ..sim.runner import ExperimentSpec, RunSummary, run_experiments
+from ..scenario import Scenario, ScenarioGrid
+from ..sim.runner import ExperimentSpec, RunSummary, run_experiments, run_scenarios
 
-__all__ = ["SweepAxis", "sweep", "collect"]
+__all__ = ["SweepAxis", "sweep", "sweep_grid", "collect"]
 
 
 @dataclass(frozen=True)
 class SweepAxis:
-    """One swept parameter: an ``ExperimentSpec`` field name and values."""
+    """One swept parameter: a spec field name (``ExperimentSpec`` or
+    :class:`~repro.scenario.Scenario`) and its values."""
 
     field: str
     values: Tuple
@@ -38,8 +40,11 @@ class SweepAxis:
         object.__setattr__(self, "values", tuple(values))
         if not self.values:
             raise ValueError(f"axis {field!r} has no values")
-        if field not in ExperimentSpec.__dataclass_fields__:
-            raise ValueError(f"{field!r} is not an ExperimentSpec field")
+        if field not in ExperimentSpec.__dataclass_fields__ \
+                and field not in Scenario.__dataclass_fields__:
+            raise ValueError(
+                f"{field!r} is not an ExperimentSpec or Scenario field"
+            )
 
 
 def sweep(
@@ -85,6 +90,32 @@ def sweep(
             progress(spec)
     summaries = run_experiments(topo, specs, executor=executor, store=store)
     return dict(zip(combos, summaries))
+
+
+def sweep_grid(
+    grid: ScenarioGrid,
+    executor=None,
+    store=None,
+    topo: Optional[Topology] = None,
+) -> Dict[Tuple, RunSummary]:
+    """Run a declarative :class:`~repro.scenario.ScenarioGrid`.
+
+    The grid analogue of :func:`sweep` for self-describing scenarios:
+    every cell's topology comes from its ``topology`` spec (``topo`` is
+    the fallback substrate), cells sharing a substrate go through one
+    batched dispatch, and the result dict is keyed by the axis-value
+    tuples — so :func:`collect` works on it unchanged. Unhashable axis
+    values are frozen into the key (dicts as sorted item tuples,
+    topology specs by fingerprint).
+    """
+    summaries = run_scenarios(grid.scenarios(), executor=executor,
+                              store=store, topo=topo)
+    def freeze(v):
+        if isinstance(v, dict):
+            return tuple(sorted((k, freeze(x)) for k, x in v.items()))
+        return v.fingerprint() if hasattr(v, "fingerprint") else v
+    keys = [tuple(freeze(v) for v in combo) for combo in grid.combos()]
+    return dict(zip(keys, summaries))
 
 
 def collect(

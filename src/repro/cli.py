@@ -12,6 +12,17 @@ Commands
     per-task wall-time spread — on stderr; ``--cache-dir`` persists
     result summaries so a repeated invocation is answered from the
     cache.
+``run-scenario FILE.json [--jobs N] [--cache-dir PATH] [--summary PATH]``
+    Run a declarative scenario file — a serialized
+    :class:`repro.scenario.ScenarioGrid` (or a bare scenario object) —
+    through the same executor/store stack as ``run``. New workloads ship
+    as data files instead of Python. ``--summary PATH`` writes a
+    deterministic JSON digest of every cell (axes, scenario fingerprint,
+    delay/failure metrics) for expectation diffing in CI.
+``scenario validate FILE.json`` / ``scenario show FILE.json``
+    Validate a scenario file (helpful errors name the closest valid
+    field) or print its normalized form — defaults materialized, cell
+    count and fingerprints included.
 ``trace [--seed N] [--out PATH]``
     Synthesize the GreenOrbs-like trace, print its statistics, optionally
     save it as ``.npz``.
@@ -59,6 +70,23 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("smoke", "bench", "full"))
     run.add_argument("--no-sparklines", action="store_true")
     add_exec_flags(run)
+
+    runs = sub.add_parser(
+        "run-scenario",
+        help="run a declarative scenario file (JSON grid of scenarios)",
+    )
+    runs.add_argument("file", help="scenario file (see repro.scenario)")
+    runs.add_argument("--summary", default=None, metavar="PATH",
+                      help="write a deterministic JSON digest of every "
+                           "cell (for expectation diffing)")
+    add_exec_flags(runs)
+
+    scen = sub.add_parser("scenario", help="inspect scenario files")
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("validate", help="check a scenario file") \
+        .add_argument("file")
+    scen_sub.add_parser("show", help="print the normalized grid") \
+        .add_argument("file")
 
     trace = sub.add_parser("trace", help="synthesize the GreenOrbs trace")
     trace.add_argument("--seed", type=int, default=2011)
@@ -131,6 +159,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _axes_of(grid, combo) -> dict:
+    """One cell's axis values as JSON-able data, keyed by axis name."""
+    from .scenario import TopologySpec
+
+    return {
+        name: (value.to_dict() if isinstance(value, TopologySpec) else value)
+        for (name, _), value in zip(grid.axes, combo)
+    }
+
+
+def _scenario_digest(grid, summaries) -> dict:
+    """Deterministic per-cell digest for expectation diffing.
+
+    Simulation is bit-identical across backends and machines, so the
+    rounded metrics are stable; NaNs (no finite delays) become nulls so
+    the digest stays valid JSON.
+    """
+    import math
+
+    from .sim.engine import ENGINE_VERSION
+
+    def num(x: float):
+        return None if math.isnan(x) else round(float(x), 6)
+
+    cells = []
+    for (combo, scenario), summary in zip(grid.items(), summaries):
+        cells.append({
+            "axes": _axes_of(grid, combo),
+            "fingerprint": scenario.fingerprint(),
+            "mean_delay": num(summary.mean_delay()),
+            "completion_rate": num(summary.completion_rate()),
+            "mean_failures": num(summary.mean_failures()),
+            "mean_tx_attempts": num(summary.mean_tx_attempts()),
+        })
+    return {"name": grid.name, "engine": ENGINE_VERSION,
+            "n_cells": len(cells), "cells": cells}
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from .exec import execution_context, use_execution
+    from .scenario import ScenarioError, load_scenario_file
+    from .sim.runner import run_scenarios
+
+    try:
+        grid = load_scenario_file(args.file)
+    except (OSError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+            ctx = execution_context()
+            summaries = run_scenarios(grid.scenarios(),
+                                      executor=ctx.executor, store=ctx.store)
+            _report_cache(args)
+            _report_exec(args)
+    except (NotADirectoryError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    digest = _scenario_digest(grid, summaries)
+    name = grid.name or "scenario"
+    print(f"{name}: {digest['n_cells']} cell(s)")
+    for cell in digest["cells"]:
+        axes = ", ".join(f"{k}={v}" for k, v in cell["axes"].items()) or "-"
+        print(f"  [{axes}] delay={cell['mean_delay']} "
+              f"completion={cell['completion_rate']} "
+              f"failures={cell['mean_failures']}")
+    if args.summary:
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(digest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary -> {args.summary}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenario import ScenarioError, load_scenario_file
+
+    try:
+        grid = load_scenario_file(args.file)
+    except (OSError, ScenarioError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 2
+    if args.scenario_command == "show":
+        print(grid.to_json(indent=2))
+    name = grid.name or "scenario"
+    print(f"OK: {name} — {len(grid)} cell(s), "
+          f"{len(grid.axes)} axis/axes, grid fingerprint "
+          f"{grid.fingerprint()[:16]}")
+    for scenario in grid.scenarios():
+        print(f"  {scenario.protocol} duty={scenario.duty_ratio:g} "
+              f"M={scenario.n_packets} -> {scenario.fingerprint()[:16]}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .net.trace import save_trace, synthesize_greenorbs, trace_statistics
 
@@ -196,6 +320,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "run-scenario":
+        return _cmd_run_scenario(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "recommend":

@@ -3,11 +3,18 @@
 A :class:`ResultStore` memoizes :class:`~repro.sim.runner.RunSummary`
 objects under a key derived from *content*, never from call order:
 
-    ``key = sha256(spec fingerprint + topology fingerprint + engine version)``
+    ``key = sha256(scenario fingerprint + topology fingerprint + engine version)``
 
-* the **spec fingerprint** canonicalizes every ``ExperimentSpec`` field
-  (recursing through dataclasses, dicts and NumPy arrays) so that two
-  equal specs hash identically regardless of construction;
+* the **scenario fingerprint** hashes the canonical *serialized* form of
+  the spec (:meth:`repro.scenario.Scenario.fingerprint`; legacy
+  ``ExperimentSpec`` objects are normalized through
+  :func:`repro.scenario.as_scenario` first), so keys depend only on the
+  scenario data — a spec built by an experiment module and the same
+  scenario loaded from a JSON file share cache entries, and refactors of
+  the Python that *built* the spec cannot invalidate them. Dataclasses
+  outside the scenario layer fall back to a structural
+  :func:`spec_fingerprint` (recursing through dataclasses, dicts and
+  NumPy arrays);
 * the **topology fingerprint** hashes the PRR matrix bytes, positions,
   RSSI and neighbor threshold (:meth:`repro.net.topology.Topology.fingerprint`);
 * the **engine version** (:data:`repro.sim.engine.ENGINE_VERSION`) is
@@ -103,12 +110,35 @@ def spec_fingerprint(spec: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _spec_digest(spec: Any) -> str:
+    """Digest of the *workload* half of a result key.
+
+    Specs that serialize through the scenario layer — a
+    :class:`~repro.scenario.Scenario`, or anything
+    :func:`~repro.scenario.as_scenario` can normalize (notably
+    :class:`~repro.sim.runner.ExperimentSpec`) — hash their canonical
+    *serialized* form, so cache hits survive refactors of the Python
+    that built the spec, and a scenario loaded from a JSON file shares
+    entries with the identical spec built in code. Anything else falls
+    back to the structural :func:`spec_fingerprint`.
+    """
+    fingerprint = getattr(spec, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
+    from ..scenario import ScenarioError, as_scenario
+
+    try:
+        return as_scenario(spec).fingerprint()
+    except (TypeError, ScenarioError):
+        return spec_fingerprint(spec)
+
+
 def result_key(topo: Any, spec: Any, engine_version: Optional[str] = None) -> str:
     """The content address of ``(spec, topology, engine)``."""
     if engine_version is None:
         engine_version = _engine_version()
     h = hashlib.sha256()
-    h.update(spec_fingerprint(spec).encode())
+    h.update(_spec_digest(spec).encode())
     h.update(topo.fingerprint().encode())
     h.update(str(engine_version).encode())
     return h.hexdigest()

@@ -22,16 +22,16 @@ across CLI invocations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exec import execution_context
 from ..net.topology import Topology
-from ..net.trace import GreenOrbsConfig, synthesize_greenorbs
-from ..sim.runner import ExperimentSpec, RunSummary, run_experiments
+from ..scenario import ScenarioGrid, TopologySpec, build_topology
+from ..sim.runner import (ExperimentSpec, RunSummary, run_experiments,
+                          run_scenarios)
 
-__all__ = ["TraceScale", "SCALES", "get_trace", "resolve_scale",
-           "run_spec", "run_specs"]
+__all__ = ["TraceScale", "SCALES", "get_trace", "trace_spec",
+           "resolve_scale", "run_spec", "run_specs", "run_grid"]
 
 #: Root seed of every experiment (the paper's publication year).
 DEFAULT_SEED = 2011
@@ -104,23 +104,35 @@ def run_specs(topo: Topology, specs: Sequence[ExperimentSpec]) -> List[RunSummar
     return run_experiments(topo, specs, executor=ctx.executor, store=ctx.store)
 
 
-@lru_cache(maxsize=8)
-def get_trace(scale: str = "full", seed: int = DEFAULT_SEED) -> Topology:
-    """The (cached) trace topology for a scale.
+def run_grid(grid: ScenarioGrid,
+             topo: Optional[Topology] = None) -> List[RunSummary]:
+    """Run a declarative scenario grid through the execution context.
 
-    ``full``/``bench`` use the 298-node synthetic GreenOrbs trace; smoke
-    shrinks the sensor count (and the plot area with it, preserving
-    density) so the whole test suite stays fast.
+    Summaries come back in the grid's expansion order (pair them with
+    ``grid.combos()``); scenarios name their own topologies, with
+    ``topo`` as the fallback substrate for any that don't.
+    """
+    ctx = execution_context()
+    return run_scenarios(grid.scenarios(), executor=ctx.executor,
+                         store=ctx.store, topo=topo)
+
+
+def trace_spec(scale: str = "full", seed: int = DEFAULT_SEED) -> TopologySpec:
+    """Declarative description of the trace topology for a scale.
+
+    ``full``/``bench`` describe the 298-node synthetic GreenOrbs trace;
+    smoke shrinks the sensor count (the builder shrinks the plot area
+    with it, preserving density) so the whole test suite stays fast.
     """
     ts = resolve_scale(scale)
-    if ts.n_sensors == 298:
-        return synthesize_greenorbs(seed=seed)
-    # Shrink the plot so node density (hence degree) stays paper-like.
-    area = 700.0 * (ts.n_sensors / 298.0) ** 0.5
-    config = GreenOrbsConfig(
-        n_sensors=ts.n_sensors,
-        area_m=area,
-        n_clusters=max(3, int(10 * ts.n_sensors / 298)),
-        cluster_sigma_m=60.0,
-    )
-    return synthesize_greenorbs(seed=seed, config=config)
+    params = {} if ts.n_sensors == 298 else {"n_sensors": ts.n_sensors}
+    return TopologySpec(kind="greenorbs", seed=seed, params=params)
+
+
+def get_trace(scale: str = "full", seed: int = DEFAULT_SEED) -> Topology:
+    """The trace topology for a scale, from the scenario layer's
+    bounded build cache (:func:`repro.scenario.build_topology`: FIFO,
+    maxsize 8 — every scale x seed pair a session realistically touches
+    — replacing the old module-local ``lru_cache``). Repeated calls
+    return the same object."""
+    return build_topology(trace_spec(scale, seed))

@@ -12,13 +12,14 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import numpy as np
 
 from ..analysis.series import ExperimentResult, Series
-from ..net.radio import RadioModel
+from ..scenario import Scenario, ScenarioGrid
 from ..sim.engine import SimConfig
-from ..sim.runner import ExperimentSpec
-from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_grid, trace_spec
 
 __all__ = [
     "run_collisions",
@@ -31,68 +32,75 @@ __all__ = [
 DUTY_RATIO = 0.05
 
 
-def run_collisions(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+def _dbao_grid(scale: str, seed: int, name: str,
+               axes: Dict[str, Tuple[Any, ...]]) -> ScenarioGrid:
+    """A DBAO-at-5%-duty grid over one declarative axis."""
     ts = resolve_scale(scale)
-    topo = get_trace(scale, seed)
-    rows = {}
-    for label, radio in (
-        ("collisions on", RadioModel()),
-        ("collisions off", RadioModel(collisions=False)),
-    ):
-        spec = ExperimentSpec(
-            protocol="dbao",
-            duty_ratio=DUTY_RATIO,
-            n_packets=ts.n_packets,
-            seed=seed,
-            sim_config=SimConfig(radio=radio),
-        )
-        summary = run_spec(topo, spec)
-        rows[label] = (summary.mean_delay(), summary.mean_failures())
+    return ScenarioGrid(
+        base=Scenario(protocol="dbao", duty_ratio=DUTY_RATIO,
+                      n_packets=ts.n_packets, seed=seed,
+                      topology=trace_spec(scale, seed)),
+        axes=axes,
+        name=name,
+    )
 
+
+def collisions_grid(scale: str = "full", seed: int = DEFAULT_SEED) -> ScenarioGrid:
+    return _dbao_grid(scale, seed, "abl-collisions", {
+        "sim": ({}, {"radio": {"collisions": False}}),
+    })
+
+
+def run_collisions(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
+    labels = ["collisions on", "collisions off"]
+    summaries = run_grid(collisions_grid(scale, seed))
+    rows = {label: (s.mean_delay(), s.mean_failures())
+            for label, s in zip(labels, summaries)}
     x = np.asarray([0, 1])
     return ExperimentResult(
         experiment_id="abl-collisions",
         title="Ablation: DBAO with/without the collision model",
         series=[
             Series(label="avg delay", x=x,
-                   y=np.asarray([rows["collisions on"][0], rows["collisions off"][0]])),
+                   y=np.asarray([rows[l][0] for l in labels])),
             Series(label="failures", x=x,
-                   y=np.asarray([rows["collisions on"][1], rows["collisions off"][1]])),
+                   y=np.asarray([rows[l][1] for l in labels])),
         ],
-        metadata={"x_labels": ["collisions on", "collisions off"], "rows": rows},
+        metadata={"x_labels": labels, "rows": rows},
     )
 
 
+def overhearing_grid(scale: str = "full", seed: int = DEFAULT_SEED) -> ScenarioGrid:
+    return _dbao_grid(scale, seed, "abl-overhearing", {
+        "protocol_kwargs": ({"overhearing": True}, {"overhearing": False}),
+    })
+
+
 def run_overhearing(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
-    ts = resolve_scale(scale)
-    topo = get_trace(scale, seed)
-    rows = {}
-    for label, overhear in (("overhearing on", True), ("overhearing off", False)):
-        spec = ExperimentSpec(
-            protocol="dbao",
-            duty_ratio=DUTY_RATIO,
-            n_packets=ts.n_packets,
-            seed=seed,
-            protocol_kwargs={"overhearing": overhear},
-        )
-        summary = run_spec(topo, spec)
-        rows[label] = (
-            summary.mean_delay(),
-            summary.mean_failures(),
-            summary.mean_tx_attempts(),
-        )
+    labels = ["overhearing on", "overhearing off"]
+    summaries = run_grid(overhearing_grid(scale, seed))
+    rows = {label: (s.mean_delay(), s.mean_failures(), s.mean_tx_attempts())
+            for label, s in zip(labels, summaries)}
     x = np.asarray([0, 1])
     return ExperimentResult(
         experiment_id="abl-overhearing",
         title="Ablation: DBAO with/without overhearing suppression",
         series=[
             Series(label="avg delay", x=x,
-                   y=np.asarray([rows["overhearing on"][0], rows["overhearing off"][0]])),
+                   y=np.asarray([rows[l][0] for l in labels])),
             Series(label="tx attempts", x=x,
-                   y=np.asarray([rows["overhearing on"][2], rows["overhearing off"][2]])),
+                   y=np.asarray([rows[l][2] for l in labels])),
         ],
-        metadata={"x_labels": ["overhearing on", "overhearing off"], "rows": rows},
+        metadata={"x_labels": labels, "rows": rows},
     )
+
+
+def data_overhearing_grid(
+    scale: str = "full", seed: int = DEFAULT_SEED
+) -> ScenarioGrid:
+    return _dbao_grid(scale, seed, "abl-data-overhearing", {
+        "sim": ({}, {"radio": {"overhearing": True}}),
+    })
 
 
 def run_data_overhearing(
@@ -105,24 +113,11 @@ def run_data_overhearing(
     quantifies how much delay the broadcast nature of the medium buys once
     a protocol is co-designed for it.
     """
-    ts = resolve_scale(scale)
-    topo = get_trace(scale, seed)
-    rows = {}
-    for label, radio in (
-        ("unicast (paper model)", RadioModel()),
-        ("data overhearing on", RadioModel(overhearing=True)),
-    ):
-        spec = ExperimentSpec(
-            protocol="dbao",
-            duty_ratio=DUTY_RATIO,
-            n_packets=ts.n_packets,
-            seed=seed,
-            sim_config=SimConfig(radio=radio),
-        )
-        summary = run_spec(topo, spec)
-        rows[label] = (summary.mean_delay(), summary.mean_tx_attempts())
+    labels = ["unicast (paper model)", "data overhearing on"]
+    summaries = run_grid(data_overhearing_grid(scale, seed))
+    rows = {label: (s.mean_delay(), s.mean_tx_attempts())
+            for label, s in zip(labels, summaries)}
     x = np.asarray([0, 1])
-    labels = list(rows)
     return ExperimentResult(
         experiment_id="abl-data-overhearing",
         title="Ablation: unicast channel vs data overhearing (DBAO)",
@@ -216,29 +211,33 @@ def run_bursty_links(
     )
 
 
+def opp_threshold_grid(
+    scale: str = "full", seed: int = DEFAULT_SEED
+) -> ScenarioGrid:
+    ts = resolve_scale(scale)
+    quantiles = (0.2, 0.5, 0.8, 0.95) if scale != "smoke" else (0.2, 0.8)
+    return ScenarioGrid(
+        base=Scenario(protocol="of", duty_ratio=DUTY_RATIO,
+                      n_packets=ts.n_packets, seed=seed,
+                      topology=trace_spec(scale, seed)),
+        axes={"protocol_kwargs": tuple({"opp_quantile": q} for q in quantiles)},
+        name="abl-opp-threshold",
+    )
+
+
 def run_opp_threshold(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
     ts = resolve_scale(scale)
-    topo = get_trace(scale, seed)
-    quantiles = (0.2, 0.5, 0.8, 0.95) if scale != "smoke" else (0.2, 0.8)
-    delays, attempts = [], []
-    for q in quantiles:
-        spec = ExperimentSpec(
-            protocol="of",
-            duty_ratio=DUTY_RATIO,
-            n_packets=ts.n_packets,
-            seed=seed,
-            protocol_kwargs={"opp_quantile": q},
-        )
-        summary = run_spec(topo, spec)
-        delays.append(summary.mean_delay())
-        attempts.append(summary.mean_tx_attempts())
-    x = np.asarray(quantiles)
+    g = opp_threshold_grid(scale, seed)
+    summaries = run_grid(g)
+    x = np.asarray([kw["opp_quantile"] for (kw,) in g.combos()])
     return ExperimentResult(
         experiment_id="abl-opp-threshold",
         title="Ablation: OF opportunistic-forwarding quantile",
         series=[
-            Series(label="avg delay", x=x, y=np.asarray(delays)),
-            Series(label="tx attempts", x=x, y=np.asarray(attempts)),
+            Series(label="avg delay", x=x,
+                   y=np.asarray([s.mean_delay() for s in summaries])),
+            Series(label="tx attempts", x=x,
+                   y=np.asarray([s.mean_tx_attempts() for s in summaries])),
         ],
         metadata={"duty_ratio": DUTY_RATIO, "n_packets": ts.n_packets},
     )

@@ -25,28 +25,24 @@ def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
     grid = trace_duty_sweep(scale, seed)
     duties = np.asarray(ts.duty_ratios)
 
-    series = []
-    for proto in PROTOCOLS:
-        delays = np.asarray([grid[proto][d].mean_delay() for d in ts.duty_ratios])
-        series.append(Series(label=f"{proto}: avg delay", x=duties, y=delays))
+    series = [
+        Series(label=f"{proto}: avg delay", x=duties,
+               y=np.asarray([grid[proto][d].mean_delay() for d in ts.duty_ratios]))
+        for proto in PROTOCOLS
+    ]
     bound = np.asarray(
         [analytic_lower_bound(topo, d) for d in ts.duty_ratios], dtype=np.float64
     )
     series.append(Series(label="predicted lower bound", x=duties, y=bound))
 
+    completion = {
+        proto: {float(d): grid[proto][d].completion_rate() for d in ts.duty_ratios}
+        for proto in PROTOCOLS
+    }
     return ExperimentResult(
         experiment_id="fig10",
         title="Average flooding delay vs duty cycle",
         series=series,
-        metadata={
-            "n_packets": ts.n_packets,
-            "n_sensors": topo.n_sensors,
-            "completion": {
-                proto: {
-                    float(d): grid[proto][d].completion_rate()
-                    for d in ts.duty_ratios
-                }
-                for proto in PROTOCOLS
-            },
-        },
+        metadata={"n_packets": ts.n_packets, "n_sensors": topo.n_sensors,
+                  "completion": completion},
     )

@@ -38,8 +38,5 @@ def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
         experiment_id="fig11",
         title="Transmission failures vs duty cycle",
         series=series,
-        metadata={
-            "n_packets": ts.n_packets,
-            "relative_spread": spreads,
-        },
+        metadata={"n_packets": ts.n_packets, "relative_spread": spreads},
     )

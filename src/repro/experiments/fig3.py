@@ -30,22 +30,17 @@ def run(scale: str = "full", n_sensors: int = 4, n_packets: int = 2) -> Experime
     assert result.possession_history is not None
     for c, snapshot in enumerate(result.possession_history):
         # One column per packet, matching the paper's layout.
-        cols = {"node": np.arange(1 + n_sensors)}
-        for p in range(n_packets):
-            cols[f"packet{p}"] = snapshot[p].astype(np.int64)
+        cols = {"node": np.arange(1 + n_sensors),
+                **{f"packet{p}": snapshot[p].astype(np.int64)
+                   for p in range(n_packets)}}
         tables.append(Table(title=f"X at compact slot c={c}", columns=cols))
 
-    waitings = result.per_packet_waitings()
-    tables.append(
-        Table(
-            title="Per-packet compact waitings (Lemma 3: each equals m)",
-            columns={
-                "packet": np.arange(n_packets),
-                "waitings": waitings,
-                "limit_m": np.full(n_packets, result.m),
-            },
-        )
-    )
+    tables.append(Table(
+        title="Per-packet compact waitings (Lemma 3: each equals m)",
+        columns={"packet": np.arange(n_packets),
+                 "waitings": result.per_packet_waitings(),
+                 "limit_m": np.full(n_packets, result.m)},
+    ))
 
     return ExperimentResult(
         experiment_id="fig3",

@@ -33,24 +33,16 @@ def run(scale: str = "full", max_packets: int = 20) -> ExperimentResult:
         raise ValueError("need at least two packet counts for a curve")
     ms = np.arange(1, max_packets + 1)
 
-    series = []
-    for n in PANEL_A_SIZES:
-        series.append(
-            Series(
-                label=f"panelA: N={n}, T={PANEL_A_PERIOD}",
-                x=ms,
-                y=fdl_theorem1_series(n, ms, PANEL_A_PERIOD),
-            )
-        )
-    for duty in PANEL_B_DUTIES:
-        period = max(int(round(1.0 / duty)), 1)
-        series.append(
-            Series(
-                label=f"panelB: N={PANEL_B_SENSORS}, duty={duty:.0%}",
-                x=ms,
-                y=fdl_theorem1_series(PANEL_B_SENSORS, ms, period),
-            )
-        )
+    series = [
+        Series(label=f"panelA: N={n}, T={PANEL_A_PERIOD}", x=ms,
+               y=fdl_theorem1_series(n, ms, PANEL_A_PERIOD))
+        for n in PANEL_A_SIZES
+    ] + [
+        Series(label=f"panelB: N={PANEL_B_SENSORS}, duty={duty:.0%}", x=ms,
+               y=fdl_theorem1_series(PANEL_B_SENSORS, ms,
+                                     max(int(round(1.0 / duty)), 1)))
+        for duty in PANEL_B_DUTIES
+    ]
 
     return ExperimentResult(
         experiment_id="fig5",

@@ -24,11 +24,10 @@ def run(scale: str = "full", max_packets: int = 20) -> ExperimentResult:
     if max_packets < 2:
         raise ValueError("need at least two packet counts for a curve")
     ms = np.arange(2, max_packets + 1)
-    series = []
-    for n in SIZES:
-        lower, upper = fdl_theorem2_series(n, ms, PERIOD)
-        series.append(Series(label=f"N={n}, lower bound", x=ms, y=lower))
-        series.append(Series(label=f"N={n}, upper bound", x=ms, y=upper))
+    series = [Series(label=f"N={n}, {which} bound", x=ms, y=y)
+              for n in SIZES
+              for which, y in zip(("lower", "upper"),
+                                  fdl_theorem2_series(n, ms, PERIOD))]
     return ExperimentResult(
         experiment_id="fig6",
         title="Theorem 2: FDL bounds for arbitrary N",

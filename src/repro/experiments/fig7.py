@@ -34,11 +34,8 @@ def run(scale: str = "full", n_sensors: int = N_SENSORS) -> ExperimentResult:
     duties = np.asarray(DUTY_CYCLES)
     grid = delay_vs_duty_cycle(n_sensors, duties, K_CLASSES)
     series = [
-        Series(
-            label=f"k={k:g} (link quality {LINK_QUALITY[k]:.0%})",
-            x=duties,
-            y=grid[i],
-        )
+        Series(label=f"k={k:g} (link quality {LINK_QUALITY[k]:.0%})",
+               x=duties, y=grid[i])
         for i, k in enumerate(K_CLASSES)
     ]
     growth = {

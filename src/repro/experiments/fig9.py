@@ -13,39 +13,35 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.series import ExperimentResult, Series
-from ..sim.runner import ExperimentSpec
-from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
+from ..scenario import Scenario, ScenarioGrid
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_grid, trace_spec
 from ._trace_sweep import PROTOCOLS
 
-__all__ = ["run"]
+__all__ = ["run", "grid"]
 
 DUTY_RATIO = 0.05
 
 
+def grid(scale: str = "full", seed: int = DEFAULT_SEED) -> ScenarioGrid:
+    """One scenario per protocol at 5% duty, transmission delay on."""
+    ts = resolve_scale(scale)
+    base = Scenario(protocol=PROTOCOLS[0], duty_ratio=DUTY_RATIO,
+                    n_packets=ts.n_packets, seed=seed,
+                    n_replications=ts.n_replications,
+                    measure_transmission_delay=True,
+                    topology=trace_spec(scale, seed))
+    return ScenarioGrid(base=base, axes={"protocol": PROTOCOLS}, name="fig9")
+
+
 def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
     ts = resolve_scale(scale)
-    topo = get_trace(scale, seed)
+    g = grid(scale, seed)
     packet_idx = np.arange(ts.n_packets)
 
-    series = []
-    makespans = {}
-    for proto in PROTOCOLS:
-        spec = ExperimentSpec(
-            protocol=proto,
-            duty_ratio=DUTY_RATIO,
-            n_packets=ts.n_packets,
-            seed=seed,
-            n_replications=ts.n_replications,
-            measure_transmission_delay=True,
-        )
-        summary = run_spec(topo, spec)
-        series.append(
-            Series(
-                label=f"{proto}: total delay",
-                x=packet_idx,
-                y=summary.per_packet_delay(),
-            )
-        )
+    series, makespans = [], {}
+    for ((proto,), summary) in zip(g.combos(), run_grid(g)):
+        series.append(Series(label=f"{proto}: total delay", x=packet_idx,
+                             y=summary.per_packet_delay()))
         td = summary.per_packet_transmission_delay()
         assert td is not None
         series.append(
@@ -59,10 +55,7 @@ def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
         experiment_id="fig9",
         title="Per-packet delay vs packet index (blocking effect)",
         series=series,
-        metadata={
-            "duty_ratio": DUTY_RATIO,
-            "n_packets": ts.n_packets,
-            "n_sensors": topo.n_sensors,
-            "makespans": makespans,
-        },
+        metadata={"duty_ratio": DUTY_RATIO, "n_packets": ts.n_packets,
+                  "n_sensors": get_trace(scale, seed).n_sensors,
+                  "makespans": makespans},
     )

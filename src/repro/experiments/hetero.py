@@ -2,13 +2,12 @@
 
 Sec. IV-B derives the delay prediction for a *homogeneous* network where
 every link has the same k-class, then extends to the heterogeneous case
-"by the simulation". This experiment is that extension:
-
-* the GreenOrbs trace (heterogeneous PRR spread) is flooded as-is;
-* a *homogenized* twin — same adjacency, every link set to the trace's
-  mean PRR — is flooded with the same seeds;
-* both are compared against the recurrence prediction evaluated at the
-  network-mean k-class and at the optimistic best-link k-class.
+"by the simulation". This experiment is that extension, expressed as a
+scenario grid with a **topology axis**: the GreenOrbs trace
+(heterogeneous PRR spread) and its *homogenized* twin (same adjacency,
+every link at the trace's mean PRR — the ``"homogenize"`` topology
+transform) are flooded with the same seeds, and both are compared
+against the recurrence prediction evaluated at the network-mean k-class.
 
 Expected shape — and it is *not* the naive Jensen argument: although the
 heterogeneous ensemble has the worse average retransmission count
@@ -23,55 +22,55 @@ stay above the analytic lower bound. The Jensen penalty applies to
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from ..analysis.series import ExperimentResult, Series, Table
 from ..analysis.validate import analytic_lower_bound
 from ..core.linkloss import effective_k, recurrence_hitting_time
-from ..net.topology import Topology
-from ..sim.runner import ExperimentSpec
-from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_spec
+from ..net.topology import homogenized as homogenize  # noqa: F401  (public re-export)
+from ..scenario import Scenario, ScenarioGrid
+from ._common import DEFAULT_SEED, get_trace, resolve_scale, run_grid, trace_spec
 
-__all__ = ["run", "homogenize"]
+__all__ = ["run", "grid", "homogenize"]
 
 DUTY_RATIOS = (0.05, 0.10, 0.20)
 
 
-def homogenize(topo: Topology) -> Topology:
-    """Same adjacency, every link at the network-mean PRR."""
-    mean_prr = topo.mean_prr()
-    prr = np.where(topo.adjacency, mean_prr, 0.0)
-    return Topology(
-        prr,
-        positions=topo.positions,
-        neighbor_threshold=min(topo.neighbor_threshold, mean_prr),
-        rssi=topo.rssi,
+def grid(scale: str = "full", seed: int = DEFAULT_SEED) -> ScenarioGrid:
+    """DBAO over duty ratios x {heterogeneous trace, homogenized twin}."""
+    ts = resolve_scale(scale)
+    duties = DUTY_RATIOS if scale != "smoke" else (0.05, 0.2)
+    hetero_spec = trace_spec(scale, seed)
+    homog_spec = dataclasses.replace(hetero_spec, transform="homogenize")
+    return ScenarioGrid(
+        base=Scenario(
+            protocol="dbao",
+            duty_ratio=duties[0],
+            n_packets=ts.n_packets,
+            seed=seed,
+            n_replications=ts.n_replications,
+            topology=hetero_spec,
+        ),
+        axes={"duty_ratio": duties, "topology": (hetero_spec, homog_spec)},
+        name="hetero",
     )
 
 
 def run(scale: str = "full", seed: int = DEFAULT_SEED) -> ExperimentResult:
     ts = resolve_scale(scale)
     hetero_topo = get_trace(scale, seed)
-    homog_topo = homogenize(hetero_topo)
-    duties = DUTY_RATIOS if scale != "smoke" else (0.05, 0.2)
+    g = grid(scale, seed)
+    duties = tuple(dict(g.axes)["duty_ratio"])
 
     series_data = {"heterogeneous": [], "homogenized": [], "prediction": []}
+    for ((duty, topo_spec), summary) in zip(g.combos(), run_grid(g)):
+        label = ("homogenized" if topo_spec.transform == "homogenize"
+                 else "heterogeneous")
+        series_data[label].append(summary.mean_delay())
     for duty in duties:
-        for label, topo in (
-            ("heterogeneous", hetero_topo),
-            ("homogenized", homog_topo),
-        ):
-            summary = run_spec(topo, ExperimentSpec(
-                protocol="dbao",
-                duty_ratio=duty,
-                n_packets=ts.n_packets,
-                seed=seed,
-                n_replications=ts.n_replications,
-            ))
-            series_data[label].append(summary.mean_delay())
-        series_data["prediction"].append(
-            analytic_lower_bound(hetero_topo, duty)
-        )
+        series_data["prediction"].append(analytic_lower_bound(hetero_topo, duty))
 
     x = np.asarray(duties)
     mean_k = effective_k(hetero_topo.prr[hetero_topo.adjacency])

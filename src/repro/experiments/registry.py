@@ -2,6 +2,15 @@
 
 ``run_experiment_by_id("fig10", scale="bench")`` is how benchmarks,
 tests, and the EXPERIMENTS.md generator all invoke experiments.
+
+Simulation-grid experiments additionally register their declarative
+:class:`~repro.scenario.ScenarioGrid` builders in
+:data:`SCENARIO_GRIDS` — ``scenario_grid("fig9", scale="smoke")`` is
+the same grid the experiment runs, as serializable data (the
+``examples/*.json`` scenario files are these grids, saved). Analytic
+artifacts (fig3-7, table1, lemma2, gain) and experiments whose sampling
+is not scenario-shaped (skew, slot-split, abl-bursty) have no grid
+entry.
 """
 
 from __future__ import annotations
@@ -10,10 +19,13 @@ from typing import Callable, Dict, List, Optional
 
 from ..analysis.series import ExperimentResult
 from ..exec import use_execution
+from ..scenario import ScenarioGrid
 from . import ablations, fig3, fig5, fig6, fig7, fig9, fig10, fig11
 from . import hetero, lemma2, skew, slot_split, table1, tradeoff_gain
+from ._trace_sweep import trace_sweep_grid
 
-__all__ = ["EXPERIMENTS", "run_experiment_by_id", "experiment_ids"]
+__all__ = ["EXPERIMENTS", "SCENARIO_GRIDS", "run_experiment_by_id",
+           "experiment_ids", "scenario_grid", "scenario_grid_ids"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig3": fig3.run,
@@ -35,6 +47,36 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "hetero": hetero.run,
     "slot-split": slot_split.run,
 }
+
+#: Declarative grid builders, ``(scale, seed) -> ScenarioGrid``. fig10
+#: and fig11 share one grid (they render different metrics of the same
+#: simulations — and therefore the same store entries).
+SCENARIO_GRIDS: Dict[str, Callable[..., ScenarioGrid]] = {
+    "fig9": fig9.grid,
+    "fig10": trace_sweep_grid,
+    "fig11": trace_sweep_grid,
+    "hetero": hetero.grid,
+    "abl-collisions": ablations.collisions_grid,
+    "abl-overhearing": ablations.overhearing_grid,
+    "abl-opp-threshold": ablations.opp_threshold_grid,
+    "abl-data-overhearing": ablations.data_overhearing_grid,
+}
+
+
+def scenario_grid(experiment_id: str, scale: str = "full", **kwargs) -> ScenarioGrid:
+    """The declarative scenario grid behind a registered experiment."""
+    try:
+        builder = SCENARIO_GRIDS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"no scenario grid for {experiment_id!r}; "
+            f"available: {sorted(SCENARIO_GRIDS)}"
+        ) from None
+    return builder(scale=scale, **kwargs)
+
+
+def scenario_grid_ids() -> List[str]:
+    return sorted(SCENARIO_GRIDS)
 
 
 def run_experiment_by_id(

@@ -21,10 +21,69 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .schedule import ScheduleTable
+from .schedule import ScheduleTable, validate_slot_index
 from .topology import Topology
 
-__all__ = ["LocalSyncService"]
+__all__ = ["LocalSyncService", "JitteredSchedules"]
+
+
+class JitteredSchedules:
+    """True radio-on times: advertised slots with per-period jitter.
+
+    Each period, independently per node, the actual wake slot shifts by
+    ±1 slot with probability ``jitter_prob`` (split evenly), else matches
+    the advertisement. Jitter draws are deterministic in
+    ``(seed, node, period index)``, so the table is stateless and can be
+    queried in any order — the engine only needs :meth:`awake_at`.
+
+    This is the residual-error model of an imperfect synchronization
+    protocol; ``jitter_prob = 0`` is the paper's perfectly
+    locally-synchronized assumption.
+    """
+
+    def __init__(
+        self, advertised: ScheduleTable, jitter_prob: float, seed: int
+    ):
+        if not (0.0 <= jitter_prob <= 1.0):
+            raise ValueError(
+                f"jitter probability must be in [0, 1], got {jitter_prob}"
+            )
+        self._advertised = advertised
+        self._prob = float(jitter_prob)
+        self._seed = int(seed)
+        self._cache_key = -1
+        self._cache_offsets: np.ndarray = advertised.offsets
+
+    def __len__(self) -> int:
+        return len(self._advertised)
+
+    @property
+    def period(self) -> int:
+        return self._advertised.period
+
+    def _offsets_for_period(self, k: int) -> np.ndarray:
+        if k == self._cache_key:
+            return self._cache_offsets
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self._seed, spawn_key=(k,))
+        )
+        n = len(self._advertised)
+        u = rng.random(n)
+        shift = np.zeros(n, dtype=np.int64)
+        shift[u < self._prob / 2] = -1
+        shift[(u >= self._prob / 2) & (u < self._prob)] = 1
+        offsets = (self._advertised.offsets + shift) % self.period
+        self._cache_key, self._cache_offsets = k, offsets
+        return offsets
+
+    def awake_at(self, t: int) -> np.ndarray:
+        t = validate_slot_index(t)
+        offsets = self._offsets_for_period(t // self.period)
+        return np.flatnonzero(offsets == (t % self.period))
+
+    def is_active(self, node: int, t: int) -> bool:
+        offsets = self._offsets_for_period(t // self.period)
+        return int(offsets[node]) == (t % self.period)
 
 
 class LocalSyncService:

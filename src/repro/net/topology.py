@@ -27,7 +27,7 @@ try:  # networkx is a hard dependency but keep the import failure readable
 except ImportError as exc:  # pragma: no cover
     raise ImportError("repro.net.topology requires networkx") from exc
 
-__all__ = ["Topology", "SOURCE"]
+__all__ = ["Topology", "SOURCE", "homogenized"]
 
 #: Conventional node id of the flooding source.
 SOURCE = 0
@@ -348,3 +348,21 @@ class Topology:
             f"Topology(n_sensors={self.n_sensors}, mean_degree={mean_deg:.1f}, "
             f"mean_prr={self.mean_prr():.2f})"
         )
+
+
+def homogenized(topo: Topology) -> Topology:
+    """Mean-matched twin: same adjacency, every link at the network-mean PRR.
+
+    The Sec. IV-B heterogeneity experiment floods this twin with the same
+    seeds as the original trace — homogenizing removes the good-link
+    subgraph that link-aware protocols actually ride on, isolating what
+    the PRR *spread* (as opposed to the mean) is worth.
+    """
+    mean_prr = topo.mean_prr()
+    prr = np.where(topo.adjacency, mean_prr, 0.0)
+    return Topology(
+        prr,
+        positions=topo.positions,
+        neighbor_threshold=min(topo.neighbor_threshold, mean_prr),
+        rssi=topo.rssi,
+    )

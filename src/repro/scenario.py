@@ -1,0 +1,675 @@
+"""Declarative scenario layer: one serializable spec from CLI to store.
+
+The paper's study is a grid of scenarios — protocol x duty ratio x
+packet count x link model, all over the same 298-node trace — and every
+extension workload (schedule jitter, bursty links, multi-slot wake
+budgets, homogenized twins) is a point in the same space. This module
+makes that space a *data type*:
+
+* :class:`Scenario` — a frozen, JSON-round-trippable description of one
+  simulation configuration: topology source, schedule shape, protocol
+  and its constructor kwargs, link-dynamics model, workload size,
+  engine-config overrides, replication count and the root seed.
+* :class:`TopologySpec` — a declarative topology source (generator kind,
+  seed, parameters, optional transform) with a bounded build cache.
+* :class:`ScenarioGrid` — a base scenario plus named sweep axes,
+  expanding to the cartesian list of scenarios; the unit the experiment
+  registry, the CLI (``repro run-scenario``) and the analysis helpers
+  all exchange.
+
+Content addressing
+------------------
+``Scenario.fingerprint()`` hashes the *serialized* scenario (canonical
+sorted-key JSON of :meth:`Scenario.to_dict`), never Python object
+structure — so result-store keys survive refactors of the code that
+built the spec, and a scenario loaded from a JSON file hits the same
+cache entries as the identical scenario built by an experiment module.
+The ``topology`` field is deliberately **excluded** from the
+fingerprint: the result-store key already includes the fingerprint of
+the *realized* :class:`~repro.net.topology.Topology`, so two scenario
+files describing the same substrate differently (explicit parameters vs
+a generator default) still share cache entries.
+
+Seed derivation
+---------------
+A scenario's replication ``rep`` derives every random stream from
+``(seed, rep)`` through name-keyed :class:`~repro.sim.rng.RngStreams`:
+``schedule/{rep}`` draws the wake schedule, ``channel/{rep}`` the loss
+randomness, ``dynamics/{rep}`` the link-dynamics transitions and
+``jitter/{rep}`` the clock-skew draws. Streams are order-independent,
+so replications are pure functions of the scenario — serial, parallel
+and cached execution are bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .net.schedule import duty_ratio_to_period
+from .net.topology import Topology, homogenized
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioGrid",
+    "TopologySpec",
+    "ScenarioError",
+    "as_scenario",
+    "build_topology",
+    "default_sim_config",
+    "load_scenario_file",
+    "topology_cache_info",
+]
+
+#: Scenario-file schema; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Link-dynamics models a scenario can name.
+LINK_MODELS = ("static", "gilbert_elliott")
+
+#: Keyword arguments :class:`~repro.net.dynamics.GilbertElliott` accepts
+#: declaratively (the rng is derived from the scenario seed).
+_LINK_KWARGS = ("p_good_to_bad", "p_bad_to_good", "bad_factor",
+                "start_stationary")
+
+
+class ScenarioError(ValueError):
+    """A scenario (or scenario file) failed validation."""
+
+
+def _json_default(obj: Any) -> Any:
+    """Let numpy scalars (sweep axes often carry them) serialize as
+    their Python equivalents; anything else is a spec bug."""
+    import numpy as np
+
+    if isinstance(obj, (np.bool_, np.integer, np.floating)):
+        return obj.item()
+    raise TypeError(
+        f"cannot serialize {type(obj).__name__!r} in a scenario; "
+        f"scenario fields must be JSON-representable data"
+    )
+
+
+def _canonical_json(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+
+
+def _reject_unknown(given, allowed, what: str) -> None:
+    """Raise a helpful error naming the closest valid key."""
+    for key in given:
+        if key in allowed:
+            continue
+        hint = difflib.get_close_matches(str(key), [str(a) for a in allowed],
+                                         n=1, cutoff=0.6)
+        suggestion = f"; did you mean {hint[0]!r}?" if hint else ""
+        raise ScenarioError(
+            f"unknown {what} {key!r}{suggestion} (valid: {sorted(allowed)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Topology sources
+# ---------------------------------------------------------------------------
+
+#: Per-kind allowed ``params`` keys (seed and rng are handled uniformly).
+_TOPOLOGY_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "greenorbs": ("n_sensors", "area_m", "n_clusters", "cluster_sigma_m",
+                  "background_fraction", "neighbor_threshold",
+                  "coverage_target", "max_attempts"),
+    "line": ("n_sensors", "prr"),
+    "star": ("n_sensors", "prr"),
+    "binary_tree": ("depth", "prr"),
+    "grid": ("rows", "cols", "spacing_m", "perfect_links"),
+    "random_geometric": ("n_nodes", "area_m", "neighbor_threshold"),
+}
+
+_TRANSFORMS = ("homogenize",)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative topology source: generator kind, seed, parameters.
+
+    ``transform`` optionally post-processes the generated substrate —
+    currently ``"homogenize"`` (same adjacency, every link at the
+    network-mean PRR; the Sec. IV-B heterogeneity twin).
+    """
+
+    kind: str = "greenorbs"
+    seed: int = 2011
+    params: Dict[str, Any] = field(default_factory=dict)
+    transform: Optional[str] = None
+
+    def __post_init__(self):
+        _reject_unknown((self.kind,), _TOPOLOGY_PARAMS, "topology kind")
+        _reject_unknown(self.params, _TOPOLOGY_PARAMS[self.kind],
+                        f"{self.kind!r} topology parameter")
+        if self.transform is not None:
+            _reject_unknown((self.transform,), _TRANSFORMS,
+                            "topology transform")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "seed": self.seed,
+                "params": dict(self.params), "transform": self.transform}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"topology must be an object, got {type(data).__name__}"
+            )
+        _reject_unknown(data, ("kind", "seed", "params", "transform"),
+                        "topology field")
+        return cls(
+            kind=data.get("kind", "greenorbs"),
+            seed=int(data.get("seed", 2011)),
+            params=dict(data.get("params", {})),
+            transform=data.get("transform"),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the *description* (not the realized topology)."""
+        blob = _canonical_json(self.to_dict())
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def build(self) -> Topology:
+        """Realize the topology (uncached; see :func:`build_topology`)."""
+        import numpy as np
+
+        p = dict(self.params)
+        if self.kind == "greenorbs":
+            from .net.trace import GreenOrbsConfig, synthesize_greenorbs
+
+            n = p.pop("n_sensors", 298)
+            if n != 298:
+                # Shrink the plot so density (hence degree) stays
+                # paper-like — the same derivation the experiment scales
+                # use, so a scenario file reproduces ``get_trace`` bit
+                # for bit.
+                p.setdefault("area_m", 700.0 * (n / 298.0) ** 0.5)
+                p.setdefault("n_clusters", max(3, int(10 * n / 298)))
+                p.setdefault("cluster_sigma_m", 60.0)
+            config = GreenOrbsConfig(n_sensors=n, **p) if (n != 298 or p) \
+                else None
+            topo = synthesize_greenorbs(seed=self.seed, config=config)
+        elif self.kind == "line":
+            from .net.generators import line_topology
+
+            topo = line_topology(p.pop("n_sensors", 5), **p)
+        elif self.kind == "star":
+            from .net.generators import star_topology
+
+            topo = star_topology(p.pop("n_sensors", 5), **p)
+        elif self.kind == "binary_tree":
+            from .net.generators import binary_tree_topology
+
+            topo = binary_tree_topology(p.pop("depth", 3), **p)
+        elif self.kind == "grid":
+            from .net.generators import grid_topology
+
+            topo = grid_topology(p.pop("rows", 4), p.pop("cols", 4),
+                                 rng=np.random.default_rng(self.seed), **p)
+        else:  # random_geometric (kinds validated in __post_init__)
+            from .net.generators import random_geometric_topology
+
+            topo = random_geometric_topology(
+                p.pop("n_nodes", 30), p.pop("area_m", 100.0),
+                rng=np.random.default_rng(self.seed), **p,
+            )
+        if self.transform == "homogenize":
+            topo = homogenized(topo)
+        return topo
+
+
+#: Bounded FIFO memo for realized topologies, keyed by spec fingerprint.
+#: Eight entries cover every scale x seed pair a session realistically
+#: touches (the old ``lru_cache(maxsize=8)`` on ``get_trace``) while
+#: bounding memory — a 298-node trace is a few MB of PRR/RSSI matrices.
+_TOPOLOGY_CACHE_MAXSIZE = 8
+_topology_cache: Dict[str, Topology] = {}
+
+
+def build_topology(spec: TopologySpec) -> Topology:
+    """Build (or fetch from the bounded cache) the topology of ``spec``.
+
+    Repeated calls with an equal spec return the *same* object, so
+    shared-memory broadcast and fingerprint memoization keep working
+    across experiment invocations.
+    """
+    key = spec.fingerprint()
+    topo = _topology_cache.get(key)
+    if topo is None:
+        topo = spec.build()
+        if len(_topology_cache) >= _TOPOLOGY_CACHE_MAXSIZE:
+            _topology_cache.pop(next(iter(_topology_cache)))
+        _topology_cache[key] = topo
+    return topo
+
+
+def topology_cache_info() -> Tuple[int, int]:
+    """``(entries, maxsize)`` of the topology build cache."""
+    return len(_topology_cache), _TOPOLOGY_CACHE_MAXSIZE
+
+
+# ---------------------------------------------------------------------------
+# Engine-config overrides
+# ---------------------------------------------------------------------------
+
+def default_sim_config(protocol: str, coverage_target: float = 0.99):
+    """The engine configuration a protocol runs under by default.
+
+    OPT plays on its collision-free oracle channel; the cross-layer
+    sketch deliberately turns data overhearing on (the paper's
+    future-work direction 2); everyone else gets the paper's defaults.
+    """
+    from .sim.engine import SimConfig
+
+    return SimConfig(coverage_target=coverage_target,
+                     radio=_default_radio(protocol))
+
+
+def _default_radio(protocol: str):
+    from .net.radio import RadioModel
+
+    if protocol == "opt":
+        from .protocols.opt import opt_radio_model
+
+        return opt_radio_model()
+    if protocol == "crosslayer":
+        return RadioModel(overhearing=True)
+    return RadioModel()
+
+
+def _sim_override_keys() -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(allowed SimConfig override keys, allowed radio override keys)."""
+    from .net.radio import RadioModel
+    from .sim.engine import SimConfig
+
+    sim_keys = tuple(
+        f.name for f in dataclasses.fields(SimConfig)
+        if f.name not in ("coverage_target", "radio")
+    ) + ("radio",)
+    radio_keys = tuple(f.name for f in dataclasses.fields(RadioModel))
+    return sim_keys, radio_keys
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One serializable simulation configuration.
+
+    Field groups, in paper terms:
+
+    * **workload** — ``protocol`` (+ ``protocol_kwargs``), ``n_packets``
+      (the paper's ``M``), ``generation_interval``;
+    * **schedule** — ``duty_ratio`` (normalized period
+      ``T = round(wake_slots / duty_ratio)``), ``wake_slots`` (>1 uses
+      the multi-slot schedule model), ``schedule_jitter`` (per-period
+      probability a node's true wake lands one slot off its advertised
+      slot — residual synchronization error);
+    * **channel** — ``link_model`` (``static`` or ``gilbert_elliott``)
+      with ``link_kwargs``, plus ``sim`` overrides (``fast_forward``,
+      ``max_slots``, ``track_events`` and a nested ``radio`` object of
+      :class:`~repro.net.radio.RadioModel` switches);
+    * **bookkeeping** — ``seed``, ``n_replications``,
+      ``coverage_target``, ``measure_transmission_delay``;
+    * **substrate** — an optional :class:`TopologySpec` naming where the
+      network comes from (excluded from the fingerprint; see module
+      docs).
+    """
+
+    protocol: str
+    duty_ratio: float
+    n_packets: int
+    seed: int = 0
+    n_replications: int = 1
+    coverage_target: float = 0.99
+    generation_interval: int = 0
+    protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
+    wake_slots: int = 1
+    schedule_jitter: float = 0.0
+    link_model: str = "static"
+    link_kwargs: Dict[str, Any] = field(default_factory=dict)
+    sim: Dict[str, Any] = field(default_factory=dict)
+    measure_transmission_delay: bool = False
+    topology: Optional[TopologySpec] = None
+
+    def __post_init__(self):
+        if not self.protocol or not isinstance(self.protocol, str):
+            raise ScenarioError(f"protocol must be a name, got {self.protocol!r}")
+        if not (0.0 < self.duty_ratio <= 1.0):
+            raise ScenarioError(
+                f"duty ratio must be in (0, 1], got {self.duty_ratio}"
+            )
+        if self.n_packets < 1:
+            raise ScenarioError("need at least one packet")
+        if self.n_replications < 1:
+            raise ScenarioError("need at least one replication")
+        if not (0.0 < self.coverage_target <= 1.0):
+            raise ScenarioError(
+                f"coverage target must be in (0, 1], got {self.coverage_target}"
+            )
+        if self.generation_interval < 0:
+            raise ScenarioError("generation interval must be >= 0")
+        if self.wake_slots < 1:
+            raise ScenarioError("need at least one wake slot per period")
+        if not (0.0 <= self.schedule_jitter <= 1.0):
+            raise ScenarioError(
+                f"schedule jitter must be in [0, 1], got {self.schedule_jitter}"
+            )
+        if self.link_model not in LINK_MODELS:
+            _reject_unknown((self.link_model,), LINK_MODELS, "link model")
+        _reject_unknown(self.link_kwargs, _LINK_KWARGS,
+                        "link-model parameter")
+        sim_keys, radio_keys = _sim_override_keys()
+        _reject_unknown(self.sim, sim_keys, "sim override")
+        radio = self.sim.get("radio", {})
+        if not isinstance(radio, Mapping):
+            raise ScenarioError(
+                "sim override 'radio' must be an object of RadioModel fields"
+            )
+        _reject_unknown(radio, radio_keys, "radio override")
+        if self.topology is not None and not isinstance(self.topology,
+                                                        TopologySpec):
+            raise ScenarioError(
+                "topology must be a TopologySpec (or an object in JSON)"
+            )
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def period(self) -> int:
+        """Schedule period ``T``: ``wake_slots`` active slots per ``T``."""
+        if self.wake_slots == 1:
+            return duty_ratio_to_period(self.duty_ratio)
+        return max(int(round(self.wake_slots / self.duty_ratio)),
+                   self.wake_slots)
+
+    def sim_config(self):
+        """The effective :class:`~repro.sim.engine.SimConfig`.
+
+        Starts from the protocol's default configuration (OPT's oracle
+        channel etc.) and applies the declarative ``sim`` overrides.
+        """
+        from .sim.engine import SimConfig
+
+        radio = _default_radio(self.protocol)
+        overrides = dict(self.sim)
+        radio_overrides = overrides.pop("radio", None)
+        if radio_overrides:
+            radio = dataclasses.replace(radio, **radio_overrides)
+        return SimConfig(coverage_target=self.coverage_target, radio=radio,
+                         **overrides)
+
+    def make_dynamics(self, topo: Topology, rng):
+        """Instantiate the link-dynamics model (``None`` for static)."""
+        if self.link_model == "static":
+            return None
+        from .net.dynamics import GilbertElliott
+
+        return GilbertElliott(topo, rng=rng, **self.link_kwargs)
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Complete JSON-serializable dict (defaults materialized)."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "topology"
+        }
+        data["protocol_kwargs"] = dict(self.protocol_kwargs)
+        data["link_kwargs"] = dict(self.link_kwargs)
+        data["sim"] = {k: (dict(v) if isinstance(v, Mapping) else v)
+                       for k, v in self.sim.items()}
+        data["topology"] = (None if self.topology is None
+                            else self.topology.to_dict())
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Strict inverse of :meth:`to_dict`.
+
+        Missing fields take their defaults; unknown or misspelled fields
+        raise :class:`ScenarioError` with the closest valid name.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"scenario must be an object, got {type(data).__name__}"
+            )
+        names = {f.name for f in dataclasses.fields(cls)}
+        _reject_unknown(data, names, "scenario field")
+        if "protocol" not in data or "duty_ratio" not in data \
+                or "n_packets" not in data:
+            missing = [k for k in ("protocol", "duty_ratio", "n_packets")
+                       if k not in data]
+            raise ScenarioError(f"scenario is missing required fields {missing}")
+        kwargs = dict(data)
+        topo = kwargs.pop("topology", None)
+        if topo is not None and not isinstance(topo, TopologySpec):
+            topo = TopologySpec.from_dict(topo)
+        return cls(topology=topo, **kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          default=_json_default)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    # -- content addressing -------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Canonical content hash of the serialized scenario.
+
+        Hashes sorted-key JSON of :meth:`to_dict` minus ``topology``
+        (module docs explain why), so the digest is invariant to field
+        order, construction path, and refactors of the code that built
+        the scenario — only the *data* matters.
+        """
+        data = self.to_dict()
+        data.pop("topology")
+        blob = _canonical_json(data)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def as_scenario(spec: Any) -> Scenario:
+    """Normalize ``spec`` to a :class:`Scenario`.
+
+    Accepts a :class:`Scenario` (returned as-is), a mapping (strict
+    :meth:`Scenario.from_dict`), or a legacy
+    :class:`~repro.sim.runner.ExperimentSpec`-shaped object, whose
+    optional ``sim_config`` is *diffed against the protocol's default
+    configuration* into declarative ``sim`` overrides — so two specs
+    with behaviorally identical configurations normalize to the same
+    scenario (and the same fingerprint) no matter how they were built.
+    """
+    if isinstance(spec, Scenario):
+        return spec
+    if isinstance(spec, Mapping):
+        return Scenario.from_dict(spec)
+    try:
+        protocol = spec.protocol
+        duty_ratio = spec.duty_ratio
+        n_packets = spec.n_packets
+    except AttributeError:
+        raise TypeError(
+            f"cannot interpret {type(spec).__name__!r} as a Scenario"
+        ) from None
+    effective = getattr(spec, "sim_config", None)
+    if effective is None:
+        coverage = getattr(spec, "coverage_target", 0.99)
+        sim: Dict[str, Any] = {}
+    else:
+        coverage = effective.coverage_target
+        base = default_sim_config(protocol, coverage)
+        sim = {}
+        for f in dataclasses.fields(type(effective)):
+            if f.name in ("coverage_target", "radio"):
+                continue
+            if getattr(effective, f.name) != getattr(base, f.name):
+                sim[f.name] = getattr(effective, f.name)
+        radio_diff = {
+            f.name: getattr(effective.radio, f.name)
+            for f in dataclasses.fields(type(effective.radio))
+            if getattr(effective.radio, f.name) != getattr(base.radio, f.name)
+        }
+        if radio_diff:
+            sim["radio"] = radio_diff
+    return Scenario(
+        protocol=protocol,
+        duty_ratio=duty_ratio,
+        n_packets=n_packets,
+        seed=getattr(spec, "seed", 0),
+        n_replications=getattr(spec, "n_replications", 1),
+        coverage_target=coverage,
+        generation_interval=getattr(spec, "generation_interval", 0),
+        protocol_kwargs=dict(getattr(spec, "protocol_kwargs", {})),
+        sim=sim,
+        measure_transmission_delay=getattr(
+            spec, "measure_transmission_delay", False),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scenario grids
+# ---------------------------------------------------------------------------
+
+def _freeze_axis_value(field_name: str, value: Any) -> Any:
+    if field_name == "topology" and isinstance(value, Mapping) \
+            and not isinstance(value, TopologySpec):
+        return TopologySpec.from_dict(value)
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A base :class:`Scenario` plus ordered sweep axes.
+
+    ``axes`` maps scenario field names to value sequences; the grid
+    expands to the cartesian product in axis order (last axis fastest),
+    exactly like nested for-loops over the axes.
+    """
+
+    base: Scenario
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    name: Optional[str] = None
+
+    def __init__(self, base: Scenario, axes: Any = (),
+                 name: Optional[str] = None):
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "name", name)
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        frozen: List[Tuple[str, Tuple[Any, ...]]] = []
+        fields = {f.name for f in dataclasses.fields(Scenario)}
+        for field_name, values in axes:
+            _reject_unknown((field_name,), fields, "sweep axis")
+            values = tuple(_freeze_axis_value(field_name, v) for v in values)
+            if not values:
+                raise ScenarioError(f"axis {field_name!r} has no values")
+            frozen.append((field_name, values))
+        object.__setattr__(self, "axes", tuple(frozen))
+        for scenario in self.scenarios():  # validate every cell eagerly
+            assert isinstance(scenario, Scenario)
+
+    def __len__(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def combos(self) -> List[Tuple[Any, ...]]:
+        """Axis-value tuples in expansion order (``()`` for no axes)."""
+        if not self.axes:
+            return [()]
+        return list(itertools.product(*(v for _, v in self.axes)))
+
+    def scenarios(self) -> List[Scenario]:
+        """The expanded cartesian list of scenarios."""
+        names = [n for n, _ in self.axes]
+        return [
+            dataclasses.replace(self.base,
+                                **dict(zip(names, combo)))
+            for combo in self.combos()
+        ]
+
+    def items(self) -> Iterator[Tuple[Tuple[Any, ...], Scenario]]:
+        return zip(self.combos(), self.scenarios())
+
+    # -- serialization ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        axes: Dict[str, List[Any]] = {}
+        for field_name, values in self.axes:
+            axes[field_name] = [
+                v.to_dict() if isinstance(v, TopologySpec) else v
+                for v in values
+            ]
+        data: Dict[str, Any] = {"schema": SCHEMA_VERSION}
+        if self.name:
+            data["name"] = self.name
+        data["scenario"] = self.base.to_dict()
+        if axes:
+            data["axes"] = axes
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioGrid":
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"scenario file must hold an object, got {type(data).__name__}"
+            )
+        _reject_unknown(data, ("schema", "name", "notes", "scenario", "axes"),
+                        "scenario-file field")
+        schema = data.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ScenarioError(
+                f"unsupported scenario schema {schema!r} "
+                f"(this build reads schema {SCHEMA_VERSION})"
+            )
+        if "scenario" not in data:
+            raise ScenarioError("scenario file is missing the 'scenario' object")
+        base = Scenario.from_dict(data["scenario"])
+        return cls(base=base, axes=data.get("axes", ()),
+                   name=data.get("name"))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
+                          default=_json_default)
+
+    def fingerprint(self) -> str:
+        """Content hash over every expanded cell (order-sensitive)."""
+        h = hashlib.sha256()
+        for scenario in self.scenarios():
+            h.update(scenario.fingerprint().encode())
+        return h.hexdigest()
+
+
+def load_scenario_file(path: os.PathLike) -> ScenarioGrid:
+    """Load a scenario file: a grid object or a bare scenario.
+
+    The file holds either ``{"schema": 1, "scenario": {...}, "axes":
+    {...}}`` or a bare scenario object (no axes). Validation errors
+    carry the offending key and the closest valid spelling.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: not valid JSON ({exc})") from None
+    if isinstance(data, Mapping) and "scenario" in data:
+        return ScenarioGrid.from_dict(data)
+    return ScenarioGrid(base=Scenario.from_dict(data))

@@ -19,6 +19,7 @@ from .runner import (
     run_experiments,
     run_protocol_sweep,
     run_replication,
+    run_scenarios,
 )
 
 __all__ = [
@@ -30,5 +31,5 @@ __all__ = [
     "SimObserver", "CounterObserver", "EnergyObserver", "EventLogObserver",
     "RngStreams", "derive_seed", "spawn_generator",
     "ExperimentSpec", "RunSummary", "run_experiment", "run_experiments",
-    "run_protocol_sweep", "run_replication",
+    "run_protocol_sweep", "run_replication", "run_scenarios",
 ]

@@ -6,37 +6,43 @@ standardizes that: one :class:`ExperimentSpec` per configuration, paired
 random streams across protocols (same schedules and loss draws for every
 protocol at the same replication index), and summary aggregation.
 
-Execution is pluggable: every entry point decomposes its work into
-independent :func:`run_replication` tasks and maps them through an
-optional :class:`repro.exec.Executor` (serial by default, warm
-process-pool parallel on request). Task payloads are
-``(spec_index, rep)`` pairs — the fixed topology and the spec table
-broadcast once per dispatch, the topology zero-copy via shared memory.
-Each task derives its schedule/channel streams from ``(seed, rep)``
-alone and shares no RNG state, so serial and parallel backends produce
+Every entry point normalizes its inputs to
+:class:`~repro.scenario.Scenario` — the serializable scenario layer —
+so one task function (:func:`_scenario_task`) serves direct
+:class:`ExperimentSpec` calls, declarative grids and scenario files
+alike. Execution is pluggable: work decomposes into independent
+:func:`run_replication` tasks mapped through an optional
+:class:`repro.exec.Executor` (serial by default, warm process-pool
+parallel on request). Task payloads are ``(scenario_index, rep)`` pairs
+— the fixed topology and the scenario table broadcast once per
+dispatch, the topology zero-copy via shared memory. Each task derives
+its schedule/channel/dynamics/jitter streams from ``(seed, rep)`` alone
+and shares no RNG state, so serial and parallel backends produce
 **bit-identical** results. An optional :class:`repro.exec.ResultStore`
-memoizes whole :class:`RunSummary` payloads by content (spec + topology
-fingerprint + engine version), with whole grids probed and recorded in
-one batched ``get_many``/``put_many`` round trip.
+memoizes whole :class:`RunSummary` payloads by content (scenario
+fingerprint + topology fingerprint + engine version), with whole grids
+probed and recorded in one batched ``get_many``/``put_many`` round
+trip.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.packet import FloodWorkload
-from ..net.schedule import ScheduleTable, duty_ratio_to_period
+from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
-from ..protocols.base import FloodingProtocol, make_protocol
-from ..protocols.opt import opt_radio_model
+from ..protocols.base import make_protocol
+from ..scenario import Scenario, as_scenario, build_topology
 from .engine import FloodResult, SimConfig, run_flood
-from .rng import RngStreams
+from .rng import RngStreams, derive_seed
 
 __all__ = ["ExperimentSpec", "RunSummary", "run_replication",
-           "run_experiment", "run_experiments", "run_protocol_sweep"]
+           "run_experiment", "run_experiments", "run_scenarios",
+           "run_protocol_sweep"]
 
 
 @dataclass(frozen=True)
@@ -140,44 +146,44 @@ class RunSummary:
             return np.nanmean(np.vstack(curves), axis=0)
 
 
-def _default_sim_config(spec: ExperimentSpec) -> SimConfig:
-    if spec.sim_config is not None:
-        return spec.sim_config
-    if spec.protocol == "opt":
-        # The oracle plays on a collision-free channel.
-        return SimConfig(
-            coverage_target=spec.coverage_target, radio=opt_radio_model()
-        )
-    if spec.protocol == "crosslayer":
-        # The cross-layer sketch deliberately exploits data overhearing
-        # (the paper's future-work direction 2: co-design opportunism
-        # with the duty-cycle configuration).
-        from ..net.radio import RadioModel
-
-        return SimConfig(
-            coverage_target=spec.coverage_target,
-            radio=RadioModel(overhearing=True),
-        )
-    return SimConfig(coverage_target=spec.coverage_target)
-
-
-def run_replication(topo: Topology, spec: ExperimentSpec, rep: int) -> FloodResult:
+def run_replication(topo: Topology, spec, rep: int) -> FloodResult:
     """Run one replication of ``spec`` — the unit of parallel work.
 
-    Streams are derived from ``(spec.seed, rep)`` only (the name-keyed
-    :class:`RngStreams` derivation is order-independent), so a task is a
-    pure function of its arguments: dispatching replications across
-    processes, in any order, reproduces the serial trajectory bit for
-    bit.
+    ``spec`` may be a :class:`~repro.scenario.Scenario`, an
+    :class:`ExperimentSpec`, or a plain dict; everything normalizes
+    through :func:`~repro.scenario.as_scenario`. Streams are derived
+    from ``(seed, rep)`` only (the name-keyed :class:`RngStreams`
+    derivation is order-independent), so a task is a pure function of
+    its arguments: dispatching replications across processes, in any
+    order, reproduces the serial trajectory bit for bit.
     """
-    config = _default_sim_config(spec)
-    period = duty_ratio_to_period(spec.duty_ratio)
-    streams = RngStreams(spec.seed)
+    scenario = as_scenario(spec)
+    config = scenario.sim_config()
+    period = scenario.period
+    streams = RngStreams(scenario.seed)
     schedule_rng = streams.get(f"schedule/{rep}")
     channel_rng = streams.get(f"channel/{rep}")
-    schedules = ScheduleTable.random(topo.n_nodes, period, schedule_rng)
-    workload = FloodWorkload(spec.n_packets, spec.generation_interval)
-    protocol = make_protocol(spec.protocol, **spec.protocol_kwargs)
+    if scenario.wake_slots == 1:
+        schedules = ScheduleTable.random(topo.n_nodes, period, schedule_rng)
+    else:
+        from ..net.multislot import MultiSlotScheduleTable
+
+        schedules = MultiSlotScheduleTable.random(
+            topo.n_nodes, period, scenario.wake_slots, schedule_rng
+        )
+    true_schedules = None
+    if scenario.schedule_jitter > 0.0:
+        from ..net.sync import JitteredSchedules
+
+        jitter_seed = int(
+            derive_seed(scenario.seed, f"jitter/{rep}").generate_state(1)[0]
+        )
+        true_schedules = JitteredSchedules(
+            schedules, scenario.schedule_jitter, jitter_seed
+        )
+    dynamics = scenario.make_dynamics(topo, streams.get(f"dynamics/{rep}"))
+    workload = FloodWorkload(scenario.n_packets, scenario.generation_interval)
+    protocol = make_protocol(scenario.protocol, **scenario.protocol_kwargs)
     return run_flood(
         topo,
         schedules,
@@ -185,33 +191,27 @@ def run_replication(topo: Topology, spec: ExperimentSpec, rep: int) -> FloodResu
         protocol,
         channel_rng,
         config,
-        measure_transmission_delay=spec.measure_transmission_delay,
+        measure_transmission_delay=scenario.measure_transmission_delay,
+        dynamics=dynamics,
+        true_schedules=true_schedules,
     )
 
 
-def _run_task(task: Tuple[Topology, ExperimentSpec, int]) -> FloodResult:
-    """Self-contained task adapter: the topology rides in every tuple.
-
-    Kept as the pre-broadcast dispatch shape (and as the benchmark
-    baseline for it); the harness now dispatches :func:`_run_grid_task`
-    tuples against a broadcast topology instead.
-    """
-    topo, spec, rep = task
-    return run_replication(topo, spec, rep)
-
-
-def _run_grid_task(
-    topo: Topology, specs: Sequence[ExperimentSpec], task: Tuple[int, int]
+def _scenario_task(
+    topo: Topology, scenarios: Sequence[Scenario], task: Tuple[int, int]
 ) -> FloodResult:
-    """Broadcast-style task adapter for :meth:`repro.exec.Executor.map`.
+    """The one broadcast-style task adapter for
+    :meth:`repro.exec.Executor.map`.
 
-    The task payload is just ``(spec_index, rep)`` — the topology and
-    the spec table broadcast once per dispatch (the topology zero-copy
-    via shared memory), so a Monte Carlo grid's per-task pickle cost is
-    a couple of ints instead of megabytes of substrate.
+    The task payload is just ``(scenario_index, rep)`` — the topology
+    and the scenario table broadcast once per dispatch (the topology
+    zero-copy via shared memory), so a Monte Carlo grid's per-task
+    pickle cost is a couple of ints instead of megabytes of substrate.
+    Scenarios are pure data, so this single adapter replaces the old
+    per-call-shape task functions.
     """
     i, rep = task
-    return run_replication(topo, specs[i], rep)
+    return run_replication(topo, scenarios[i], rep)
 
 
 def run_experiment(
@@ -257,37 +257,80 @@ def run_experiments(
     ``executor.map`` call (so a parallel backend sees the whole grid at
     once, not one spec at a time), and results are regrouped per spec.
     """
+    scenarios = tuple(as_scenario(spec) for spec in specs)
     keys: List[Optional[str]] = [None] * len(specs)
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
     if store is not None:
-        keys = [store.key_for(topo, spec) for spec in specs]
+        keys = [store.key_for(topo, scenario) for scenario in scenarios]
         cached = store.get_many(keys)
         summaries = [cached.get(key) for key in keys]
 
-    spec_table = tuple(specs)
     tasks: List[Tuple[int, int]] = []
-    for i, spec in enumerate(specs):
+    for i, scenario in enumerate(scenarios):
         if summaries[i] is None:
-            tasks.extend((i, rep) for rep in range(spec.n_replications))
+            tasks.extend((i, rep) for rep in range(scenario.n_replications))
 
     if tasks:
         if executor is None:
-            results = [run_replication(topo, specs[i], rep)
+            results = [run_replication(topo, scenarios[i], rep)
                        for i, rep in tasks]
         else:
             results = executor.map(
-                _run_grid_task, tasks, broadcast=(topo, spec_table)
+                _scenario_task, tasks, broadcast=(topo, scenarios)
             )
         grouped: Dict[int, List[FloodResult]] = {}
         for (owner, _rep), result in zip(tasks, results):
             grouped.setdefault(owner, []).append(result)
         fresh: Dict[str, RunSummary] = {}
         for i, flood_results in grouped.items():
+            # The summary keeps the *caller's* spec object (ExperimentSpec
+            # or Scenario) so downstream equality checks see what was
+            # passed in; only keys and task payloads use the normalized
+            # scenarios.
             summaries[i] = RunSummary(spec=specs[i], results=flood_results)
             if store is not None:
                 fresh[keys[i]] = summaries[i]
         if store is not None:
             store.put_many(fresh)
+    return summaries  # type: ignore[return-value]
+
+
+def run_scenarios(
+    scenarios: Sequence,
+    executor=None,
+    store=None,
+    topo: Optional[Topology] = None,
+) -> List[RunSummary]:
+    """Run self-contained scenarios: topologies come from the specs.
+
+    The scenario-file entry point (``repro run-scenario``). Each
+    scenario names its substrate through its ``topology``
+    :class:`~repro.scenario.TopologySpec` (or inherits ``topo`` when it
+    doesn't); scenarios sharing a substrate are grouped into one
+    :func:`run_experiments` dispatch per distinct topology, so the warm
+    pool sees whole grids and each topology is broadcast once. Results
+    come back in input order.
+    """
+    scenarios = [as_scenario(s) for s in scenarios]
+    groups: Dict[str, Tuple[Topology, List[int]]] = {}
+    for i, scenario in enumerate(scenarios):
+        if scenario.topology is not None:
+            t = build_topology(scenario.topology)
+        elif topo is not None:
+            t = topo
+        else:
+            raise ValueError(
+                f"scenario #{i} names no topology and no default was given"
+            )
+        groups.setdefault(t.fingerprint(), (t, []))[1].append(i)
+
+    summaries: List[Optional[RunSummary]] = [None] * len(scenarios)
+    for t, indices in groups.values():
+        batch = run_experiments(
+            t, [scenarios[i] for i in indices], executor=executor, store=store
+        )
+        for i, summary in zip(indices, batch):
+            summaries[i] = summary
     return summaries  # type: ignore[return-value]
 
 

@@ -1,0 +1,125 @@
+"""Tests for ScenarioGrid expansion, serialization and file loading."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    Scenario,
+    ScenarioError,
+    ScenarioGrid,
+    TopologySpec,
+    load_scenario_file,
+)
+
+BASE = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2, seed=7)
+
+
+class TestExpansion:
+    def test_no_axes_is_a_single_cell(self):
+        grid = ScenarioGrid(BASE)
+        assert len(grid) == 1
+        assert grid.combos() == [()]
+        assert grid.scenarios() == [BASE]
+
+    def test_cartesian_order_last_axis_fastest(self):
+        grid = ScenarioGrid(BASE, axes={
+            "protocol": ("opt", "dbao"),
+            "duty_ratio": (0.05, 0.1, 0.2),
+        })
+        assert len(grid) == 6
+        assert grid.combos() == [
+            ("opt", 0.05), ("opt", 0.1), ("opt", 0.2),
+            ("dbao", 0.05), ("dbao", 0.1), ("dbao", 0.2),
+        ]
+        assert [s.protocol for s in grid.scenarios()] \
+            == ["opt"] * 3 + ["dbao"] * 3
+
+    def test_items_pairs_combos_with_cells(self):
+        grid = ScenarioGrid(BASE, axes={"n_packets": (1, 2)})
+        for combo, scenario in grid.items():
+            assert scenario.n_packets == combo[0]
+
+    def test_unknown_axis_suggests_field(self):
+        with pytest.raises(ScenarioError, match="duty_ratio"):
+            ScenarioGrid(BASE, axes={"duty_ration": (0.1,)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="no values"):
+            ScenarioGrid(BASE, axes={"protocol": ()})
+
+    def test_invalid_cell_rejected_eagerly(self):
+        with pytest.raises(ScenarioError, match="duty ratio"):
+            ScenarioGrid(BASE, axes={"duty_ratio": (0.1, 2.0)})
+
+    def test_topology_axis_values_become_specs(self):
+        grid = ScenarioGrid(BASE, axes={
+            "topology": ({"kind": "line", "params": {"n_sensors": 5}},
+                         {"kind": "star", "params": {"n_sensors": 5}}),
+        })
+        kinds = [s.topology.kind for s in grid.scenarios()]
+        assert kinds == ["line", "star"]
+        assert all(isinstance(s.topology, TopologySpec)
+                   for s in grid.scenarios())
+
+
+class TestSerialization:
+    def test_dict_round_trip_is_identity(self):
+        grid = ScenarioGrid(BASE, axes={"protocol": ("opt", "dbao"),
+                                        "sim": ({}, {"fast_forward": False})},
+                            name="demo")
+        assert ScenarioGrid.from_dict(grid.to_dict()) == grid
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        grid = ScenarioGrid(BASE, axes={"duty_ratio": (0.05, 0.2)})
+        again = ScenarioGrid.from_dict(json.loads(grid.to_json()))
+        assert again.fingerprint() == grid.fingerprint()
+
+    def test_fingerprint_covers_cells_in_order(self):
+        a = ScenarioGrid(BASE, axes={"protocol": ("opt", "dbao")})
+        b = ScenarioGrid(BASE, axes={"protocol": ("dbao", "opt")})
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_unknown_file_field_rejected(self):
+        with pytest.raises(ScenarioError, match="scenario-file field"):
+            ScenarioGrid.from_dict({"scenario": BASE.to_dict(), "axis": {}})
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ScenarioError, match="schema"):
+            ScenarioGrid.from_dict({"schema": 99,
+                                    "scenario": BASE.to_dict()})
+
+    def test_missing_scenario_object_rejected(self):
+        with pytest.raises(ScenarioError, match="'scenario'"):
+            ScenarioGrid.from_dict({"schema": 1, "name": "x"})
+
+
+class TestLoadScenarioFile:
+    def test_loads_grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        grid = ScenarioGrid(BASE, axes={"protocol": ("opt", "of")}, name="g")
+        path.write_text(grid.to_json())
+        loaded = load_scenario_file(path)
+        assert loaded == grid
+
+    def test_loads_bare_scenario_file(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(BASE.to_json())
+        loaded = load_scenario_file(path)
+        assert len(loaded) == 1 and loaded.scenarios() == [BASE]
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ScenarioError, match="broken.json"):
+            load_scenario_file(path)
+
+    def test_misspelled_scenario_field_in_file(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "scenario": {"protocol": "dbao", "duty_ratio": 0.1,
+                         "n_packets": 2, "schedule_jiter": 0.1},
+        }))
+        with pytest.raises(ScenarioError, match="schedule_jitter"):
+            load_scenario_file(path)

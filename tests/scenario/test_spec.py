@@ -1,0 +1,232 @@
+"""Tests for the serializable Scenario spec: round-trips, fingerprints,
+validation with helpful errors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    Scenario,
+    ScenarioError,
+    TopologySpec,
+    as_scenario,
+    default_sim_config,
+)
+from repro.sim.engine import SimConfig
+from repro.sim.runner import ExperimentSpec
+
+
+def rich_scenario() -> Scenario:
+    return Scenario(
+        protocol="dbao",
+        duty_ratio=0.05,
+        n_packets=7,
+        seed=42,
+        n_replications=3,
+        coverage_target=0.95,
+        generation_interval=2,
+        protocol_kwargs={"opp_quantile": 0.8},
+        wake_slots=2,
+        schedule_jitter=0.1,
+        link_model="gilbert_elliott",
+        link_kwargs={"p_good_to_bad": 0.02, "bad_factor": 0.3},
+        sim={"fast_forward": False, "radio": {"collisions": False}},
+        measure_transmission_delay=True,
+        topology=TopologySpec(kind="line", params={"n_sensors": 9, "prr": 0.8}),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        s = rich_scenario()
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_json_round_trip_is_identity(self):
+        s = rich_scenario()
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_minimal_dict_gets_defaults(self):
+        s = Scenario.from_dict(
+            {"protocol": "of", "duty_ratio": 0.1, "n_packets": 2}
+        )
+        assert s == Scenario(protocol="of", duty_ratio=0.1, n_packets=2)
+        assert s.n_replications == 1 and s.link_model == "static"
+
+    def test_to_dict_materializes_every_field(self):
+        data = rich_scenario().to_dict()
+        assert set(data) == set(Scenario.__dataclass_fields__)
+
+    def test_to_dict_copies_mutable_fields(self):
+        s = rich_scenario()
+        s.to_dict()["sim"]["max_slots"] = 1  # mutating the dict ...
+        assert "max_slots" not in s.sim  # ... never leaks into the spec
+
+
+class TestFingerprint:
+    def test_stable_across_field_ordering(self):
+        s = rich_scenario()
+        shuffled = dict(reversed(list(s.to_dict().items())))
+        assert Scenario.from_dict(shuffled).fingerprint() == s.fingerprint()
+
+    def test_hashes_data_not_construction_path(self):
+        built = Scenario(protocol="opt", duty_ratio=0.2, n_packets=3, seed=1)
+        loaded = Scenario.from_json(
+            json.dumps({"protocol": "opt", "duty_ratio": 0.2,
+                        "n_packets": 3, "seed": 1})
+        )
+        assert built.fingerprint() == loaded.fingerprint()
+
+    def test_excludes_topology(self):
+        a = rich_scenario()
+        b = Scenario.from_dict({**a.to_dict(), "topology": None})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_every_other_field(self):
+        base = rich_scenario()
+        variants = {
+            "protocol": "of", "duty_ratio": 0.2, "n_packets": 8, "seed": 43,
+            "n_replications": 4, "coverage_target": 0.9,
+            "generation_interval": 3, "protocol_kwargs": {},
+            "wake_slots": 3, "schedule_jitter": 0.2, "link_model": "static",
+            "sim": {}, "measure_transmission_delay": False,
+        }
+        for fname, value in variants.items():
+            data = {**base.to_dict(), fname: value}
+            if fname == "link_model":  # static takes no kwargs
+                data["link_kwargs"] = {}
+            changed = Scenario.from_dict(data)
+            assert changed.fingerprint() != base.fingerprint(), fname
+
+    def test_numpy_scalars_serialize(self):
+        s = Scenario(protocol="dbao", duty_ratio=np.float64(0.1),
+                     n_packets=2, seed=np.int64(7))
+        plain = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2, seed=7)
+        assert s.fingerprint() == plain.fingerprint()
+        assert Scenario.from_json(s.to_json()).fingerprint() == s.fingerprint()
+
+    def test_unserializable_field_is_a_spec_bug(self):
+        s = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     protocol_kwargs={"rng": np.random.default_rng(0)})
+        with pytest.raises(TypeError, match="JSON-representable"):
+            s.fingerprint()
+
+
+class TestValidation:
+    def test_misspelled_field_suggests_correction(self):
+        with pytest.raises(ScenarioError, match="duty_ratio"):
+            Scenario.from_dict(
+                {"protocol": "dbao", "duty_ration": 0.1, "n_packets": 2}
+            )
+
+    def test_unknown_field_lists_valid_names(self):
+        with pytest.raises(ScenarioError, match="valid:"):
+            Scenario.from_dict({"protocol": "dbao", "duty_ratio": 0.1,
+                                "n_packets": 2, "zzz": 1})
+
+    def test_missing_required_fields_named(self):
+        with pytest.raises(ScenarioError, match="n_packets"):
+            Scenario.from_dict({"protocol": "dbao", "duty_ratio": 0.1})
+
+    def test_misspelled_sim_override_suggests(self):
+        with pytest.raises(ScenarioError, match="fast_forward"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     sim={"fast_foward": False})
+
+    def test_unknown_radio_override_rejected(self):
+        with pytest.raises(ScenarioError, match="radio override"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     sim={"radio": {"lasers": True}})
+
+    def test_unknown_link_model_rejected(self):
+        with pytest.raises(ScenarioError, match="gilbert_elliott"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     link_model="gilbert")
+
+    def test_unknown_link_kwarg_rejected(self):
+        with pytest.raises(ScenarioError, match="link-model parameter"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     link_model="gilbert_elliott", link_kwargs={"p_bad": 0.1})
+
+    @pytest.mark.parametrize("bad", [
+        {"duty_ratio": 0.0}, {"duty_ratio": 1.5}, {"n_packets": 0},
+        {"n_replications": 0}, {"coverage_target": 0.0},
+        {"generation_interval": -1}, {"wake_slots": 0},
+        {"schedule_jitter": -0.1}, {"schedule_jitter": 1.1},
+    ])
+    def test_out_of_range_values_rejected(self, bad):
+        kwargs = {"protocol": "dbao", "duty_ratio": 0.1, "n_packets": 2}
+        kwargs.update(bad)
+        with pytest.raises(ScenarioError):
+            Scenario(**kwargs)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ScenarioError, match="object"):
+            Scenario.from_dict(["not", "a", "scenario"])
+
+
+class TestDerived:
+    def test_period_matches_schedule_helper(self):
+        from repro.net.schedule import duty_ratio_to_period
+
+        s = Scenario(protocol="dbao", duty_ratio=0.05, n_packets=1)
+        assert s.period == duty_ratio_to_period(0.05)
+
+    def test_multislot_period_scales_with_budget(self):
+        s = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=1,
+                     wake_slots=2)
+        assert s.period == 20
+
+    def test_sim_config_defaults_by_protocol(self):
+        opt = Scenario(protocol="opt", duty_ratio=0.1, n_packets=1)
+        assert not opt.sim_config().radio.collisions
+        dbao = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=1)
+        assert dbao.sim_config() == default_sim_config("dbao")
+
+    def test_sim_overrides_apply(self):
+        s = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=1,
+                     coverage_target=0.9,
+                     sim={"fast_forward": False,
+                          "radio": {"overhearing": True}})
+        config = s.sim_config()
+        assert config.fast_forward is False
+        assert config.radio.overhearing is True
+        assert config.coverage_target == 0.9
+
+
+class TestAsScenario:
+    def test_scenario_passes_through(self):
+        s = rich_scenario()
+        assert as_scenario(s) is s
+
+    def test_mapping_normalizes(self):
+        s = as_scenario({"protocol": "of", "duty_ratio": 0.1, "n_packets": 2})
+        assert isinstance(s, Scenario) and s.protocol == "of"
+
+    def test_experiment_spec_default_config_diffs_to_empty(self):
+        spec = ExperimentSpec(protocol="opt", duty_ratio=0.1, n_packets=2,
+                              seed=5, n_replications=2)
+        s = as_scenario(spec)
+        assert s.sim == {}  # OPT's oracle radio is the *default*, not a diff
+        assert (s.protocol, s.duty_ratio, s.n_packets, s.seed,
+                s.n_replications) == ("opt", 0.1, 2, 5, 2)
+
+    def test_experiment_spec_custom_config_diffs_to_overrides(self):
+        spec = ExperimentSpec(
+            protocol="dbao", duty_ratio=0.1, n_packets=2,
+            sim_config=SimConfig(fast_forward=False),
+        )
+        assert as_scenario(spec).sim == {"fast_forward": False}
+
+    def test_equivalent_specs_share_a_fingerprint(self):
+        # The explicitly-spelled default config and no config at all are
+        # behaviorally identical, so they must hit the same cache key.
+        plain = ExperimentSpec(protocol="dbao", duty_ratio=0.1, n_packets=2)
+        spelled = ExperimentSpec(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                                 sim_config=default_sim_config("dbao"))
+        assert as_scenario(plain).fingerprint() \
+            == as_scenario(spelled).fingerprint()
+
+    def test_rejects_non_spec_objects(self):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            as_scenario(42)

@@ -41,6 +41,19 @@ class TestDesignCoverage:
                 f"protocol {proto!r} missing from DESIGN.md"
             )
 
+    def test_scenario_grid_registry_table(self, docs):
+        # DESIGN.md's grid-id table must list exactly the registered
+        # scenario grids, each as a `| `id` | ...` table row.
+        from repro.experiments.registry import scenario_grid_ids
+
+        rows = [line for line in docs["DESIGN.md"].splitlines()
+                if line.startswith("| `")]
+        tabled = {line.split("`")[1] for line in rows}
+        for gid in scenario_grid_ids():
+            assert gid in tabled, (
+                f"scenario grid {gid!r} missing from the DESIGN.md table"
+            )
+
     def test_paper_figures_covered(self, docs):
         for artifact in ("fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
                          "table1"):
@@ -87,3 +100,15 @@ class TestExamplesExist:
             assert "._" not in text.replace("self._", ""), (
                 f"{path.name} uses a private module"
             )
+
+    def test_scenario_files_are_valid(self):
+        from repro.scenario import load_scenario_file
+
+        files = sorted((REPO / "examples").glob("*.json"))
+        names = {p.name for p in files}
+        assert {"fig9.json", "hetero.json",
+                "scenario_smoke.json"} <= names
+        for path in files:
+            if path.name.endswith(".expected.json"):
+                continue
+            assert len(load_scenario_file(path)) >= 1, path.name
