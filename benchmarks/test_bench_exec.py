@@ -11,10 +11,17 @@ ceil(n / (4 * jobs))``.
   (smoke trace, protocols x duty ratios x replications) through the
   serial backend, the legacy baseline and the warm shared-memory
   executor, asserting bit-identical per-replication results and the
-  >= 10x shrink in bytes pickled to workers. On a multi-core host the
-  warm path's wall-clock win tracks the dispatch saving; on a 1-core CI
-  box simulation work dominates and timesharing hides it, so the
-  end-to-end assertion is parity-with-tolerance, not a speedup floor.
+  >= 10x shrink in bytes pickled to workers. This grid is
+  **compute-bound**: the per-slot simulation loop is the wall, not
+  dispatch, so an end-to-end "speedup vs legacy" number here would
+  mostly measure host core count (it read an uninformative 1.07x on a
+  1-core box). The journal therefore reports compute saturation
+  explicitly — ``serial_tasks_per_sec``, ``tasks_per_sec_per_job`` and
+  ``parallel_efficiency`` (throughput per job over the serial rate:
+  ~1.0 means perfect scaling, ~1/jobs means timeshared cores) — and
+  the end-to-end assertion is parity-with-tolerance, not a speedup
+  floor. Dispatch savings are asserted where they are measurable, in
+  ``dispatch_overhead``.
 * ``dispatch_overhead`` — the cost the tentpole actually removed,
   isolated: repeated dispatches of trivial tasks against the full bench
   trace. The legacy baseline pays pool spawn + megabytes of topology
@@ -126,9 +133,17 @@ def test_bench_exec_fig10_grid(once, benchmark, exec_journal):
     finally:
         executor.close()
 
-    speedup = legacy_s / max(warm_s, 1e-9)
     shrink = legacy_bytes / max(warm_bytes, 1)
-    benchmark.extra_info.update(jobs=JOBS, speedup_vs_legacy=round(speedup, 2))
+    # Compute-saturation framing: this grid is simulation-bound, so the
+    # honest throughput story is tasks/sec per job against the serial
+    # rate, not an end-to-end "speedup vs legacy" that mostly measures
+    # how many cores the host happens to have.
+    serial_rate = n_tasks / serial_s
+    warm_rate = n_tasks / warm_s
+    rate_per_job = warm_rate / JOBS
+    efficiency = rate_per_job / serial_rate
+    benchmark.extra_info.update(
+        jobs=JOBS, parallel_efficiency=round(efficiency, 2))
     exec_journal["fig10_grid"] = {
         "scenario": "fig10_grid",
         "jobs": JOBS,
@@ -136,8 +151,10 @@ def test_bench_exec_fig10_grid(once, benchmark, exec_journal):
         "serial_s": round(serial_s, 4),
         "legacy_s": round(legacy_s, 4),
         "warm_s": round(warm_s, 4),
-        "speedup_vs_legacy": round(speedup, 2),
-        "tasks_per_sec": round(n_tasks / warm_s, 2),
+        "tasks_per_sec": round(warm_rate, 2),
+        "serial_tasks_per_sec": round(serial_rate, 2),
+        "tasks_per_sec_per_job": round(rate_per_job, 2),
+        "parallel_efficiency": round(efficiency, 2),
         "legacy_pickled_bytes": int(legacy_bytes),
         "warm_pickled_bytes": int(warm_bytes),
         "pickle_shrink": round(shrink, 1),

@@ -9,9 +9,11 @@ Commands
     replications/sweep grid over ``N`` warm worker processes
     (bit-identical to serial) and reports an ``[exec]`` dispatch-stats
     line — tasks, chunks, pickled vs shared-memory bytes, pool spin-up,
-    per-task wall-time spread — on stderr; ``--cache-dir`` persists
-    result summaries so a repeated invocation is answered from the
-    cache.
+    per-task wall-time spread, replication-batch widths — on stderr;
+    ``--cache-dir`` persists result summaries so a repeated invocation
+    is answered from the cache; ``--reps-per-task R`` chunks R
+    replications into one task (auto by default: batch-capable
+    protocols run whole chunks as one ``(R, ...)`` engine call).
 ``run-scenario FILE.json [--jobs N] [--cache-dir PATH] [--summary PATH]``
     Run a declarative scenario file — a serialized
     :class:`repro.scenario.ScenarioGrid` (or a bare scenario object) —
@@ -62,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None, metavar="PATH",
             help="persist result summaries here; repeated invocations "
                  "with the same spec/topology/engine skip simulation",
+        )
+        p.add_argument(
+            "--reps-per-task", type=int, default=None, metavar="R",
+            help="replications per dispatched task (default: auto — "
+                 "replication-batchable scenarios run chunks of up to 32 "
+                 "reps as one (R, ...) batched engine call; 1 restores "
+                 "per-replication dispatch; results are bit-identical at "
+                 "any width)",
         )
 
     run = sub.add_parser("run", help="run one experiment and render it")
@@ -121,7 +131,8 @@ def _report_cache(args: argparse.Namespace) -> None:
 
 def _report_exec(args: argparse.Namespace) -> None:
     """Dispatch observability: what the execution layer actually moved."""
-    if getattr(args, "jobs", None) is None:
+    if (getattr(args, "jobs", None) is None
+            and getattr(args, "reps_per_task", None) is None):
         return
     from .exec import execution_context
 
@@ -144,7 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments import run_experiment_by_id
 
     try:
-        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir,
+                           reps_per_task=args.reps_per_task):
             try:
                 result = run_experiment_by_id(args.experiment, scale=args.scale)
             except KeyError as exc:
@@ -210,10 +222,12 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     try:
-        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir,
+                           reps_per_task=args.reps_per_task):
             ctx = execution_context()
             summaries = run_scenarios(grid.scenarios(),
-                                      executor=ctx.executor, store=ctx.store)
+                                      executor=ctx.executor, store=ctx.store,
+                                      reps_per_task=ctx.reps_per_task)
             _report_cache(args)
             _report_exec(args)
     except (NotADirectoryError, ValueError) as exc:
@@ -294,7 +308,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         return 2
     results = {}
     try:
-        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir):
+        with use_execution(jobs=args.jobs, cache_dir=args.cache_dir,
+                           reps_per_task=args.reps_per_task):
             for eid in ids:
                 print(f"running {eid} at scale {args.scale} ...", flush=True)
                 results[eid] = run_experiment_by_id(eid, scale=args.scale)

@@ -31,10 +31,18 @@ __all__ = [
 
 @dataclass
 class ExecutionContext:
-    """An executor/store pair every harness entry point runs through."""
+    """An executor/store pair every harness entry point runs through.
+
+    ``reps_per_task`` is the session's replication-chunking policy
+    (``--reps-per-task``): how many replications ride in one dispatched
+    task. ``None`` lets the runner auto-chunk batchable scenarios; it is
+    pure execution policy — results are bit-identical at any width — so
+    it lives here rather than on the scenarios themselves.
+    """
 
     executor: Executor
     store: ResultStore
+    reps_per_task: Optional[int] = None
 
     def close(self) -> None:
         """Release executor resources (warm worker pool, shared-memory
@@ -57,17 +65,20 @@ def configure_execution(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
+    reps_per_task: Optional[int] = None,
 ) -> ExecutionContext:
     """Install (and return) a new process-wide context.
 
     ``backend``/``jobs`` follow :func:`~repro.exec.executor.resolve_executor`
     (``jobs > 1`` alone selects the parallel backend); ``cache_dir``
-    upgrades the store from in-memory to persistent.
+    upgrades the store from in-memory to persistent; ``reps_per_task``
+    sets the replication-chunking width (``None`` = auto).
     """
     global _DEFAULT
     _DEFAULT = ExecutionContext(
         executor=resolve_executor(backend, jobs),
         store=ResultStore(cache_dir),
+        reps_per_task=reps_per_task,
     )
     return _DEFAULT
 
@@ -90,6 +101,7 @@ def use_execution(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
+    reps_per_task: Optional[int] = None,
 ) -> Iterator[ExecutionContext]:
     """Temporarily install a context, restoring the previous one on exit.
 
@@ -100,13 +112,15 @@ def use_execution(
     """
     global _DEFAULT
     previous = _DEFAULT
-    if backend is None and jobs is None and cache_dir is None:
+    if (backend is None and jobs is None and cache_dir is None
+            and reps_per_task is None):
         yield previous
         return
     ctx = None
     try:
         ctx = configure_execution(backend=backend, jobs=jobs,
-                                  cache_dir=cache_dir)
+                                  cache_dir=cache_dir,
+                                  reps_per_task=reps_per_task)
         yield ctx
     finally:
         _DEFAULT = previous

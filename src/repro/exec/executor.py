@@ -87,6 +87,22 @@ class ExecutorStats:
     task_s_total: float = 0.0
     task_s_min: float = math.inf
     task_s_max: float = 0.0
+    #: Replication batching (``--reps-per-task``): tasks that carried a
+    #: multi-replication chunk, how many replications rode in them, and
+    #: the widest chunk seen. Width-1 tasks are ordinary tasks and are
+    #: not counted here.
+    rep_batches: int = 0
+    batched_reps: int = 0
+    max_batch_width: int = 0
+
+    def note_rep_batches(self, widths: Sequence[int]) -> None:
+        """Meter replication-batched tasks (``widths`` in reps per task)."""
+        for w in widths:
+            if w > 1:
+                self.rep_batches += 1
+                self.batched_reps += int(w)
+                if w > self.max_batch_width:
+                    self.max_batch_width = int(w)
 
     def record_task_times(self, times: Sequence[float]) -> None:
         for t in times:
@@ -114,6 +130,9 @@ class ExecutorStats:
         self.task_s_total += other.task_s_total
         self.task_s_min = min(self.task_s_min, other.task_s_min)
         self.task_s_max = max(self.task_s_max, other.task_s_max)
+        self.rep_batches += other.rep_batches
+        self.batched_reps += other.batched_reps
+        self.max_batch_width = max(self.max_batch_width, other.max_batch_width)
 
     def __str__(self) -> str:
         lo, mean, hi = self.task_spread()
@@ -124,6 +143,11 @@ class ExecutorStats:
         ]
         if self.shared_bytes:
             parts.append(f"{_human_bytes(self.shared_bytes)} shared-memory")
+        if self.rep_batches:
+            parts.append(
+                f"{self.batched_reps} rep(s) in {self.rep_batches} "
+                f"batched task(s) (max {self.max_batch_width}/task)"
+            )
         if self.pool_spinups:
             parts.append(
                 f"{self.pool_spinups} pool spin-up(s) "

@@ -101,7 +101,8 @@ def run_spec(topo: Topology, spec: ExperimentSpec) -> RunSummary:
 def run_specs(topo: Topology, specs: Sequence[ExperimentSpec]) -> List[RunSummary]:
     """Run many specs in one dispatch through the execution context."""
     ctx = execution_context()
-    return run_experiments(topo, specs, executor=ctx.executor, store=ctx.store)
+    return run_experiments(topo, specs, executor=ctx.executor,
+                           store=ctx.store, reps_per_task=ctx.reps_per_task)
 
 
 def run_grid(grid: ScenarioGrid,
@@ -114,7 +115,8 @@ def run_grid(grid: ScenarioGrid,
     """
     ctx = execution_context()
     return run_scenarios(grid.scenarios(), executor=ctx.executor,
-                         store=ctx.store, topo=topo)
+                         store=ctx.store, topo=topo,
+                         reps_per_task=ctx.reps_per_task)
 
 
 def trace_spec(scale: str = "full", seed: int = DEFAULT_SEED) -> TopologySpec:

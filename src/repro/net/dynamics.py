@@ -25,7 +25,7 @@ import numpy as np
 
 from .topology import Topology
 
-__all__ = ["GilbertElliott"]
+__all__ = ["BatchGilbertElliott", "GilbertElliott"]
 
 #: Row budget for :meth:`GilbertElliott.advance` block draws: one chunk
 #: draws at most this many doubles, bounding peak memory on very long
@@ -39,6 +39,58 @@ class _GeParams:
     p_good_to_bad: float
     p_bad_to_good: float
     bad_factor: float
+
+
+def _step_bad(
+    bad: np.ndarray, rng: np.random.Generator, p_gb: float, p_bg: float
+) -> None:
+    """One Markov step on a 1-D BAD-flag array, in place."""
+    u = rng.random(bad.size)
+    go_bad = ~bad & (u < p_gb)
+    go_good = bad & (u < p_bg)
+    bad ^= go_bad | go_good
+
+
+def _advance_bad(
+    bad: np.ndarray,
+    rng: np.random.Generator,
+    k: int,
+    p_gb: float,
+    p_bg: float,
+) -> np.ndarray:
+    """``k`` Markov steps on a 1-D BAD-flag array via chunked block draws.
+
+    Bit-identical (state *and* stream) to ``k`` calls of :func:`_step_bad`
+    on the same generator; see :meth:`GilbertElliott.advance` for why the
+    closed form is exact. Returns the final flags (may be a new array).
+    """
+    lo, hi = min(p_gb, p_bg), max(p_gb, p_bg)
+    forced_bad = p_gb > p_bg  # the forcing event lands on BAD
+    n = bad.size
+    # Chunk the block draw so a long idle span cannot balloon memory.
+    chunk = max(1, _ADVANCE_BLOCK_DRAWS // n)
+    done = 0
+    link_ix = np.arange(n)
+    while done < k:
+        m = min(chunk, k - done)
+        u = rng.random((m, n))
+        toggle = u < lo
+        n_toggles = toggle.sum(axis=0)
+        if lo == hi:
+            bad ^= (n_toggles & 1).astype(bool)
+        else:
+            force = (u < hi) & ~toggle
+            any_force = force.any(axis=0)
+            # Last forcing row per link; toggles strictly after it.
+            last = (m - 1) - np.argmax(force[::-1], axis=0)
+            cum = np.cumsum(toggle, axis=0)
+            after = n_toggles - np.where(
+                any_force, cum[last, link_ix], 0
+            )
+            base = np.where(any_force, forced_bad, bad)
+            bad = base ^ (after & 1).astype(bool)
+        done += m
+    return bad
 
 
 class GilbertElliott:
@@ -140,10 +192,12 @@ class GilbertElliott:
         """Advance every link's state by one slot (vectorized)."""
         if self._bad.size == 0:
             return
-        u = self._rng.random(self._bad.size)
-        go_bad = ~self._bad & (u < self._params.p_good_to_bad)
-        go_good = self._bad & (u < self._params.p_bad_to_good)
-        self._bad ^= go_bad | go_good
+        _step_bad(
+            self._bad,
+            self._rng,
+            self._params.p_good_to_bad,
+            self._params.p_bad_to_good,
+        )
 
     def advance(self, k: int) -> None:
         """Advance every link by ``k`` slots, bit-identical to ``k`` steps.
@@ -170,36 +224,13 @@ class GilbertElliott:
             raise ValueError(f"cannot advance by a negative count, got {k}")
         if k == 0 or self._bad.size == 0:
             return
-        p_gb = self._params.p_good_to_bad
-        p_bg = self._params.p_bad_to_good
-        lo, hi = min(p_gb, p_bg), max(p_gb, p_bg)
-        forced_bad = p_gb > p_bg  # the forcing event lands on BAD
-        n = self._bad.size
-        bad = self._bad
-        # Chunk the block draw so a long idle span cannot balloon memory.
-        chunk = max(1, _ADVANCE_BLOCK_DRAWS // n)
-        done = 0
-        link_ix = np.arange(n)
-        while done < k:
-            m = min(chunk, k - done)
-            u = self._rng.random((m, n))
-            toggle = u < lo
-            n_toggles = toggle.sum(axis=0)
-            if lo == hi:
-                bad ^= (n_toggles & 1).astype(bool)
-            else:
-                force = (u < hi) & ~toggle
-                any_force = force.any(axis=0)
-                # Last forcing row per link; toggles strictly after it.
-                last = (m - 1) - np.argmax(force[::-1], axis=0)
-                cum = np.cumsum(toggle, axis=0)
-                after = n_toggles - np.where(
-                    any_force, cum[last, link_ix], 0
-                )
-                base = np.where(any_force, forced_bad, bad)
-                bad = base ^ (after & 1).astype(bool)
-            done += m
-        self._bad = bad
+        self._bad = _advance_bad(
+            self._bad,
+            self._rng,
+            k,
+            self._params.p_good_to_bad,
+            self._params.p_bad_to_good,
+        )
 
     def gain(self, sender: int, receiver: int) -> float:
         """Current PRR multiplier of a directed link (1.0 when GOOD)."""
@@ -213,3 +244,150 @@ class GilbertElliott:
         return self._topo.link_prr(sender, receiver) * self.gain(
             sender, receiver
         )
+
+
+class _RepGainView:
+    """Single-replication read-only adapter over a batch's link states.
+
+    Quacks like :class:`GilbertElliott` for the one method the channel
+    resolver calls (:meth:`gain`), so the batched engine can hand a
+    contended replication to the serial ``resolve_slot`` unchanged.
+    """
+
+    def __init__(self, batch: "BatchGilbertElliott", rep: int):
+        self._batch = batch
+        self._rep = int(rep)
+
+    def gain(self, sender: int, receiver: int) -> float:
+        return self._batch.gain(self._rep, sender, receiver)
+
+
+class BatchGilbertElliott:
+    """R independent Gilbert-Elliott universes with a leading R axis.
+
+    Each replication keeps its own generator and its own BAD-flag row of
+    the ``(R, n_links)`` state matrix; stepping/advancing replication
+    ``k`` consumes exactly the doubles a standalone
+    :class:`GilbertElliott` seeded with the same stream would, so any row
+    extracted from the batch is bit-identical to its serial twin.
+
+    Build it with :meth:`from_instances` from the per-replication
+    instances the serial runner would have constructed — their
+    stationary-init draws have then already been consumed from the right
+    streams.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        params: _GeParams,
+        bad: np.ndarray,
+        rngs: "list[np.random.Generator]",
+    ):
+        if bad.ndim != 2 or bad.shape[0] != len(rngs):
+            raise ValueError(
+                f"bad flags must be (R, n_links) matching {len(rngs)} rngs, "
+                f"got shape {bad.shape}"
+            )
+        self._topo = topo
+        self._params = params
+        self._bad = bad
+        self._rngs = rngs
+        rows, cols = np.nonzero(topo.adjacency)
+        self._rows = rows
+        self._cols = cols
+        n = topo.adjacency.shape[0]
+        #: (sender, receiver) -> link column, -1 for non-links.
+        self._pair_idx = np.full((n, n), -1, dtype=np.int64)
+        self._pair_idx[rows, cols] = np.arange(rows.size)
+
+    @classmethod
+    def from_instances(
+        cls, instances: "list[GilbertElliott]"
+    ) -> "BatchGilbertElliott":
+        """Stack per-replication instances into one (R, n_links) batch."""
+        if not instances:
+            raise ValueError("need at least one replication instance")
+        first = instances[0]
+        for inst in instances[1:]:
+            if inst._params != first._params or inst._topo is not first._topo:
+                raise ValueError(
+                    "replications must share topology and parameters"
+                )
+        bad = np.stack([inst._bad for inst in instances], axis=0)
+        return cls(
+            first._topo,
+            first._params,
+            bad,
+            [inst._rng for inst in instances],
+        )
+
+    @property
+    def n_reps(self) -> int:
+        return len(self._rngs)
+
+    @property
+    def n_links(self) -> int:
+        return int(self._rows.size)
+
+    @property
+    def bad_factor(self) -> float:
+        return self._params.bad_factor
+
+    def step_reps(self, rep_ids: np.ndarray) -> None:
+        """One Markov step for each listed replication.
+
+        Draws come from each replication's own stream (one call per
+        replication, matching the serial consumption order); the state
+        update itself is row-local so the loop is the only scalar part.
+        """
+        if self._bad.shape[1] == 0:
+            return
+        p = self._params
+        for k in rep_ids:
+            _step_bad(
+                self._bad[int(k)], self._rngs[int(k)],
+                p.p_good_to_bad, p.p_bad_to_good,
+            )
+
+    def advance_rep(self, rep: int, k: int) -> None:
+        """Advance one replication by ``k`` slots (lazy catch-up)."""
+        if k < 0:
+            raise ValueError(f"cannot advance by a negative count, got {k}")
+        if k == 0 or self._bad.shape[1] == 0:
+            return
+        p = self._params
+        self._bad[int(rep)] = _advance_bad(
+            self._bad[int(rep)], self._rngs[int(rep)], k,
+            p.p_good_to_bad, p.p_bad_to_good,
+        )
+
+    def gain(self, rep: int, sender: int, receiver: int) -> float:
+        """Current PRR multiplier of a link in one replication."""
+        idx = self._pair_idx[sender, receiver]
+        if idx < 0:
+            return 0.0
+        return (
+            self._params.bad_factor if self._bad[rep, idx] else 1.0
+        )
+
+    def gains(
+        self, kk: np.ndarray, ss: np.ndarray, rr: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`gain` over (replication, sender, receiver)."""
+        idx = self._pair_idx[ss, rr]
+        valid = idx >= 0
+        out = np.zeros(len(kk), dtype=np.float64)
+        if valid.any():
+            vk = kk[valid]
+            bad = self._bad[vk, idx[valid]]
+            out[valid] = np.where(bad, self._params.bad_factor, 1.0)
+        return out
+
+    def view(self, rep: int) -> _RepGainView:
+        """A serial-shaped gain adapter for one replication."""
+        return _RepGainView(self, rep)
+
+    def rep_state(self, rep: int) -> np.ndarray:
+        """Copy of one replication's BAD flags (tests/diagnostics)."""
+        return self._bad[int(rep)].copy()

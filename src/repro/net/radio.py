@@ -39,7 +39,9 @@ __all__ = [
     "Reception",
     "SlotOutcome",
     "RadioModel",
+    "RepSlotOutcome",
     "resolve_slot",
+    "resolve_slot_reps",
     "carrier_sense_groups",
     "csma_select",
 ]
@@ -462,6 +464,285 @@ def resolve_slot(
     return outcome
 
 
+class RepSlotOutcome:
+    """Structure-of-arrays slot outcome across R replications.
+
+    The replication-batched pipeline's analogue of :class:`SlotOutcome`:
+    receptions and failures carry an explicit replication id per entry so
+    the apply stage can scatter them back onto the (R, …) state stacks.
+    Entry order within one replication is receiver-ascending for
+    receptions (matching the serial resolver) and batch-row order for
+    failures; replications appear grouped but their relative order is an
+    implementation detail — per-replication *state* never depends on it.
+    """
+
+    __slots__ = (
+        "rec_rep", "rec_receiver", "rec_sender", "rec_packet",
+        "rec_overheard", "fail_rep", "fail_sender", "collision_counts",
+    )
+
+    def __init__(self, rec_rep, rec_receiver, rec_sender, rec_packet,
+                 rec_overheard, fail_rep, fail_sender, collision_counts):
+        self.rec_rep = rec_rep
+        self.rec_receiver = rec_receiver
+        self.rec_sender = rec_sender
+        self.rec_packet = rec_packet
+        self.rec_overheard = rec_overheard
+        self.fail_rep = fail_rep
+        self.fail_sender = fail_sender
+        #: replication id -> number of collision-destroyed transmissions.
+        self.collision_counts = collision_counts
+
+    @classmethod
+    def empty(cls) -> "RepSlotOutcome":
+        z = np.empty(0, np.int64)
+        return cls(z, z, z, z, np.empty(0, bool), z, z, {})
+
+
+def resolve_slot_reps(
+    kk: np.ndarray,
+    ss: np.ndarray,
+    rr: np.ndarray,
+    pp: np.ndarray,
+    topo: Topology,
+    awake_by_rep,
+    rngs,
+    model: RadioModel = RadioModel(),
+    dynamics=None,
+    awake_stack: Optional[np.ndarray] = None,
+) -> RepSlotOutcome:
+    """Resolve one slot's transmissions across R replications at once.
+
+    Parameters
+    ----------
+    kk, ss, rr, pp:
+        Parallel flat arrays: replication id (ascending groups), sender,
+        receiver, packet. Each replication's rows must appear in the
+        exact order the serial proposer would have emitted them.
+    awake_by_rep:
+        Indexable by replication id; sorted unique wake set per rep.
+        Ignored when ``awake_stack`` is supplied.
+    awake_stack:
+        Optional ``(R, n_nodes)`` boolean wake matrix (row per
+        replication id). Engines that cache wake sets per schedule phase
+        pass it to skip the per-replication mask scatter.
+    rngs:
+        Indexable by replication id; each replication's channel stream.
+    dynamics:
+        Optional :class:`~repro.net.dynamics.BatchGilbertElliott`.
+
+    Stream identity
+    ---------------
+    The resolver consumes each replication's channel stream exactly like
+    the serial :func:`resolve_slot`: one jitter block per replication
+    with transmissions (``collisions`` models, filled in sender-sorted
+    positions) and one Bernoulli draw per pending receiver in
+    ascending-receiver order. Contended receivers — the capture
+    tie-breaks — are re-derived per (replication, receiver) group on the
+    same row order the serial resolver would see, so every replication
+    stays bit-identical without routing whole replications through the
+    serial path.
+    """
+    T = int(ss.size)
+    if T == 0:
+        return RepSlotOutcome.empty()
+    n = topo.n_nodes
+
+    # kk arrives in ascending replication groups: boundary detection
+    # replaces np.unique's sort.
+    is_head = np.empty(T, dtype=bool)
+    is_head[0] = True
+    np.not_equal(kk[1:], kk[:-1], out=is_head[1:])
+    starts = np.flatnonzero(is_head)
+    rep_ids = kk[starts]
+    bounds = np.append(starts, T)
+    n_local = rep_ids.size
+    local = np.cumsum(is_head) - 1
+
+    # CSMA start-phase jitter: the serial resolver draws one block per
+    # replication per slot with transmissions, scattered to sender-sorted
+    # positions, before any receiver logic — even when nothing ends up
+    # contended.
+    rep_list = rep_ids.tolist()
+    jitter = None
+    if model.collisions:
+        draws = np.empty(T)
+        blist = bounds.tolist()
+        for li in range(n_local):
+            lo, hi = blist[li], blist[li + 1]
+            draws[lo:hi] = rngs[rep_list[li]].random(hi - lo)
+        # One global (replication, sender) sort lands every block draw on
+        # the same position the serial per-replication scatter used.
+        # (rep, sender) rows are duplicate-free, so the fused integer key
+        # sorts identically to lexsort((ss, kk)).
+        jitter = np.empty(T)
+        jitter[np.argsort(kk * n + ss, kind="stable")] = draws
+
+    # Per-replication receiver eligibility: awake and not transmitting.
+    if awake_stack is not None:
+        mask = awake_stack[rep_ids]  # fancy index -> private copy
+    else:
+        mask = np.zeros((n_local, n), dtype=bool)
+        for li in range(n_local):
+            mask[li, awake_by_rep[int(rep_ids[li])]] = True
+    mask[local, ss] = False
+    hits = topo.adjacency[ss] & mask[local]  # (T, n)
+    tx_idx, recv = np.nonzero(hits)
+
+    delivered = np.zeros(T, dtype=bool)
+    collision_counts = {}
+
+    if tx_idx.size:
+        key = local[tx_idx] * n + recv
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        tx_s = tx_idx[order]
+        recv_s = recv[order]
+        g_head = np.empty(key_s.size, dtype=bool)
+        g_head[0] = True
+        np.not_equal(key_s[1:], key_s[:-1], out=g_head[1:])
+        start_u = np.flatnonzero(g_head)
+        uniq = key_s[start_u]
+        counts = np.diff(np.append(start_u, key_s.size))
+        grp_rep_local = uniq // n
+        grp_recv = uniq % n
+        addr_s = rr[tx_s] == recv_s
+        addr_counts = np.add.reduceat(addr_s.astype(np.int64), start_u)
+
+        # Survivor per group. Vectorized cases: the single in-range
+        # frame, and — collision-free — the unique addressed frame among
+        # several.
+        surv_row = np.full(uniq.size, -1, dtype=np.int64)
+        single = counts == 1
+        surv_row[single] = tx_s[start_u[single]]
+        if model.collisions:
+            hard = np.flatnonzero(counts >= 2)
+        else:
+            multi = (~single) & (addr_counts == 1)
+            if multi.any():
+                idx_addr = np.flatnonzero(addr_s)
+                grp_of = np.searchsorted(
+                    start_u, idx_addr, side="right") - 1
+                pick = multi[grp_of]
+                surv_row[grp_of[pick]] = tx_s[idx_addr[pick]]
+            # Collision-free oracle picks with >= 2 addressed frames (or
+            # an overhearing pick among unaddressed ones) tie-break on
+            # row order — the per-group loop below re-derives them.
+            hard = np.flatnonzero(
+                (addr_counts >= 2)
+                | ((counts >= 2) & (addr_counts == 0) & model.overhearing)
+            )
+
+        if hard.size:
+            # Flatten the hard groups into one segmented array so every
+            # capture rule runs as a single lexsort + segment-head gather
+            # instead of a per-group Python call. lexsort is stable, so
+            # within a group ties keep ascending batch-row order — the
+            # exact tie-breaks of _resolve_contention_idx / np.argmax.
+            prr_all = topo.prr
+            stops_u = np.append(start_u[1:], key_s.size)
+            seg_len = (stops_u[hard] - start_u[hard]).astype(np.int64)
+            seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
+            total = int(seg_len.sum())
+            offs = np.arange(total) - np.repeat(seg_start, seg_len)
+            flat = np.repeat(start_u[hard], seg_len) + offs
+            gid = np.repeat(np.arange(hard.size), seg_len)
+            rows_f = tx_s[flat]
+            r_f = np.repeat(grp_recv[hard], seg_len)
+            send_f = ss[rows_f]
+            if not model.collisions:
+                # Oracle pick: best addressed frame, else (overhearing)
+                # best bystander frame.
+                vals = prr_all[send_f, r_f]
+                elig = addr_s[flat] | np.repeat(
+                    addr_counts[hard] == 0, seg_len)
+                ord_c = np.lexsort((-vals, ~elig, gid))
+                surv_row[hard] = rows_f[ord_c[seg_start]]
+            else:
+                surv_h = np.full(hard.size, -1, dtype=np.int64)
+                cap = np.zeros(hard.size, dtype=bool)
+                # 1. Power capture: strongest survives if it clears the
+                # runner-up (SIR margin with RSSI, PRR ratio without).
+                if topo.rssi is not None and model.capture_margin_db is not None:
+                    vals = topo.rssi[send_f, r_f]
+                    ord_p = np.lexsort((-vals, gid))
+                    v1 = vals[ord_p[seg_start]]
+                    v2 = vals[ord_p[seg_start + 1]]
+                    cap = v1 - v2 >= model.capture_margin_db
+                    surv_h[cap] = rows_f[ord_p[seg_start]][cap]
+                elif topo.rssi is None and model.capture_ratio is not None:
+                    vals = prr_all[send_f, r_f]
+                    ord_p = np.lexsort((-vals, gid))
+                    v1 = vals[ord_p[seg_start]]
+                    v2 = vals[ord_p[seg_start + 1]]
+                    cap = (v2 > 0) & (v1 >= model.capture_ratio * v2)
+                    surv_h[cap] = rows_f[ord_p[seg_start]][cap]
+                # 2. Preamble capture: earliest start survives if the
+                # next frame began at least capture_guard later.
+                if model.capture_guard < 1.0 and not cap.all():
+                    jit_f = jitter[rows_f]
+                    ord_g = np.lexsort((send_f, jit_f, gid))
+                    j_sorted = jit_f[ord_g]
+                    j1 = j_sorted[seg_start]
+                    j2 = j_sorted[seg_start + 1]
+                    pre = ~cap & (j2 - j1 >= model.capture_guard)
+                    surv_h[pre] = rows_f[ord_g[seg_start]][pre]
+                surv_row[hard] = surv_h
+                # 3. Collision accounting: every addressed frame except
+                # a surviving addressed one is destroyed.
+                safe = np.maximum(surv_h, 0)
+                surv_addr = (surv_h >= 0) & (rr[safe] == grp_recv[hard])
+                n_coll = addr_counts[hard] - surv_addr.astype(np.int64)
+                cc = np.zeros(n_local, dtype=np.int64)
+                np.add.at(cc, grp_rep_local[hard], n_coll)
+                for li in np.flatnonzero(cc).tolist():
+                    collision_counts[int(rep_ids[li])] = int(cc[li])
+
+        # Pending receivers across all replications, already in the
+        # serial (replication, ascending receiver) order from the group
+        # key sort above.
+        ok = surv_row >= 0
+        g_row = surv_row[ok]
+        g_recv = grp_recv[ok]
+        g_rep_local = grp_rep_local[ok]
+        is_addr = rr[g_row] == g_recv
+        keep = is_addr | model.overhearing
+        prr = topo.prr[ss[g_row], g_recv]
+        if dynamics is not None:
+            prr = prr * dynamics.gains(kk[g_row], ss[g_row], g_recv)
+        keep &= prr > 0.0
+        g_row, g_recv, g_rep_local = g_row[keep], g_recv[keep], g_rep_local[keep]
+        is_addr, prr = is_addr[keep], prr[keep]
+    else:
+        g_row = g_recv = g_rep_local = np.empty(0, dtype=np.int64)
+        is_addr = np.empty(0, dtype=bool)
+        prr = np.empty(0, dtype=np.float64)
+    # Bernoulli reception draws: one block per replication with pending
+    # receivers, exactly the serial draw, written into one flat buffer so
+    # the accept/gather stage runs once across all replications.
+    if model.lossless:
+        okd = np.ones(g_row.size, dtype=bool)
+    else:
+        pend_starts = np.searchsorted(
+            g_rep_local, np.arange(n_local + 1)).tolist()
+        rnd = np.empty(g_row.size)
+        for li in range(n_local):
+            p_lo, p_hi = pend_starts[li], pend_starts[li + 1]
+            if p_hi > p_lo:
+                rnd[p_lo:p_hi] = rngs[rep_list[li]].random(p_hi - p_lo)
+        okd = rnd < prr
+    acc_rows = g_row[okd]
+    addr_ok = is_addr[okd]
+    delivered[acc_rows[addr_ok]] = True
+
+    # Failures: undelivered rows in batch order (the serial order).
+    fail_rows = np.flatnonzero(~delivered)
+    return RepSlotOutcome(
+        rep_ids[g_rep_local[okd]], g_recv[okd], ss[acc_rows], pp[acc_rows],
+        ~addr_ok, kk[fail_rows], ss[fail_rows], collision_counts,
+    )
+
+
 def csma_select(
     ranked_senders: Sequence[int], topo: Topology
 ) -> Tuple[List[int], Dict[int, List[int]]]:
@@ -515,6 +796,44 @@ def csma_select(
         win_rows[n_win] = i
         n_win += 1
     return winners, deferrals
+
+
+def csma_select_reps(
+    groups: np.ndarray, senders: np.ndarray, topo: Topology
+) -> np.ndarray:
+    """Winners-only :func:`csma_select` across independent groups.
+
+    ``groups`` holds an ascending group index (one group per
+    replication) for each candidate; within a group candidates appear in
+    back-off rank order, duplicate-free. Returns a boolean winner mask —
+    per group, exactly ``csma_select``'s winners (a candidate defers iff
+    it can hear an earlier winner of its own group) without the deferral
+    attribution the batched callers never use.
+    """
+    win = np.zeros(senders.size, dtype=bool)
+    if senders.size == 0:
+        return win
+    heard = np.zeros((int(groups[-1]) + 1, topo.n_nodes), dtype=bool)
+    audible = topo.audible
+    # Round-based greedy: each round, the earliest-ranked candidate of
+    # every group that hears no winner yet transmits. Equivalent to the
+    # sequential scan — ``heard`` only grows, so a deferred candidate
+    # stays deferred and the earliest eligible candidate each round is
+    # exactly the scan's next winner — but each round is one vector pass
+    # instead of a Python iteration per candidate.
+    idx = np.arange(senders.size)
+    while idx.size:
+        g = groups[idx]
+        first = np.empty(idx.size, dtype=bool)
+        first[0] = True
+        np.not_equal(g[1:], g[:-1], out=first[1:])
+        winners = idx[first]
+        win[winners] = True
+        heard[groups[winners]] |= audible[senders[winners]]
+        idx = idx[~first]
+        if idx.size:
+            idx = idx[~heard[groups[idx], senders[idx]]]
+    return win
 
 
 def carrier_sense_groups(

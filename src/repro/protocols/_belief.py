@@ -29,7 +29,7 @@ import numpy as np
 
 from ..net.topology import Topology
 
-__all__ = ["NeighborBelief"]
+__all__ = ["NeighborBelief", "RepNeighborBelief"]
 
 
 def _index_array(x) -> np.ndarray:
@@ -223,3 +223,206 @@ class NeighborBelief:
             & self._nbr_valid
         )
         return self._nbr_pad[offers]
+
+
+class RepNeighborBelief:
+    """R independent :class:`NeighborBelief` universes in one array.
+
+    Replication ``rep``'s slice evolves exactly like a standalone
+    :class:`NeighborBelief` driven by that replication's observations,
+    so belief-limited decisions extracted from the batch match their
+    serial twins bit for bit.
+
+    For M <= 64 packets the backing store packs the packet axis into
+    uint64 words (packet ``m`` -> bit ``m``, shape ``(R, n_nodes,
+    max_degree)``): belief updates and frontier offer scans become 2-D
+    word gathers instead of 3-D boolean gathers plus an (M,) reduction.
+    Wider workloads fall back to the ``(R, n_nodes, M, max_degree)``
+    boolean tensor.
+    """
+
+    def __init__(self, topo: Topology, n_packets: int, n_reps: int):
+        if n_reps < 1:
+            raise ValueError("need at least one replication")
+        template = NeighborBelief(topo, n_packets)
+        self._pair_col = template._pair_col
+        self._nbr_pad = template._nbr_pad
+        self._nbr_valid = template._nbr_valid
+        self._n_packets = template._n_packets
+        if self._n_packets <= 64:
+            self._pow2 = np.uint64(1) << np.arange(
+                self._n_packets, dtype=np.uint64
+            )
+            n_nodes, _, max_deg = template._belief3d.shape
+            self._packed = np.zeros(
+                (int(n_reps), n_nodes, max_deg), dtype=np.uint64
+            )
+            self._full_word = np.uint64((1 << self._n_packets) - 1)
+            self._belief4 = None
+        else:
+            self._pow2 = None
+            self._packed = None
+            self._belief4 = np.zeros(
+                (int(n_reps),) + template._belief3d.shape, dtype=bool
+            )
+
+    @property
+    def n_reps(self) -> int:
+        if self._packed is not None:
+            return self._packed.shape[0]
+        return self._belief4.shape[0]
+
+    def needs_pairs(
+        self, kk: np.ndarray, observers: np.ndarray, receivers: np.ndarray
+    ) -> np.ndarray:
+        """(P, M) believed needs for flat (replication, observer, receiver)."""
+        cols = self._pair_col[observers, receivers]
+        if np.any(cols < 0):
+            bad = int(np.flatnonzero(cols < 0)[0])
+            raise KeyError(
+                f"node {int(receivers[bad])} is not an out-neighbor of "
+                f"{int(observers[bad])}"
+            )
+        if self._packed is not None:
+            words = self._packed[kk, observers, cols]
+            return (words[:, None] & self._pow2[None, :]) == 0
+        return ~self._belief4[kk, observers, :, cols]
+
+    def sync_possession(
+        self, rep: int, observer: int, receiver: int, held
+    ) -> None:
+        """Per-replication :meth:`NeighborBelief.sync_possession`."""
+        col = self._pair_col[observer, receiver]
+        if col < 0:
+            return
+        held_idx = _index_array(held)
+        if self._packed is not None:
+            if held_idx.size:
+                self._packed[rep, observer, col] |= np.bitwise_or.reduce(
+                    self._pow2[held_idx]
+                )
+            return
+        self._belief4[rep, observer, held_idx, col] = True
+
+    def sync_for_witnesses(
+        self, rep: int, witnesses, receiver: int, held
+    ) -> None:
+        """Per-replication :meth:`NeighborBelief.sync_for_witnesses`."""
+        w = _index_array(witnesses)
+        if w.size == 0:
+            return
+        held_idx = _index_array(held)
+        if held_idx.size == 0:
+            return
+        cols = self._pair_col[w, receiver]
+        keep = cols >= 0
+        if not keep.all():
+            w, cols = w[keep], cols[keep]
+            if w.size == 0:
+                return
+        if self._packed is not None:
+            self._packed[rep, w, cols] |= np.bitwise_or.reduce(
+                self._pow2[held_idx]
+            )
+            return
+        self._belief4[rep, w[:, None], held_idx[None, :], cols[:, None]] = True
+
+    def sync_pairs(
+        self,
+        kk: np.ndarray,
+        observers: np.ndarray,
+        receivers: np.ndarray,
+        held_rows: np.ndarray,
+    ) -> None:
+        """Batched :meth:`sync_possession` over flat observation tuples.
+
+        Tuple ``i`` has ``observers[i]`` (in replication ``kk[i]``)
+        absorb ``receivers[i]``'s possession summary ``held_rows[i]`` —
+        an ``(M,)`` boolean row. Non-neighbor evidence is dropped, like
+        the scalar form. Updates only ever set bits, so the batched OR
+        is order-independent and matches any serial application order.
+        """
+        cols = self._pair_col[observers, receivers]
+        keep = cols >= 0
+        if not keep.all():
+            kk, observers, cols = kk[keep], observers[keep], cols[keep]
+            held_rows = held_rows[keep]
+        if kk.size == 0:
+            return
+        if self._packed is not None:
+            # Any repeated (rep, observer, col) tuple carries an
+            # identical possession row (one reception per receiver per
+            # slot), so the plain fancy OR is exact.
+            words = (held_rows.astype(np.uint64) * self._pow2).sum(
+                axis=1, dtype=np.uint64
+            )
+            self._packed[kk, observers, cols] |= words
+            return
+        self._belief4[kk, observers, :, cols] |= held_rows
+
+    def sync_pairs_words(
+        self,
+        kk: np.ndarray,
+        observers: np.ndarray,
+        receivers: np.ndarray,
+        words: np.ndarray,
+    ) -> None:
+        """:meth:`sync_pairs` with possession already packed to words.
+
+        Only callable in the packed (M <= 64) regime — callers holding
+        an engine-maintained possession bitmask skip the (W, M) boolean
+        gather entirely.
+        """
+        cols = self._pair_col[observers, receivers]
+        keep = cols >= 0
+        if not keep.all():
+            kk, observers, cols = kk[keep], observers[keep], cols[keep]
+            words = words[keep]
+        if kk.size == 0:
+            return
+        self._packed[kk, observers, cols] |= words
+
+    def offer_pairs_reps(
+        self,
+        rep_ids: np.ndarray,
+        observers: np.ndarray,
+        receivers: np.ndarray,
+        has_stack: np.ndarray,
+        has_packed: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """(len(rep_ids), P) offer mask across replications.
+
+        ``has_stack`` is the ``(R, M, n_nodes)`` possession stack; pair
+        ``j`` offers in replication ``rep_ids[i]`` under the same
+        condition as :meth:`NeighborBelief.offer_pairs`. When the caller
+        supplies the engine-maintained ``(R, n)`` possession bitmask the
+        scan runs on packed words — two 2-D gathers and one uint64 op
+        per pair instead of the 3-D boolean gather.
+        """
+        cols = self._pair_col[observers, receivers]
+        if self._packed is not None:
+            bel = self._packed[
+                rep_ids[:, None], observers[None, :], cols[None, :]
+            ]
+            if has_packed is not None:
+                holds_w = has_packed[rep_ids[:, None], observers[None, :]]
+            else:
+                holds_w = (
+                    has_stack[rep_ids][:, :, observers].astype(np.uint64)
+                    * self._pow2[None, :, None]
+                ).sum(axis=1, dtype=np.uint64)
+            return (holds_w & ~bel) != 0
+        believed = self._belief4[
+            rep_ids[:, None], observers[None, :], :, cols[None, :]
+        ]  # (R', P, M)
+        holds = has_stack[rep_ids][:, :, observers].transpose(0, 2, 1)
+        return (holds & ~believed).any(axis=2)
+
+    def rep_state(self, rep: int) -> np.ndarray:
+        """Copy of one replication's belief tensor (tests/diagnostics)."""
+        if self._packed is not None:
+            return (
+                self._packed[int(rep)][:, None, :]
+                & self._pow2[None, :, None]
+            ) != 0
+        return self._belief4[int(rep)].copy()

@@ -24,8 +24,8 @@ from ..net.radio import SlotOutcome, Transmission, TxBatch
 from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 
-__all__ = ["SimView", "FloodingProtocol", "register_protocol", "make_protocol",
-           "available_protocols", "NEVER", "earliest_wake"]
+__all__ = ["SimView", "RepSimView", "FloodingProtocol", "register_protocol",
+           "make_protocol", "available_protocols", "NEVER", "earliest_wake"]
 
 #: Sentinel arrival for absent packets in FCFS computations (hoisted —
 #: ``np.iinfo`` on every call shows up hard in profiles).
@@ -188,6 +188,132 @@ class SimView:
         return view
 
 
+class RepSimView:
+    """Stacked read-only window across R replications of one scenario.
+
+    The replication-batched pipeline's analogue of :class:`SimView`:
+    possession and arrival matrices gain a leading replication axis
+    (``(R, M, n_nodes)``), schedules stay per-replication objects plus a
+    stacked ``(R, n_nodes)`` offsets matrix for vectorized wake queries.
+    The information-visibility contract is unchanged — a batched accessor
+    exposes exactly what R serial views would.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        schedules_list: "List[ScheduleTable]",
+        workload: FloodWorkload,
+        has_stack: np.ndarray,
+        arrival_stack: np.ndarray,
+    ):
+        self.topo = topo
+        self.schedules_list = schedules_list
+        self.workload = workload
+        self.has_stack = has_stack
+        self.arrival_stack = arrival_stack
+        self.offsets_stack = np.stack(
+            [np.asarray(s.offsets) for s in schedules_list]
+        )
+        self.period = int(schedules_list[0].period)
+        #: (R, n) buffer sizes, kept in sync by the engine as possession
+        #: changes so pair queries skip the (P, M) gather-and-sum.
+        self.held_counts = has_stack.sum(axis=1, dtype=np.int64)
+        #: (R, n) possession bitmask (packet m -> bit m), kept in sync by
+        #: the engine alongside ``held_counts``; lets frontier queries
+        #: compare whole buffers with one uint64 op instead of an (M,)
+        #: reduction. ``None`` when M exceeds the 64-bit word.
+        if self.n_packets <= 64:
+            pw = np.uint64(1) << np.arange(self.n_packets, dtype=np.uint64)
+            self.has_packed = (
+                has_stack.astype(np.uint64) * pw[None, :, None]
+            ).sum(axis=1, dtype=np.uint64)
+        else:
+            self.has_packed = None
+
+    @property
+    def n_reps(self) -> int:
+        return self.has_stack.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topo.n_nodes
+
+    @property
+    def n_packets(self) -> int:
+        return self.workload.n_packets
+
+    def rep_view(self, rep: int) -> SimView:
+        """Serial-shaped view of one replication (fallback paths)."""
+        return SimView(
+            self.topo, self.schedules_list[rep], self.workload,
+            self.has_stack[rep], self.arrival_stack[rep],
+        )
+
+    def fcfs_heads_pairs(
+        self, kk: np.ndarray, senders: np.ndarray, needs: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """FCFS heads for flat (replication, sender) pairs.
+
+        ``needs`` is ``(P, M)`` — row ``i`` is the needs mask believed by
+        ``senders[i]`` in replication ``kk[i]``. Returns ``(heads,
+        valid)`` exactly like :meth:`SimView.fcfs_heads_batch`.
+        """
+        cand = self.has_stack[kk, :, senders] & needs  # (P, M)
+        arrivals = np.where(
+            cand, self.arrival_stack[kk, :, senders], _INT64_MAX)
+        return arrivals.argmin(axis=1), cand.any(axis=1)
+
+    def held_counts_pairs(
+        self, kk: np.ndarray, nodes: np.ndarray
+    ) -> np.ndarray:
+        """Buffer sizes for flat (replication, node) pairs."""
+        return self.held_counts[kk, nodes]
+
+    def fcfs_heads_masked(
+        self, kk: np.ndarray, senders: np.ndarray, cand: np.ndarray
+    ) -> np.ndarray:
+        """FCFS heads when the (P, M) candidate mask is already known.
+
+        ``cand`` rows must be non-empty (callers pre-filter with the
+        packed-word validity test); returns the earliest-arrival packet
+        per row under the same argmin tie-break as
+        :meth:`fcfs_heads_pairs`.
+        """
+        arrivals = np.where(
+            cand, self.arrival_stack[kk, :, senders], _INT64_MAX)
+        return arrivals.argmin(axis=1)
+
+    def earliest_wakes(
+        self, t: int, rep_ids: np.ndarray, frontier: np.ndarray,
+        offers: np.ndarray, off_frontier: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Per-replication :func:`earliest_wake` over a masked frontier.
+
+        ``frontier`` holds candidate receiver node ids; ``offers`` is
+        ``(len(rep_ids), len(frontier))`` marking which of them each
+        replication could still serve. Returns one sound lower bound per
+        replication (:data:`NEVER` where no receiver offers).
+
+        ``off_frontier`` may carry the precomputed ``(R, len(frontier))``
+        offset gather for protocols whose frontier is static — queries
+        then skip the per-call node-axis fancy index.
+        """
+        if frontier.size == 0:
+            return np.full(len(rep_ids), NEVER, dtype=np.int64)
+        if off_frontier is None:
+            off = self.offsets_stack[rep_ids[:, None], frontier[None, :]]
+        else:
+            off = off_frontier[rep_ids]
+        # Offsets live in [0, period), so the modular next-wake formula
+        # collapses to a period-length lookup table per query slot.
+        nxt = t + 1
+        wake_map = nxt + (
+            (np.arange(self.period, dtype=np.int64) - nxt) % self.period
+        )
+        return np.where(offers, wake_map[off], NEVER).min(axis=1)
+
+
 class FloodingProtocol(ABC):
     """Base class for flooding protocols.
 
@@ -273,6 +399,60 @@ class FloodingProtocol(ABC):
         skip), which keeps any protocol correct.
         """
         return t + 1
+
+    # -- Replication-batched interface ---------------------------------
+    #
+    # Batch-native protocols (currently OPT/designated and DBAO) answer
+    # True from ``rep_batchable`` and implement the ``*_reps`` methods;
+    # every other protocol keeps the defaults and the runner falls back
+    # to replication-by-replication serial runs (documented in
+    # DESIGN.md's "replication axis" section).
+
+    def rep_batchable(self) -> bool:
+        """Whether this instance supports (R, …) batched proposals."""
+        return False
+
+    def prepare_reps(
+        self,
+        topo: Topology,
+        schedules_list: "List[ScheduleTable]",
+        workload: FloodWorkload,
+        rngs: "List[np.random.Generator]",
+    ) -> None:
+        """One-time setup across R replications.
+
+        Must leave each replication's protocol state exactly as R serial
+        :meth:`prepare` calls would have, consuming each replication's
+        stream identically (the batch-native protocols consume none).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not replication-batchable"
+        )
+
+    def propose_reps(
+        self, t: int, rep_ids: np.ndarray, awake_by_rep, view: RepSimView
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Batched proposal: flat ``(kk, senders, receivers, packets)``.
+
+        ``rep_ids`` lists the replications executing slot ``t`` with a
+        non-empty wake set, ascending; rows must come back grouped by
+        replication in that order, and **within each replication in the
+        exact row order the serial :meth:`propose_batch` would emit** —
+        capture tie-breaking in the channel depends on it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not replication-batchable"
+        )
+
+    def observe_reps(self, t: int, outcome, view: RepSimView) -> None:
+        """Batched :meth:`observe` over a
+        :class:`~repro.net.radio.RepSlotOutcome`."""
+
+    def next_action_slots(
+        self, t: int, rep_ids: np.ndarray, view: RepSimView
+    ) -> np.ndarray:
+        """Per-replication :meth:`next_action_slot` bounds (sound, vectorized)."""
+        return np.full(len(rep_ids), t + 1, dtype=np.int64)
 
 
 _REGISTRY: Dict[str, Type[FloodingProtocol]] = {}

@@ -43,10 +43,16 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import TxBatch, csma_select
+from ..net.radio import TxBatch, csma_select, csma_select_reps
 from ..net.topology import SOURCE
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    register_protocol,
+)
 
 __all__ = ["Dbao", "forwarder_clique"]
 
@@ -261,3 +267,299 @@ class Dbao(FloodingProtocol):
                 self._belief.sync_for_witnesses(audience, rec.receiver, held)
             else:
                 self._belief.sync_possession(rec.sender, rec.receiver, held)
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # DBAO's proposal is already array-shaped per replication; the batch
+    # form simply prepends a replication column to the flat pair arrays
+    # and keys every per-sender/per-group reduction by (replication,
+    # sender). Belief state moves into a 4-D RepNeighborBelief; the CSMA
+    # back-off walk runs once over all replications' ranked candidates
+    # (csma_select_reps) and the observe-time belief syncs collapse into
+    # one batched update per slot.
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare reads only the period (identical across reps)
+        # and consumes no randomness; swap the belief store for the
+        # replication-stacked backing afterwards.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_belief = RepNeighborBelief(
+            topo, workload.n_packets, len(schedules_list)
+        )
+        self._rep_schedules = list(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        # Static forwarder cliques flattened once: per-phase row builds
+        # gather ranges out of these instead of concatenating hundreds
+        # of per-receiver arrays.
+        self._fwd_sizes = np.fromiter(
+            (f.size for f in self._fwd_arrays), np.int64,
+            count=len(self._fwd_arrays),
+        )
+        self._fwd_starts = np.concatenate(
+            ([0], np.cumsum(self._fwd_sizes))
+        )
+        self._fwd_flat = np.concatenate(self._fwd_arrays)
+        self._fwd_prr_flat = np.concatenate(self._fwd_prr)
+        self._contender_k = None
+        self._contender_s = None
+        self._contender_r = None
+        self._off_frontier = None
+
+    def _phase_rows(self, phase: int):
+        """All-replication candidate rows for one schedule phase.
+
+        Wake sets repeat every period per replication, so the flat
+        (replication, sender, receiver, prr, sender-awake) concatenation
+        across *all* replications is itself periodic — built once per
+        phase and reused for the rest of the run.
+        """
+        hit = self._rep_phase_cache.get(phase)
+        if hit is not None:
+            return hit
+        kk_parts: List[np.ndarray] = []
+        s_parts: List[np.ndarray] = []
+        r_parts: List[np.ndarray] = []
+        p_parts: List[np.ndarray] = []
+        aw_parts: List[np.ndarray] = []
+        awake_mask = np.zeros(self._topo.n_nodes, dtype=bool)
+        for k, sched in enumerate(self._rep_schedules):
+            aw = sched.awake_at(phase)
+            if aw.size == 0:
+                continue
+            awake_mask[aw] = True
+            recv = aw[aw != SOURCE]
+            sz = self._fwd_sizes[recv]
+            total = int(sz.sum())
+            if total:
+                seg = np.concatenate(([0], np.cumsum(sz)[:-1]))
+                idx = (np.repeat(self._fwd_starts[recv] - seg, sz)
+                       + np.arange(total))
+                s_part = self._fwd_flat[idx]
+                kk_parts.append(np.full(total, k, dtype=np.int64))
+                s_parts.append(s_part)
+                r_parts.append(np.repeat(recv, sz))
+                p_parts.append(self._fwd_prr_flat[idx])
+                aw_parts.append(awake_mask[s_part])
+            awake_mask[aw] = False
+        if kk_parts:
+            kk = np.concatenate(kk_parts)
+            s_flat = np.concatenate(s_parts)
+            r_flat = np.concatenate(r_parts)
+            prr_flat = np.concatenate(p_parts)
+            sender_awake = np.concatenate(aw_parts)
+            # Unique (replication, sender) pairs with a row inverse: the
+            # hold-something / listen gate is per pair, so propose_reps
+            # evaluates it on the (much smaller) pair set and broadcasts.
+            key = kk * self._topo.n_nodes + s_flat
+            _, first_idx, inv = np.unique(
+                key, return_index=True, return_inverse=True)
+            # Rows stored pre-sorted by (rep, sender, best-prr,
+            # receiver): any row subset keeps this order under a boolean
+            # gather, so the per-slot receiver pick needs no lexsort and
+            # no index-array gathers — just masks over these arrays.
+            srows = np.lexsort((r_flat, -prr_flat, s_flat, kk))
+            # Belief columns are static per (sender, receiver) pair, so
+            # the per-slot packed-word scan skips the pair-map lookup.
+            col_flat = self._rep_belief._pair_col[s_flat, r_flat]
+            if np.any(col_flat < 0):
+                bad = int(np.flatnonzero(col_flat < 0)[0])
+                raise KeyError(
+                    f"node {int(r_flat[bad])} is not an out-neighbor of "
+                    f"{int(s_flat[bad])}"
+                )
+            # The listen rule's static part: a waking non-source sender
+            # is silenced iff its buffer is incomplete.
+            u_listen = sender_awake[first_idx] & (s_flat[first_idx] != SOURCE)
+            k_srt, s_srt, col_srt = kk[srows], s_flat[srows], col_flat[srows]
+            # Flattened gather indices (static per phase): per-slot word
+            # lookups become single `take` calls instead of multi-array
+            # advanced indexing.
+            n_nodes = self._topo.n_nodes
+            if self._rep_belief._packed is not None:
+                max_deg = self._rep_belief._packed.shape[2]
+                bel_idx = (k_srt * n_nodes + s_srt) * max_deg + col_srt
+            else:
+                bel_idx = np.empty(0, dtype=np.int64)
+            u_idx = kk[first_idx] * n_nodes + s_flat[first_idx]
+            rows = (
+                k_srt, s_srt, r_flat[srows], prr_flat[srows],
+                col_srt, kk[first_idx], s_flat[first_idx],
+                u_listen, inv[srows], bel_idx, u_idx,
+            )
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            rows = (empty, empty, empty, np.empty(0, dtype=np.float64),
+                    empty, empty, empty, np.empty(0, dtype=bool), empty,
+                    empty, empty)
+        self._rep_phase_cache[phase] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        self._contender_k = self._contender_s = self._contender_r = None
+
+        (k_srt, s_srt, r_srt, prr_srt, col_srt,
+         u_k, u_s, u_listen, inv_srt, bel_idx, u_idx) = self._phase_rows(
+            t % self._schedules.period
+        )
+        if k_srt.size == 0:
+            return empty, empty, empty, empty
+
+        belief = self._rep_belief
+        if belief._packed is not None and view.has_packed is not None:
+            # One fused gate: the pair-level possession word answers both
+            # the listen rule (incomplete buffer != full word) and —
+            # combined with the per-row belief word — row validity (the
+            # sender holds a bit the row's belief lacks, which subsumes
+            # "holds at least one packet"). A single boolean mask then
+            # compresses the phase rows once, and the FCFS argmin only
+            # runs on the chosen winner rows.
+            hw_u = view.has_packed.take(u_idx)
+            elig_u = ~(u_listen & (hw_u != belief._full_word))
+            if rep_ids.size < len(self._rep_schedules):
+                active = np.zeros(len(self._rep_schedules), dtype=bool)
+                active[rep_ids] = True
+                elig_u &= active[u_k]
+            cand_w = hw_u[inv_srt] & ~belief._packed.take(bel_idx)
+            keep = elig_u[inv_srt] & (cand_w != 0)
+            if not keep.any():
+                return empty, empty, empty, empty
+            k_e = k_srt[keep]
+            s_e = s_srt[keep]
+            r_e = r_srt[keep]
+            prr_e = prr_srt[keep]
+            w_e = cand_w[keep]
+
+            # Per-sender best receiver = first remaining row per
+            # (replication, sender).
+            first = np.ones(s_e.size, dtype=bool)
+            first[1:] = (s_e[1:] != s_e[:-1]) | (k_e[1:] != k_e[:-1])
+            chosen_k = k_e[first]  # ascending (rep, sender)
+            chosen_s = s_e[first]
+            chosen_r = r_e[first]
+            chosen_prr = prr_e[first]
+            cand = (w_e[first][:, None] & belief._pow2[None, :]) != 0
+            chosen_p = view.fcfs_heads_masked(chosen_k, chosen_s, cand)
+        else:
+            # Pair-level gate, evaluated once per unique (replication,
+            # sender): a sender must hold at least one packet (else no
+            # row of it can validate), and the listen rule silences a
+            # waking non-source node with an incomplete buffer.
+            counts_u = view.held_counts_pairs(u_k, u_s)
+            elig_u = (counts_u > 0) & ~(
+                u_listen & (counts_u < view.n_packets)
+            )
+            if rep_ids.size < len(self._rep_schedules):
+                active = np.zeros(len(self._rep_schedules), dtype=bool)
+                active[rep_ids] = True
+                elig_u &= active[u_k]
+            if not elig_u.any():
+                return empty, empty, empty, empty
+
+            # Surviving rows, already in (rep, sender, best-prr,
+            # receiver) order from the phase-level sort.
+            m = elig_u[inv_srt]
+            k_e = k_srt[m]
+            s_e = s_srt[m]
+            r_e = r_srt[m]
+            prr_e = prr_srt[m]
+
+            needs = belief.needs_pairs(k_e, s_e, r_e)
+            heads, valid = view.fcfs_heads_pairs(k_e, s_e, needs)
+            if not valid.any():
+                return empty, empty, empty, empty
+            k_e = k_e[valid]
+            s_e = s_e[valid]
+            r_e = r_e[valid]
+            prr_e = prr_e[valid]
+            h_e = heads[valid]
+
+            first = np.ones(s_e.size, dtype=bool)
+            first[1:] = (s_e[1:] != s_e[:-1]) | (k_e[1:] != k_e[:-1])
+            chosen_k = k_e[first]
+            chosen_s = s_e[first]
+            chosen_r = r_e[first]
+            chosen_p = h_e[first]
+            chosen_prr = prr_e[first]
+
+        if self.overhearing:
+            # Every contender that chose receiver r hears r's link-layer
+            # ACK, winner or not; observe_reps joins these against the
+            # slot's receptions in one batched sync.
+            self._contender_k = chosen_k
+            self._contender_s = chosen_s
+            self._contender_r = chosen_r
+
+        # Back-off rank within each replication, then one CSMA walk over
+        # all replications' ranked candidates. Winner rows come back in
+        # (replication, rank) order — the serial emission order.
+        rank = np.lexsort((chosen_s, -chosen_prr, chosen_k))
+        win = csma_select_reps(
+            np.searchsorted(rep_ids, chosen_k[rank]), chosen_s[rank],
+            self._topo,
+        )
+        rows = rank[win]
+        if rows.size == 0:
+            return empty, empty, empty, empty
+        return chosen_k[rows], chosen_s[rows], chosen_r[rows], chosen_p[rows]
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        sel = ~outcome.rec_overheard
+        if not sel.any():
+            return
+        rep_f = outcome.rec_rep[sel]
+        recv_f = outcome.rec_receiver[sel]
+        send_f = outcome.rec_sender[sel]
+        n = view.n_nodes
+
+        if self.overhearing and self._contender_k is not None:
+            # Witnesses: every contender whose chosen receiver got a
+            # non-overheard reception this slot. At most one such
+            # reception per (replication, receiver), so the keys join
+            # without ambiguity.
+            ckey = self._contender_k * n + self._contender_r
+            rkey = rep_f * n + recv_f
+            rkey_sorted = np.sort(rkey)
+            pos = np.searchsorted(rkey_sorted, ckey)
+            pos_c = np.minimum(pos, rkey_sorted.size - 1)
+            match = rkey_sorted[pos_c] == ckey
+            wk = self._contender_k[match]
+            w_obs = self._contender_s[match]
+            w_recv = self._contender_r[match]
+            # Receivers no contender chose (the winner always contends,
+            # so this is defensive parity with the serial path): the
+            # sender alone absorbs the summary.
+            ckey_sorted = np.sort(ckey)
+            rpos = np.searchsorted(ckey_sorted, rkey)
+            rpos_c = np.minimum(rpos, ckey_sorted.size - 1)
+            lone = ckey_sorted[rpos_c] != rkey
+            if lone.any():
+                wk = np.concatenate([wk, rep_f[lone]])
+                w_obs = np.concatenate([w_obs, send_f[lone]])
+                w_recv = np.concatenate([w_recv, recv_f[lone]])
+        else:
+            wk, w_obs, w_recv = rep_f, send_f, recv_f
+
+        if (self._rep_belief._packed is not None
+                and view.has_packed is not None):
+            self._rep_belief.sync_pairs_words(
+                wk, w_obs, w_recv, view.has_packed[wk, w_recv]
+            )
+        else:
+            self._rep_belief.sync_pairs(
+                wk, w_obs, w_recv, view.has_stack[wk, :, w_recv]
+            )
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        offers = self._rep_belief.offer_pairs_reps(
+            rep_ids, self._frontier_s, self._frontier_r, view.has_stack,
+            view.has_packed,
+        )
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )

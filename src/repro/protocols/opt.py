@@ -35,7 +35,13 @@ import numpy as np
 
 from ..net.radio import RadioModel, TxBatch
 from ..net.topology import SOURCE
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    register_protocol,
+)
 
 __all__ = ["OptOracle", "opt_radio_model"]
 
@@ -209,6 +215,179 @@ class OptOracle(FloodingProtocol):
                 receiving.add(r)
                 break
         return rows
+
+    # -- Replication-batched path (designated policy only) -------------
+    #
+    # The designated-server slot schedule decomposes exactly: each
+    # server's *candidate* commitment (which dependent, which packet) is
+    # independent of every other server's — dependents of one server are
+    # never dependents or chosen receivers of another (designation is
+    # unique), so ``deps == requests[s]`` always — and the only coupling
+    # is "server s stays silent iff its own designated server committed
+    # to *it* this slot", which is resolved strictly earlier in the
+    # ascending-ETX order. Candidate edges therefore form disjoint
+    # ETX-increasing paths, along which act/defer simply alternates from
+    # each path head. The batched path computes all candidates with array
+    # ops and resolves the alternation by pointer chasing; the "any"
+    # policy has no such decomposition (its greedy matching couples every
+    # receiver through the shared ``assigned`` set), so it stays serial.
+
+    def rep_batchable(self) -> bool:
+        return self.server_policy == "designated"
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare only reads the schedule period (identical across
+        # replications) and consumes no randomness.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._off_frontier = None
+        self._rep_phase_cache: dict = {}
+
+    def _phase_pairs(self, phase: int, awake_by_rep):
+        """Static (replication, server, receiver) request rows per phase.
+
+        Wake sets repeat every period, and the designated-server map is
+        static, so the sorted flat request list across all replications
+        only depends on the schedule phase — built once and reused.
+        """
+        hit = self._rep_phase_cache.get(phase)
+        if hit is not None:
+            return hit
+        kk_parts = []
+        rr_parts = []
+        for k, aw in enumerate(awake_by_rep):
+            ok = aw[(aw != SOURCE) & (self._designated[aw] >= 0)]
+            if ok.size:
+                kk_parts.append(np.full(ok.size, k, dtype=np.int64))
+                rr_parts.append(ok)
+        empty = np.empty(0, dtype=np.int64)
+        if kk_parts:
+            kk_r = np.concatenate(kk_parts)
+            rr_flat = np.concatenate(rr_parts)
+            ss_flat = self._designated[rr_flat]
+            order = np.lexsort((rr_flat, ss_flat, kk_r))
+            rows = (kk_r[order], ss_flat[order], rr_flat[order])
+        else:
+            rows = (empty, empty, empty)
+        self._rep_phase_cache[phase] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        assert self.server_policy == "designated"
+        n = self._topo.n_nodes
+        empty = np.empty(0, dtype=np.int64)
+
+        # Flat (replication, waking sensor) pairs with a live request,
+        # presorted by (replication, server, receiver) from the phase
+        # cache; subset gathers preserve that order.
+        kk_r, ss_flat, rr_flat = self._phase_pairs(
+            t % max(self._period, 1), awake_by_rep
+        )
+        if kk_r.size and rep_ids.size < view.n_reps:
+            active = np.zeros(view.n_reps, dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk_r]
+            kk_r, ss_flat, rr_flat = kk_r[keep], ss_flat[keep], rr_flat[keep]
+        cand_w = None
+        if kk_r.size:
+            hp = view.has_packed
+            if hp is not None:
+                # Packed possession words: "receiver still lacks a
+                # packet" and "server holds one of those" are single
+                # uint64 ops per row.
+                full = np.uint64((1 << view.n_packets) - 1)
+                recv_w = hp[kk_r, rr_flat]
+                needy = recv_w != full
+                kk_r, ss_flat, rr_flat = (
+                    kk_r[needy], ss_flat[needy], rr_flat[needy])
+                cand_w = hp[kk_r, ss_flat] & ~recv_w[needy]
+            else:
+                needy = ~view.has_stack[kk_r, :, rr_flat].all(axis=1)
+                kk_r, ss_flat, rr_flat = (
+                    kk_r[needy], ss_flat[needy], rr_flat[needy])
+        if kk_r.size == 0:
+            return empty, empty, empty, empty
+        P = kk_r.size
+        new_grp = np.ones(P, dtype=bool)
+        new_grp[1:] = (kk_r[1:] != kk_r[:-1]) | (ss_flat[1:] != ss_flat[:-1])
+        group_start = np.flatnonzero(new_grp)
+        G = group_start.size
+        L = np.diff(np.append(group_start, P))
+        g = np.repeat(np.arange(G), L)
+        pos = np.arange(P) - group_start[g]
+
+        # FCFS head per (server, dependent) pair; round-robin rotation
+        # picks each group's first valid head in rotated order.
+        if cand_w is not None:
+            heads = None
+            valid = cand_w != 0
+        else:
+            needs = ~view.has_stack[kk_r, :, rr_flat]
+            heads, valid = view.fcfs_heads_pairs(kk_r, ss_flat, needs)
+        rotation = t // max(self._period, 1)
+        rot = (pos - (rotation % L)[g]) % L[g]
+        big = P + 1
+        score = np.where(valid, rot, big)
+        enc = score * big + np.arange(P)
+        best = np.minimum.reduceat(enc, group_start)
+        has_cand = (best // big) < big
+        pick = (best % big)[has_cand]
+        if pick.size == 0:
+            return empty, empty, empty, empty
+
+        cand_k = kk_r[pick]
+        cand_s = ss_flat[pick]
+        cand_r = rr_flat[pick]
+        if cand_w is not None:
+            # The FCFS argmin only runs on the picked rows, unpacking
+            # their candidate words back to an (C, M) mask.
+            pw = np.uint64(1) << np.arange(view.n_packets, dtype=np.uint64)
+            cand = (cand_w[pick][:, None] & pw[None, :]) != 0
+            cand_h = view.fcfs_heads_masked(cand_k, cand_s, cand)
+        else:
+            cand_h = heads[pick]
+
+        # A server defers iff its own designated server committed to it.
+        # Chosen receivers are unique per replication, so the candidate
+        # edges s -> r form disjoint ETX-ascending paths; walk each
+        # candidate to its path head counting hops — even depth acts.
+        key_s = cand_k * n + cand_s
+        key_r = cand_k * n + cand_r
+        o = np.argsort(key_r)
+        sorted_r = key_r[o]
+        ins = np.searchsorted(sorted_r, key_s)
+        ins_c = np.minimum(ins, sorted_r.size - 1)
+        pred = np.where(sorted_r[ins_c] == key_s, o[ins_c], -1)
+        depth = np.zeros(pred.size, dtype=np.int64)
+        ptr = pred.copy()
+        while True:
+            live = ptr >= 0
+            if not live.any():
+                break
+            depth[live] += 1
+            ptr[live] = pred[ptr[live]]
+        act = (depth & 1) == 0
+
+        cand_k, cand_s = cand_k[act], cand_s[act]
+        cand_r, cand_h = cand_r[act], cand_h[act]
+        # Serial emission order: ascending (ETX cost, server) per rep.
+        emit = np.lexsort((cand_s, self._etx_cost[cand_s], cand_k))
+        return cand_k[emit], cand_s[emit], cand_r[emit], cand_h[emit]
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        assert self.server_policy == "designated"
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        if view.has_packed is not None:
+            hp = view.has_packed[rep_ids]
+            offers = (hp[:, self._frontier_s] & ~hp[:, self._frontier_r]) != 0
+        else:
+            has = view.has_stack[rep_ids]
+            offers = (
+                has[:, :, self._frontier_s] & ~has[:, :, self._frontier_r]
+            ).any(axis=1)
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )
 
     def _propose_any(
         self, t, awake, view, is_receiving_priority, period_parity

@@ -1,0 +1,449 @@
+"""Replication-batched flood engine: R independent floods in lockstep.
+
+:func:`run_flood_batch` runs R replications of *one scenario* (same
+topology, workload, radio model; per-replication schedules and streams)
+through a single staged slot loop over ``(R, …)`` state stacks. Each
+replication's trajectory is **bit-identical** to what R separate
+:func:`~repro.sim.engine.run_flood` calls would produce — same channel
+draws, same fast-forward jumps, same counters — because every layer of
+the batch (``replication_streams``, :class:`BatchGilbertElliott`,
+:func:`resolve_slot_reps`, the batched protocol proposers) preserves the
+serial per-replication stream consumption exactly. The batch is purely a
+throughput device: one ``propose``/``resolve``/``apply`` sweep amortises
+the Python interpreter and NumPy dispatch overhead across R floods.
+
+Replications advance on their own clocks: the loop executes the earliest
+pending slot across live replications, and only the replications whose
+``t_next`` matches participate. Fast-forward therefore composes with
+batching — a replication that proves a long quiescent span simply sits
+out the intermediate slots while denser replications churn, with lazy
+per-replication Gilbert-Elliott catch-up keeping link-dynamics streams
+exact.
+
+Scope: the batch path supports the paper's core configuration —
+single-wake-slot schedules, no clock skew, no event log, no extra
+observers, no Fig. 9 probe floods. The runner falls back to serial
+:func:`run_flood` per replication otherwise (see
+:func:`supports_rep_batching` and ``repro.sim.runner``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.dynamics import BatchGilbertElliott
+from ..net.packet import FloodWorkload
+from ..net.radio import Transmission, resolve_slot_reps
+from ..net.schedule import ScheduleTable
+from ..net.topology import SOURCE, Topology
+from ..protocols.base import FloodingProtocol, RepSimView
+from .energy import EnergyLedger
+from .engine import (
+    _LONG_JUMP,
+    FloodResult,
+    SimConfig,
+    _default_horizon,
+    _raise_invalid_proposal,
+)
+from .metrics import FloodMetrics, PacketDelays, coverage_threshold
+
+__all__ = ["run_flood_batch", "supports_rep_batching"]
+
+
+def supports_rep_batching(
+    protocol: FloodingProtocol, config: SimConfig
+) -> bool:
+    """Whether ``(protocol, config)`` can take the batched engine path.
+
+    The event log records per-frame history the batch does not
+    materialise, so ``track_events`` forces the serial engine; everything
+    else the config carries (radio model, coverage target, horizon,
+    fast-forward) batches exactly.
+    """
+    return protocol.rep_batchable() and not config.track_events
+
+
+def _raise_invalid_batch(
+    protocol: FloodingProtocol,
+    t: int,
+    kk: np.ndarray,
+    ss: np.ndarray,
+    rr: np.ndarray,
+    pp: np.ndarray,
+    has_stack: np.ndarray,
+    awake_mask: np.ndarray,
+) -> None:
+    """Cold path: find the offending replication, raise its serial error.
+
+    Replications are independent runs, so the batch reports the failure
+    of the lowest-numbered violating replication with exactly the
+    message its serial run would have raised.
+    """
+    reps, starts = np.unique(kk, return_index=True)
+    bounds = np.append(starts, kk.size)
+    for i, rep in enumerate(reps):
+        rep = int(rep)
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        sub_ss = ss[lo:hi]
+        violated = (
+            np.unique(sub_ss).size != hi - lo
+            or not has_stack[rep, pp[lo:hi], sub_ss].all()
+            or not awake_mask[rep, rr[lo:hi]].all()
+        )
+        if violated:
+            txs = [
+                Transmission(int(s), int(r), int(p))
+                for s, r, p in zip(sub_ss, rr[lo:hi], pp[lo:hi])
+            ]
+            _raise_invalid_proposal(
+                protocol, t, txs, has_stack[rep], awake_mask[rep]
+            )
+    raise AssertionError(
+        "batch validation flagged a proposal the per-frame checks accept"
+    )
+
+
+def run_flood_batch(
+    topo: Topology,
+    schedules_list: Sequence[ScheduleTable],
+    workload: FloodWorkload,
+    protocol: FloodingProtocol,
+    rngs: Sequence[np.random.Generator],
+    config: Optional[SimConfig] = None,
+    dynamics_list: Optional[Sequence] = None,
+) -> List[FloodResult]:
+    """Simulate R replications of one flood scenario in a single batch.
+
+    Parameters
+    ----------
+    topo, workload:
+        The substrate shared by every replication.
+    schedules_list:
+        One :class:`ScheduleTable` per replication (shared wake period).
+    protocol:
+        A fresh replication-batchable protocol instance
+        (:meth:`FloodingProtocol.rep_batchable`); ``prepare_reps`` is
+        called here.
+    rngs:
+        One channel stream per replication — the *same* streams the
+        serial runner would hand to :func:`run_flood` (see
+        :func:`repro.sim.rng.replication_streams`).
+    config:
+        Engine configuration, shared across replications
+        (``track_events`` is unsupported on this path).
+    dynamics_list:
+        Optional per-replication :class:`GilbertElliott` instances,
+        stacked into one :class:`BatchGilbertElliott`. All or none.
+
+    Returns one :class:`FloodResult` per replication, index-aligned with
+    ``schedules_list``, each bit-identical to its serial counterpart.
+    """
+    R = len(schedules_list)
+    if R == 0:
+        raise ValueError("need at least one replication")
+    if len(rngs) != R:
+        raise ValueError(
+            f"{R} replications but {len(rngs)} channel streams"
+        )
+    config = config or SimConfig()
+    if not supports_rep_batching(protocol, config):
+        raise ValueError(
+            f"protocol {protocol.name!r} / config cannot take the batched "
+            "path (see supports_rep_batching)"
+        )
+    for schedules in schedules_list:
+        if len(schedules) != topo.n_nodes:
+            raise ValueError(
+                f"schedule table covers {len(schedules)} nodes but "
+                f"topology has {topo.n_nodes}"
+            )
+    period = int(schedules_list[0].period)
+    if any(int(s.period) != period for s in schedules_list[1:]):
+        raise ValueError("replications must share one wake period")
+
+    batch_dyn = None
+    if dynamics_list is not None:
+        present = [d for d in dynamics_list if d is not None]
+        if present:
+            if len(present) != R:
+                raise ValueError(
+                    "link dynamics must be supplied for every replication "
+                    "or none"
+                )
+            batch_dyn = BatchGilbertElliott.from_instances(list(dynamics_list))
+
+    n = topo.n_nodes
+    M = workload.n_packets
+    horizon = config.max_slots or _default_horizon(topo, schedules_list[0], M)
+
+    eligible = topo.reachable_from_source()
+    eligible[SOURCE] = False  # coverage counts sensors only
+    n_eligible = int(eligible.sum())
+    if n_eligible == 0:
+        raise ValueError("no sensor is reachable from the source")
+    need_count = coverage_threshold(n_eligible, config.coverage_target)
+
+    # Injection cursors share one slot-sorted packet list (the workload
+    # is common); each replication drains it on its own clock.
+    generated = workload.generation_slots()
+    order = np.argsort(generated, kind="stable")
+    inject_order = order.astype(np.int64)
+    inject_slots = generated[order].astype(np.int64)
+    n_inject = len(inject_slots)
+
+    # (R, …) state stacks — the serial pipeline's arrays with a leading
+    # replication axis.
+    has_stack = np.zeros((R, M, n), dtype=bool)
+    arrival_stack = np.full((R, M, n), -1, dtype=np.int64)
+    covered = np.zeros((R, M), dtype=np.int64)
+    first_tx = np.full((R, M), -1, dtype=np.int64)
+    completed_at = np.full((R, M), -1, dtype=np.int64)
+    n_pending = np.full(R, M, dtype=np.int64)
+    inject_cursor = np.zeros(R, dtype=np.int64)
+    t_next = np.zeros(R, dtype=np.int64)
+    long_jump = np.zeros(R, dtype=bool)
+    done = np.zeros(R, dtype=bool)
+    # Last slot each replication's dynamics were stepped through, plus
+    # one: lazy catch-up advances exactly the slots the serial loop
+    # would have stepped or block-advanced.
+    dyn_clock = np.zeros(R, dtype=np.int64)
+
+    # Per-replication counters (CounterObserver's fields, vectorized).
+    c_attempts = np.zeros(R, dtype=np.int64)
+    c_failures = np.zeros(R, dtype=np.int64)
+    c_collisions = np.zeros(R, dtype=np.int64)
+    c_duplicates = np.zeros(R, dtype=np.int64)
+    c_overhears = np.zeros(R, dtype=np.int64)
+    # Per-(replication, node) energy counts (EnergyLedger's arrays).
+    e_tx = np.zeros((R, n), dtype=np.int64)
+    e_fail = np.zeros((R, n), dtype=np.int64)
+    e_rx = np.zeros((R, n), dtype=np.int64)
+
+    schedules_list = list(schedules_list)
+    rngs = list(rngs)
+    view = RepSimView(topo, schedules_list, workload, has_stack, arrival_stack)
+    pack_pw = (
+        np.uint64(1) << np.arange(M, dtype=np.uint64)
+        if view.has_packed is not None
+        else None
+    )
+    protocol.prepare_reps(topo, schedules_list, workload, rngs)
+
+    # Wake sets repeat every schedule period and are identical across
+    # slots with the same phase, so the per-phase wake lists and the
+    # (R, n) wake matrix are built once and reused for the whole run.
+    phase_cache: Dict[int, Tuple[List[np.ndarray], np.ndarray, np.ndarray]] = {}
+
+    def _phase_awake(t: int):
+        entry = phase_cache.get(t % period)
+        if entry is None:
+            lists = [s.awake_at(t) for s in schedules_list]
+            stack = np.zeros((R, n), dtype=bool)
+            for ki, aw in enumerate(lists):
+                stack[ki, aw] = True
+            entry = (lists, stack, stack.any(axis=1))
+            phase_cache[t % period] = entry
+        return entry
+
+    fast_forward = config.fast_forward
+    empty64 = np.empty(0, dtype=np.int64)
+    has_rows = np.zeros(R, dtype=bool)
+
+    while True:
+        active = np.flatnonzero(~done)
+        if active.size == 0:
+            break
+        t = int(t_next[active].min())
+        exec_reps = active[t_next[active] == t]
+
+        # Link dynamics: lazy per-replication catch-up over skipped
+        # slots (bit-identical block advance), then this slot's step.
+        if batch_dyn is not None:
+            for k in exec_reps:
+                gap = int(t - dyn_clock[k])
+                if gap:
+                    batch_dyn.advance_rep(int(k), gap)
+            batch_dyn.step_reps(exec_reps)
+            dyn_clock[exec_reps] = t + 1
+
+        # Inject arrivals and collect wake sets for this slot.
+        awake_by_rep, awake_stack, has_awake = _phase_awake(t)
+        pending_inject = exec_reps[inject_cursor[exec_reps] < n_inject]
+        for k in pending_inject:
+            ki = int(k)
+            cur = int(inject_cursor[ki])
+            while cur < n_inject and inject_slots[cur] <= t:
+                p = int(inject_order[cur])
+                has_stack[ki, p, SOURCE] = True
+                arrival_stack[ki, p, SOURCE] = t
+                view.held_counts[ki, SOURCE] += 1
+                if pack_pw is not None:
+                    view.has_packed[ki, SOURCE] |= pack_pw[p]
+                cur += 1
+            inject_cursor[ki] = cur
+        rep_ids = exec_reps[has_awake[exec_reps]]
+
+        if rep_ids.size:
+            kk, ss, rr, pp = protocol.propose_reps(
+                t, rep_ids, awake_by_rep, view
+            )
+        else:
+            kk = ss = rr = pp = empty64
+
+        if kk.size:
+            # Validate: the serial engine's mask checks, batched.
+            tx_keys = np.sort(kk * n + ss)
+            ok = (
+                bool((tx_keys[1:] != tx_keys[:-1]).all())
+                and bool(has_stack[kk, pp, ss].all())
+                and bool(awake_stack[kk, rr].all())
+            )
+            if not ok:
+                _raise_invalid_batch(
+                    protocol, t, kk, ss, rr, pp, has_stack, awake_stack
+                )
+
+            outcome = resolve_slot_reps(
+                kk, ss, rr, pp, topo, awake_by_rep, rngs, config.radio,
+                dynamics=batch_dyn, awake_stack=awake_stack,
+            )
+
+            # Counters + energy, scattered onto the replication axis.
+            # (rep, sender) rows are duplicate-free (validated above), as
+            # is their failure subset, so plain fancy increments apply.
+            c_attempts += np.bincount(kk, minlength=R)
+            e_tx[kk, ss] += 1
+            if outcome.fail_rep.size:
+                c_failures += np.bincount(outcome.fail_rep, minlength=R)
+                e_fail[outcome.fail_rep, outcome.fail_sender] += 1
+            for ki, count in outcome.collision_counts.items():
+                c_collisions[ki] += count
+
+            # First source push per packet ("pushed into the network").
+            src_rows = np.flatnonzero(ss == SOURCE)
+            if src_rows.size:
+                sk = kk[src_rows]
+                sp = pp[src_rows]
+                fresh = first_tx[sk, sp] < 0
+                first_tx[sk[fresh], sp[fresh]] = t
+
+            # Apply receptions. At most one reception per (replication,
+            # receiver) per slot, so the duplicate check against the
+            # pre-slot possession state is exact.
+            if outcome.rec_rep.size:
+                rk = outcome.rec_rep
+                rrv = outcome.rec_receiver
+                rpk = outcome.rec_packet
+                rov = outcome.rec_overheard
+                dup = has_stack[rk, rpk, rrv]
+                new = ~dup
+                dup_counted = rk[dup & ~rov]
+                if dup_counted.size:
+                    c_duplicates += np.bincount(dup_counted, minlength=R)
+                over_counted = rk[new & rov]
+                if over_counted.size:
+                    c_overhears += np.bincount(over_counted, minlength=R)
+                if new.any():
+                    nk = rk[new]
+                    nr = rrv[new]
+                    npk = rpk[new]
+                    has_stack[nk, npk, nr] = True
+                    arrival_stack[nk, npk, nr] = t
+                    # At most one reception per (rep, receiver) per slot,
+                    # so the fancy increments hit unique cells.
+                    view.held_counts[nk, nr] += 1
+                    if pack_pw is not None:
+                        view.has_packed[nk, nr] |= pack_pw[npk]
+                    e_rx[nk, nr] += 1
+                    elig = eligible[nr]
+                    if elig.any():
+                        ck = nk[elig]
+                        cp = npk[elig]
+                        np.add.at(covered, (ck, cp), 1)
+                        pairs = np.unique(ck * M + cp)
+                        uk = pairs // M
+                        up = pairs % M
+                        comp = (completed_at[uk, up] < 0) & (
+                            covered[uk, up] >= need_count
+                        )
+                        if comp.any():
+                            completed_at[uk[comp], up[comp]] = t
+                            np.add.at(n_pending, uk[comp], -1)
+
+            protocol.observe_reps(t, outcome, view)
+
+        # Fast-forward bookkeeping — the serial loop's skip-attempt
+        # policy, applied per replication with one batched frontier
+        # query for all replications that earn one this slot.
+        has_rows[:] = False
+        if kk.size:
+            has_rows[kk] = True
+        t1 = t + 1
+        t_next[exec_reps] = t1
+        rest = exec_reps[~has_rows[exec_reps] | long_jump[exec_reps]]
+        long_jump[rest] = False
+        if fast_forward and t1 < horizon and rest.size:
+            qids = rest[n_pending[rest] > 0]
+        else:
+            qids = empty64
+        if qids.size:
+            targets = protocol.next_action_slots(t, qids, view)
+            for i, ki in enumerate(qids.tolist()):
+                target = int(targets[i])
+                if target <= t1:
+                    t_next[ki] = t1
+                    continue
+                cur = int(inject_cursor[ki])
+                if cur < n_inject and inject_slots[cur] < target:
+                    target = int(inject_slots[cur])  # > t: inject(t) drained
+                    if target <= t1:
+                        t_next[ki] = t1
+                        continue
+                if target > horizon:
+                    target = horizon
+                long_jump[ki] = target - t1 >= _LONG_JUMP
+                t_next[ki] = target
+
+        finished = exec_reps[
+            (t_next[exec_reps] >= horizon) | (n_pending[exec_reps] == 0)
+        ]
+        done[finished] = True
+
+    # Per-replication result assembly, shaped exactly like run_flood's.
+    results: List[FloodResult] = []
+    for k in range(R):
+        ledger = EnergyLedger(n)
+        ledger.tx_attempts[:] = e_tx[k]
+        ledger.tx_failures[:] = e_fail[k]
+        ledger.rx_successes[:] = e_rx[k]
+        ledger.note_elapsed(int(t_next[k]))
+        ledger.validate()
+        metrics = FloodMetrics(
+            delays=PacketDelays(
+                generated=workload.generation_slots(),
+                first_tx=first_tx[k].copy(),
+                completed=completed_at[k].copy(),
+            ),
+            tx_attempts=int(c_attempts[k]),
+            tx_failures=int(c_failures[k]),
+            collisions=int(c_collisions[k]),
+            duplicates=int(c_duplicates[k]),
+            overhears=int(c_overhears[k]),
+            elapsed_slots=int(t_next[k]),
+            coverage_per_packet=covered[k] / n_eligible,
+            transmission_delay=None,
+            sleep_misses=0,
+        )
+        results.append(
+            FloodResult(
+                metrics=metrics,
+                has=has_stack[k].copy(),
+                arrival=arrival_stack[k].copy(),
+                ledger=ledger,
+                events=None,
+                completed=bool(n_pending[k] == 0),
+            )
+        )
+    return results

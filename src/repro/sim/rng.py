@@ -25,7 +25,12 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["RngStreams", "derive_seed", "spawn_generator"]
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "replication_streams",
+    "spawn_generator",
+]
 
 
 def derive_seed(root_seed: int, name: str) -> np.random.SeedSequence:
@@ -50,6 +55,20 @@ def derive_seed(root_seed: int, name: str) -> np.random.SeedSequence:
 def spawn_generator(root_seed: int, name: str) -> np.random.Generator:
     """Create an independent generator for ``(root_seed, name)``."""
     return np.random.default_rng(derive_seed(root_seed, name))
+
+
+def replication_streams(
+    root_seed: int, kind: str, reps: Iterable[int]
+) -> "list[np.random.Generator]":
+    """One generator per replication, bit-identical to the serial runner's.
+
+    The serial runner names its per-replication streams
+    ``f"{kind}/{rep}"`` (e.g. ``"channel/3"``); the batched engine pulls
+    the same decorrelated streams through this helper so that every
+    replication extracted from an (R, …) batch replays the exact doubles
+    its serial counterpart would have drawn.
+    """
+    return [spawn_generator(root_seed, f"{kind}/{int(rep)}") for rep in reps]
 
 
 class RngStreams:

@@ -27,6 +27,7 @@ trip.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,12 +38,19 @@ from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 from ..protocols.base import make_protocol
 from ..scenario import Scenario, as_scenario, build_topology
+from .batch import run_flood_batch, supports_rep_batching
 from .engine import FloodResult, SimConfig, run_flood
 from .rng import RngStreams, derive_seed
 
 __all__ = ["ExperimentSpec", "RunSummary", "run_replication",
+           "run_replication_chunk", "scenario_rep_batchable",
            "run_experiment", "run_experiments", "run_scenarios",
            "run_protocol_sweep"]
+
+#: Widest replication chunk the auto policy hands one task — wide enough
+#: to amortize per-slot dispatch across the batch, narrow enough that
+#: the (R, M, n) state stacks stay cache-friendly.
+_MAX_AUTO_REPS_PER_TASK = 32
 
 
 @dataclass(frozen=True)
@@ -197,21 +205,100 @@ def run_replication(topo: Topology, spec, rep: int) -> FloodResult:
     )
 
 
-def _scenario_task(
-    topo: Topology, scenarios: Sequence[Scenario], task: Tuple[int, int]
-) -> FloodResult:
+def scenario_rep_batchable(scenario) -> bool:
+    """Whether a scenario's replications can share one batched engine run.
+
+    The batched path covers the paper's core configuration: one wake
+    slot per period, no clock skew, no Fig. 9 probe floods, and a
+    protocol whose proposal logic batches over the replication axis
+    (:meth:`~repro.protocols.base.FloodingProtocol.rep_batchable`).
+    Everything else falls back to replication-by-replication
+    :func:`run_replication` — same results, serial throughput.
+    """
+    scenario = as_scenario(scenario)
+    if (
+        scenario.wake_slots != 1
+        or scenario.schedule_jitter > 0.0
+        or scenario.measure_transmission_delay
+    ):
+        return False
+    protocol = make_protocol(scenario.protocol, **scenario.protocol_kwargs)
+    return supports_rep_batching(protocol, scenario.sim_config())
+
+
+def run_replication_chunk(
+    topo: Topology, spec, rep_start: int, n_reps: int
+) -> List[FloodResult]:
+    """Run replications ``rep_start .. rep_start + n_reps - 1`` of ``spec``.
+
+    The chunked unit of parallel work behind ``--reps-per-task``: when
+    the scenario is replication-batchable (see
+    :func:`scenario_rep_batchable`), all ``n_reps`` floods run as one
+    ``(R, …)`` :func:`~repro.sim.batch.run_flood_batch` invocation;
+    otherwise the chunk degrades to a loop of :func:`run_replication`
+    calls. Either way each replication's streams are derived from
+    ``(seed, rep)`` exactly as the single-replication task derives them,
+    so results are bit-identical to ``[run_replication(topo, spec, rep)
+    for rep in ...]`` regardless of chunking or backend.
+    """
+    if n_reps < 1:
+        raise ValueError(f"chunk must cover at least one replication, got {n_reps}")
+    scenario = as_scenario(spec)
+    reps = range(rep_start, rep_start + n_reps)
+    if n_reps == 1 or not scenario_rep_batchable(scenario):
+        return [run_replication(topo, scenario, rep) for rep in reps]
+    config = scenario.sim_config()
+    period = scenario.period
+    streams = RngStreams(scenario.seed)
+    schedules_list = [
+        ScheduleTable.random(topo.n_nodes, period, streams.get(f"schedule/{rep}"))
+        for rep in reps
+    ]
+    channel_rngs = [streams.get(f"channel/{rep}") for rep in reps]
+    dynamics_list = [
+        scenario.make_dynamics(topo, streams.get(f"dynamics/{rep}"))
+        for rep in reps
+    ]
+    workload = FloodWorkload(scenario.n_packets, scenario.generation_interval)
+    protocol = make_protocol(scenario.protocol, **scenario.protocol_kwargs)
+    return run_flood_batch(
+        topo, schedules_list, workload, protocol, channel_rngs, config,
+        dynamics_list=dynamics_list,
+    )
+
+
+def _scenario_task(topo: Topology, scenarios: Sequence[Scenario], task):
     """The one broadcast-style task adapter for
     :meth:`repro.exec.Executor.map`.
 
-    The task payload is just ``(scenario_index, rep)`` — the topology
-    and the scenario table broadcast once per dispatch (the topology
-    zero-copy via shared memory), so a Monte Carlo grid's per-task
-    pickle cost is a couple of ints instead of megabytes of substrate.
-    Scenarios are pure data, so this single adapter replaces the old
-    per-call-shape task functions.
+    The task payload is ``(scenario_index, rep)`` for a single
+    replication or ``(scenario_index, rep_start, n_reps)`` for a
+    replication chunk — the topology and the scenario table broadcast
+    once per dispatch (the topology zero-copy via shared memory), so a
+    Monte Carlo grid's per-task pickle cost is a couple of ints instead
+    of megabytes of substrate. Scenarios are pure data, so this single
+    adapter replaces the old per-call-shape task functions.
     """
+    if len(task) == 3:
+        i, rep_start, n_reps = task
+        return run_replication_chunk(topo, scenarios[i], rep_start, n_reps)
     i, rep = task
     return run_replication(topo, scenarios[i], rep)
+
+
+def _auto_reps_per_task(n_reps: int, jobs: int) -> int:
+    """Default chunk width for a batchable scenario.
+
+    Wide chunks amortize the batched engine's per-slot dispatch, but a
+    parallel backend still needs at least one chunk per worker to keep
+    the pool busy — so the width is capped at ``ceil(n_reps / jobs)``.
+    """
+    if n_reps <= 1:
+        return 1
+    width = min(_MAX_AUTO_REPS_PER_TASK, n_reps)
+    if jobs > 1:
+        width = min(width, max(1, math.ceil(n_reps / jobs)))
+    return width
 
 
 def run_experiment(
@@ -219,6 +306,7 @@ def run_experiment(
     spec: ExperimentSpec,
     executor=None,
     store=None,
+    reps_per_task: Optional[int] = None,
 ) -> RunSummary:
     """Run one spec's replications on a fixed topology.
 
@@ -237,8 +325,13 @@ def run_experiment(
         summary cached under this ``(spec, topo, engine)`` content key
         is returned without simulating, and fresh summaries are
         recorded.
+    reps_per_task:
+        Replications per dispatched task (see :func:`run_experiments`).
     """
-    (summary,) = run_experiments(topo, [spec], executor=executor, store=store)
+    (summary,) = run_experiments(
+        topo, [spec], executor=executor, store=store,
+        reps_per_task=reps_per_task,
+    )
     return summary
 
 
@@ -247,17 +340,30 @@ def run_experiments(
     specs: Sequence[ExperimentSpec],
     executor=None,
     store=None,
+    reps_per_task: Optional[int] = None,
 ) -> List[RunSummary]:
     """Run many specs' replications through one executor dispatch.
 
     The workhorse behind :func:`run_experiment`,
     :func:`run_protocol_sweep` and :func:`repro.analysis.sweep.sweep`:
     store-cached specs are answered immediately, every remaining
-    ``(spec, rep)`` pair across *all* specs is flattened into a single
+    replication across *all* specs is flattened into a single
     ``executor.map`` call (so a parallel backend sees the whole grid at
     once, not one spec at a time), and results are regrouped per spec.
+
+    ``reps_per_task`` controls how many replications ride in one task.
+    ``None`` (auto) chunks replication-batchable scenarios up to
+    ``min(32, ceil(n_reps / jobs))`` wide — each chunk runs as one
+    ``(R, …)`` batched engine invocation — and keeps one-replication
+    tasks for everything else. An explicit value forces that chunk
+    width for every scenario (non-batchable ones loop serially inside
+    the task); ``1`` restores per-replication dispatch. Chunking is an
+    execution policy: it never changes results, only throughput, so it
+    is deliberately *not* part of the scenario fingerprint.
     """
     scenarios = tuple(as_scenario(spec) for spec in specs)
+    if reps_per_task is not None and reps_per_task < 1:
+        raise ValueError(f"reps_per_task must be >= 1, got {reps_per_task}")
     keys: List[Optional[str]] = [None] * len(specs)
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
     if store is not None:
@@ -265,22 +371,44 @@ def run_experiments(
         cached = store.get_many(keys)
         summaries = [cached.get(key) for key in keys]
 
-    tasks: List[Tuple[int, int]] = []
+    jobs = getattr(executor, "jobs", 1) if executor is not None else 1
+    tasks: List[Tuple[int, ...]] = []
+    widths: List[int] = []
     for i, scenario in enumerate(scenarios):
-        if summaries[i] is None:
-            tasks.extend((i, rep) for rep in range(scenario.n_replications))
+        if summaries[i] is not None:
+            continue
+        n_reps = scenario.n_replications
+        if reps_per_task is not None:
+            width = min(reps_per_task, n_reps)
+        elif scenario_rep_batchable(scenario):
+            width = _auto_reps_per_task(n_reps, jobs)
+        else:
+            width = 1
+        if width > 1:
+            for start in range(0, n_reps, width):
+                count = min(width, n_reps - start)
+                tasks.append((i, start, count))
+                widths.append(count)
+        else:
+            tasks.extend((i, rep) for rep in range(n_reps))
 
     if tasks:
         if executor is None:
-            results = [run_replication(topo, scenarios[i], rep)
-                       for i, rep in tasks]
+            results = [_scenario_task(topo, scenarios, task)
+                       for task in tasks]
         else:
             results = executor.map(
                 _scenario_task, tasks, broadcast=(topo, scenarios)
             )
+            executor.stats.note_rep_batches(widths)
+            if executor.last is not None:
+                executor.last.note_rep_batches(widths)
         grouped: Dict[int, List[FloodResult]] = {}
-        for (owner, _rep), result in zip(tasks, results):
-            grouped.setdefault(owner, []).append(result)
+        for task, result in zip(tasks, results):
+            if len(task) == 3:
+                grouped.setdefault(task[0], []).extend(result)
+            else:
+                grouped.setdefault(task[0], []).append(result)
         fresh: Dict[str, RunSummary] = {}
         for i, flood_results in grouped.items():
             # The summary keeps the *caller's* spec object (ExperimentSpec
@@ -300,6 +428,7 @@ def run_scenarios(
     executor=None,
     store=None,
     topo: Optional[Topology] = None,
+    reps_per_task: Optional[int] = None,
 ) -> List[RunSummary]:
     """Run self-contained scenarios: topologies come from the specs.
 
@@ -327,7 +456,8 @@ def run_scenarios(
     summaries: List[Optional[RunSummary]] = [None] * len(scenarios)
     for t, indices in groups.values():
         batch = run_experiments(
-            t, [scenarios[i] for i in indices], executor=executor, store=store
+            t, [scenarios[i] for i in indices], executor=executor,
+            store=store, reps_per_task=reps_per_task,
         )
         for i, summary in zip(indices, batch):
             summaries[i] = summary
@@ -346,6 +476,7 @@ def run_protocol_sweep(
     measure_transmission_delay: bool = False,
     executor=None,
     store=None,
+    reps_per_task: Optional[int] = None,
 ) -> Dict[str, Dict[float, RunSummary]]:
     """The Fig. 10/11 grid: protocols x duty ratios on one topology.
 
@@ -367,7 +498,10 @@ def run_protocol_sweep(
         for proto in protocols
         for duty in duty_ratios
     ]
-    summaries = run_experiments(topo, specs, executor=executor, store=store)
+    summaries = run_experiments(
+        topo, specs, executor=executor, store=store,
+        reps_per_task=reps_per_task,
+    )
     out: Dict[str, Dict[float, RunSummary]] = {p: {} for p in protocols}
     for spec, summary in zip(specs, summaries):
         out[spec.protocol][spec.duty_ratio] = summary

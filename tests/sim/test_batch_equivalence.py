@@ -1,0 +1,185 @@
+"""Batch <-> serial equivalence across every registered protocol.
+
+The replication axis is a pure throughput device: a replication
+extracted from a :func:`run_replication_chunk` batch must be
+**bit-identical** to the same replication run alone through
+:func:`run_replication` — same possession matrices, arrival slots,
+counters, energy ledgers and completion flags — for every protocol
+(batched engine where the protocol supports it, serial fallback
+otherwise), with fast-forward on and off, on static and bursty links.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.generators import random_geometric_topology
+from repro.protocols.base import available_protocols
+from repro.scenario import Scenario
+from repro.sim.runner import (
+    run_experiments,
+    run_replication,
+    run_replication_chunk,
+    scenario_rep_batchable,
+)
+
+N_REPS = 3
+
+#: Protocols whose proposal path runs batch-native over the replication
+#: axis; everything else must still work through the serial fallback.
+BATCH_NATIVE = {"opt", "dbao"}
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return random_geometric_topology(
+        30, area_m=180.0, rng=np.random.default_rng(7)
+    )
+
+
+def _scenario(protocol, fast_forward=True, link_model="static"):
+    return Scenario(
+        protocol=protocol,
+        duty_ratio=0.1,
+        n_packets=3,
+        seed=2011,
+        n_replications=N_REPS,
+        link_model=link_model,
+        sim={"fast_forward": fast_forward, "max_slots": 4000},
+    )
+
+
+def assert_results_identical(a, b):
+    """Every field of two FloodResults, compared exactly."""
+    ma, mb = a.metrics, b.metrics
+    for f in ("tx_attempts", "tx_failures", "collisions", "duplicates",
+              "overhears", "elapsed_slots", "sleep_misses"):
+        assert getattr(ma, f) == getattr(mb, f), f
+    np.testing.assert_array_equal(a.has, b.has)
+    np.testing.assert_array_equal(a.arrival, b.arrival)
+    np.testing.assert_array_equal(ma.delays.generated, mb.delays.generated)
+    np.testing.assert_array_equal(ma.delays.first_tx, mb.delays.first_tx)
+    np.testing.assert_array_equal(ma.delays.completed, mb.delays.completed)
+    np.testing.assert_array_equal(
+        ma.coverage_per_packet, mb.coverage_per_packet
+    )
+    np.testing.assert_array_equal(a.ledger.tx_attempts, b.ledger.tx_attempts)
+    np.testing.assert_array_equal(a.ledger.tx_failures, b.ledger.tx_failures)
+    np.testing.assert_array_equal(a.ledger.rx_successes, b.ledger.rx_successes)
+    assert a.ledger.elapsed_slots == b.ledger.elapsed_slots
+    assert a.completed == b.completed
+
+
+class TestChunkEquivalence:
+    """run_replication_chunk == [run_replication(rep) ...], bit for bit."""
+
+    @pytest.mark.parametrize("protocol", available_protocols())
+    @pytest.mark.parametrize("fast_forward", [True, False],
+                             ids=["ff", "noff"])
+    def test_every_protocol(self, topo, protocol, fast_forward):
+        scenario = _scenario(protocol, fast_forward=fast_forward)
+        serial = [run_replication(topo, scenario, rep)
+                  for rep in range(N_REPS)]
+        chunked = run_replication_chunk(topo, scenario, 0, N_REPS)
+        assert len(chunked) == N_REPS
+        for s, c in zip(serial, chunked):
+            assert_results_identical(s, c)
+
+    @pytest.mark.parametrize("protocol", sorted(BATCH_NATIVE))
+    def test_batch_native_under_bursty_links(self, topo, protocol):
+        scenario = _scenario(protocol, link_model="gilbert_elliott")
+        serial = [run_replication(topo, scenario, rep)
+                  for rep in range(N_REPS)]
+        chunked = run_replication_chunk(topo, scenario, 0, N_REPS)
+        for s, c in zip(serial, chunked):
+            assert_results_identical(s, c)
+
+    def test_partial_chunk_alignment(self, topo):
+        # A chunk starting mid-sequence covers exactly its replications.
+        scenario = _scenario("dbao")
+        serial = [run_replication(topo, scenario, rep) for rep in (1, 2)]
+        chunked = run_replication_chunk(topo, scenario, 1, 2)
+        for s, c in zip(serial, chunked):
+            assert_results_identical(s, c)
+
+    def test_batchability_gate(self, topo):
+        assert scenario_rep_batchable(_scenario("opt"))
+        assert scenario_rep_batchable(_scenario("dbao"))
+        # Probe floods, multi-slot wake and clock skew force the serial
+        # fallback; the event log does too.
+        assert not scenario_rep_batchable(
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     measure_transmission_delay=True)
+        )
+        assert not scenario_rep_batchable(
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     wake_slots=2)
+        )
+        assert not scenario_rep_batchable(
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     schedule_jitter=0.3)
+        )
+        assert not scenario_rep_batchable(
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     sim={"track_events": True})
+        )
+
+    def test_invalid_chunk_rejected(self, topo):
+        with pytest.raises(ValueError):
+            run_replication_chunk(topo, _scenario("dbao"), 0, 0)
+
+
+class TestRunnerChunking:
+    """reps_per_task is execution policy: summaries never change."""
+
+    @pytest.mark.parametrize("reps_per_task", [None, 1, 2, N_REPS, 100])
+    def test_run_experiments_any_width(self, topo, reps_per_task):
+        scenario = _scenario("dbao")
+        (base,) = run_experiments(topo, [scenario], reps_per_task=1)
+        (summary,) = run_experiments(
+            topo, [scenario], reps_per_task=reps_per_task
+        )
+        assert summary.n_runs == N_REPS
+        for s, c in zip(base.results, summary.results):
+            assert_results_identical(s, c)
+
+    def test_mixed_grid_regroups_in_rep_order(self, topo):
+        # A batchable and a fallback scenario in one dispatch: results
+        # regroup per spec in ascending replication order either way.
+        specs = [_scenario("dbao"), _scenario("of")]
+        base = run_experiments(topo, specs, reps_per_task=1)
+        chunked = run_experiments(topo, specs, reps_per_task=2)
+        for b, c in zip(base, chunked):
+            assert b.n_runs == c.n_runs == N_REPS
+            for s, r in zip(b.results, c.results):
+                assert_results_identical(s, r)
+
+    def test_invalid_width_rejected(self, topo):
+        with pytest.raises(ValueError):
+            run_experiments(topo, [_scenario("dbao")], reps_per_task=0)
+
+    def test_executor_meters_batch_widths(self, topo):
+        from repro.exec import SerialExecutor
+
+        executor = SerialExecutor()
+        run_experiments(topo, [_scenario("dbao")], executor=executor,
+                        reps_per_task=2)
+        stats = executor.stats
+        # 3 reps at width 2 -> one 2-wide batched task plus a single.
+        assert stats.rep_batches == 1
+        assert stats.batched_reps == 2
+        assert stats.max_batch_width == 2
+        assert "batched task" in str(stats)
+
+    def test_auto_policy_chunks_batchable_only(self, topo):
+        from repro.exec import SerialExecutor
+
+        executor = SerialExecutor()
+        run_experiments(topo, [_scenario("of")], executor=executor)
+        assert executor.stats.rep_batches == 0  # fallback stays per-rep
+        assert executor.stats.tasks == N_REPS
+
+        executor = SerialExecutor()
+        run_experiments(topo, [_scenario("opt")], executor=executor)
+        assert executor.stats.rep_batches == 1  # one 3-wide chunk
+        assert executor.stats.batched_reps == N_REPS
+        assert executor.stats.tasks == 1

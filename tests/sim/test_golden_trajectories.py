@@ -30,6 +30,7 @@ from repro.net.radio import RadioModel
 from repro.net.schedule import ScheduleTable
 from repro.protocols import available_protocols, make_protocol
 from repro.protocols.opt import opt_radio_model
+from repro.sim.batch import run_flood_batch
 from repro.sim.energy import energy_summary
 from repro.sim.engine import SimConfig, run_flood
 from repro.sim.events import EventKind
@@ -352,6 +353,49 @@ def test_golden_trajectory(name):
         assert observed[key] == expected[key], (
             f"{name}: {key} drifted\n  expected {expected[key]!r}\n"
             f"  observed {observed[key]!r}"
+        )
+
+
+@pytest.mark.parametrize("rep_index", [0, 2])
+@pytest.mark.parametrize("name", ["opt", "dbao", "dbao-bursty"])
+def test_golden_trajectory_extracted_from_batch(name, rep_index):
+    """A replication extracted from an (R, ...) batch matches its serial
+    golden pin bit for bit, regardless of its position in the batch.
+
+    This is the acceptance gate for the replication axis: the batched
+    engine is a pure throughput device, and decoy replications seeded
+    differently around the pinned one must not perturb its trajectory.
+    """
+    spec = dict(SCENARIOS[name])
+    protocol = spec.pop("protocol")
+    bursty = spec.pop("dynamics", False)
+    assert not spec, "batch pins only cover plain/bursty floods"
+    topo, schedules = _substrate()
+    n_reps = 3
+
+    def _channel(rep):
+        return np.random.default_rng(42 if rep == rep_index else 1000 + rep)
+
+    def _dyn(rep):
+        seed = 123 if rep == rep_index else 2000 + rep
+        return GilbertElliott(topo, rng=np.random.default_rng(seed))
+
+    results = run_flood_batch(
+        topo,
+        [schedules] * n_reps,
+        FloodWorkload(M),
+        make_protocol(protocol),
+        [_channel(rep) for rep in range(n_reps)],
+        _config(protocol),
+        dynamics_list=[_dyn(rep) for rep in range(n_reps)] if bursty else None,
+    )
+    observed = _observe(results[rep_index])
+    expected = GOLDEN[name]
+    assert set(observed) == set(expected)
+    for key in sorted(expected):
+        assert observed[key] == expected[key], (
+            f"{name}[rep {rep_index}]: {key} drifted\n"
+            f"  expected {expected[key]!r}\n  observed {observed[key]!r}"
         )
 
 
