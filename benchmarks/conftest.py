@@ -25,6 +25,7 @@ import pytest
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 EXEC_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+STORE_BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
 
 
 @pytest.fixture
@@ -114,6 +115,31 @@ def exec_journal():
     data["measured_at"] = time.strftime("%Y-%m-%d", time.gmtime())
     data.setdefault("results", {}).update(records)
     EXEC_BENCH_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@pytest.fixture(scope="session")
+def store_journal():
+    """Like ``bench_journal``, but for the store/aggregation benches.
+
+    Records merge into ``BENCH_store.json`` at the repo root — the
+    committed record of shard-merge throughput and streaming-vs-
+    materialized aggregation memory.
+    """
+    records = {}
+    yield records
+    if not records:
+        return
+    from repro.sim.engine import ENGINE_VERSION
+
+    data = {}
+    if STORE_BENCH_PATH.exists():
+        data = json.loads(STORE_BENCH_PATH.read_text())
+    data["engine_version"] = ENGINE_VERSION
+    data["measured_at"] = time.strftime("%Y-%m-%d", time.gmtime())
+    data.setdefault("results", {}).update(records)
+    STORE_BENCH_PATH.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n"
     )
 

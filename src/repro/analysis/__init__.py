@@ -1,11 +1,31 @@
 """Analysis utilities: experiment output containers, ASCII rendering,
 parameter sweeps, and theory-vs-simulation validation checks."""
 
-from .report import render_result, render_series_table, render_table, sparkline
+from .report import (
+    grid_cell_axes,
+    grid_digest,
+    render_result,
+    render_series_table,
+    render_table,
+    sparkline,
+)
 from .series import ExperimentResult, Series, Table
 from .shapes import CHECKS, ShapeCheck, audit
-from .stats import MeanCI, dominates_paired, mean_ci, paired_delta_ci
-from .sweep import SweepAxis, collect, sweep
+from .stats import (
+    MeanCI,
+    dominates_paired,
+    mean_ci,
+    paired_delta_ci,
+    student_t_ci,
+)
+from .streaming import (
+    QuantileSketch,
+    RunAccumulator,
+    StreamingMoments,
+    VectorNanMean,
+    accumulate,
+)
+from .sweep import SweepAxis, accumulate_grid, collect, sweep
 from .validate import (
     analytic_lower_bound,
     dominance_holds,
@@ -16,10 +36,14 @@ from .validate import (
 
 __all__ = [
     "render_result", "render_series_table", "render_table", "sparkline",
+    "grid_cell_axes", "grid_digest",
     "ExperimentResult", "Series", "Table",
     "CHECKS", "ShapeCheck", "audit",
     "MeanCI", "dominates_paired", "mean_ci", "paired_delta_ci",
-    "SweepAxis", "collect", "sweep",
+    "student_t_ci",
+    "StreamingMoments", "VectorNanMean", "QuantileSketch",
+    "RunAccumulator", "accumulate",
+    "SweepAxis", "collect", "sweep", "accumulate_grid",
     "analytic_lower_bound", "dominance_holds", "knee_index",
     "relative_spread", "respects_lower_bound",
 ]

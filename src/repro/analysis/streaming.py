@@ -1,0 +1,400 @@
+"""Streaming, mergeable statistics for sharded sweeps.
+
+The materialized path (:mod:`repro.analysis.stats`, ``RunSummary``)
+keeps every per-replication value around and calls ``np.mean`` at the
+end — fine for a 20-replication cell, hopeless for the planned
+1k–100k-node scalability sweeps where a single grid holds millions of
+per-packet delays. Every accumulator here is
+
+* **online** — ``add`` consumes one observation in O(1) memory
+  (Welford's recurrence for moments, a KLL-style compactor for
+  quantiles), so aggregating a sweep never materializes per-replication
+  delay arrays; and
+* **mergeable** — ``merge(other)`` folds a second accumulator in, with
+  the merge algebra matching the pooled computation: moments merge by
+  the Chan et al. parallel-variance update, vector means by
+  count-weighted averaging, quantile sketches by buffer union +
+  recompaction. Merging per-shard accumulators therefore equals
+  accumulating the unsharded stream (exactly for counts/means/variance,
+  within documented rank error for quantiles) — the property the
+  sharded execution story rests on, tested in
+  ``tests/analysis/test_streaming.py``.
+
+Parity contract with the materialized path: means, variances and CIs
+agree with :func:`repro.analysis.stats.mean_ci` to floating-point
+round-off (identical in exact arithmetic — both feed the same
+``student_t_ci``; summation order differs, so the last bits may).
+Quantiles are exact while a sketch is below capacity (small cells never
+approximate) and within :attr:`QuantileSketch.rank_error` of the true
+rank afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .stats import MeanCI, student_t_ci
+
+__all__ = [
+    "StreamingMoments",
+    "VectorNanMean",
+    "QuantileSketch",
+    "RunAccumulator",
+]
+
+
+class StreamingMoments:
+    """Welford online mean/variance with non-finite samples skipped.
+
+    Skipping NaN/inf on ``add`` mirrors ``stats._clean``: the streaming
+    and materialized paths see the same sample set, so their moments
+    agree. State is the classic ``(n, mean, M2)`` triple; ``merge``
+    uses the Chan et al. pairwise update, which is associative and
+    commutative up to round-off — shard order cannot change the result
+    beyond the last bits.
+    """
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Fold a batch in (vectorized: one pass + one moment merge)."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            return
+        batch = StreamingMoments()
+        batch.n = int(arr.size)
+        batch.mean = float(arr.mean())
+        batch._m2 = float(((arr - batch.mean) ** 2).sum())
+        self.merge(batch)
+
+    def merge(self, other: "StreamingMoments") -> "StreamingMoments":
+        """Fold ``other`` in; pooled result equals one combined stream."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self.mean, self._m2 = other.n, other.mean, other._m2
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self.mean += delta * other.n / n
+        self.n = n
+        return self
+
+    def variance(self, ddof: int = 1) -> float:
+        if self.n <= ddof:
+            return float("nan")
+        return self._m2 / (self.n - ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        return math.sqrt(self.variance(ddof))
+
+    def ci(self, confidence: float = 0.95) -> MeanCI:
+        """Student-t interval; same formula as :func:`stats.mean_ci`."""
+        sd = self.std(ddof=1) if self.n > 1 else 0.0
+        return student_t_ci(self.mean, sd, self.n, confidence)
+
+    def __repr__(self) -> str:
+        return (f"StreamingMoments(n={self.n}, mean={self.mean!r}, "
+                f"var={self.variance()!r})")
+
+
+class VectorNanMean:
+    """Per-element running nan-mean over equal-length vectors.
+
+    The streaming counterpart of ``np.nanmean(np.vstack(curves),
+    axis=0)`` (``RunSummary.per_packet_delay``): each element keeps its
+    own finite-sample count and running mean, so curves with missing
+    packets (NaN) average over exactly the replications that delivered
+    them — without ever stacking the curves.
+    """
+
+    __slots__ = ("counts", "means")
+
+    def __init__(self) -> None:
+        self.counts: Optional[np.ndarray] = None
+        self.means: Optional[np.ndarray] = None
+
+    def add(self, vector: Sequence[float]) -> None:
+        arr = np.asarray(vector, dtype=np.float64)
+        if self.counts is None:
+            self.counts = np.zeros(arr.shape, dtype=np.int64)
+            self.means = np.zeros(arr.shape, dtype=np.float64)
+        elif arr.shape != self.counts.shape:
+            raise ValueError(
+                f"vector length changed: {arr.shape} != {self.counts.shape}"
+            )
+        mask = np.isfinite(arr)
+        self.counts[mask] += 1
+        delta = arr[mask] - self.means[mask]
+        self.means[mask] += delta / self.counts[mask]
+
+    def merge(self, other: "VectorNanMean") -> "VectorNanMean":
+        if other.counts is None:
+            return self
+        if self.counts is None:
+            self.counts = other.counts.copy()
+            self.means = other.means.copy()
+            return self
+        if self.counts.shape != other.counts.shape:
+            raise ValueError(
+                f"vector length mismatch: {self.counts.shape} != "
+                f"{other.counts.shape}"
+            )
+        n = self.counts + other.counts
+        both = n > 0
+        # Count-weighted mean; elements unseen on either side keep the
+        # other side's mean untouched (weight zero).
+        merged = self.means.copy()
+        merged[both] = (
+            self.means[both] * self.counts[both]
+            + other.means[both] * other.counts[both]
+        ) / n[both]
+        self.means = merged
+        self.counts = n
+        return self
+
+    def result(self) -> np.ndarray:
+        """Per-element means; elements with no finite samples are NaN."""
+        if self.counts is None:
+            return np.asarray([], dtype=np.float64)
+        out = self.means.copy()
+        out[self.counts == 0] = float("nan")
+        return out
+
+
+class QuantileSketch:
+    """Deterministic KLL-style quantile sketch (mergeable, bounded).
+
+    Level ``i`` holds a buffer of values each representing ``2**i``
+    original observations. When a buffer exceeds ``capacity``, it is
+    sorted and **compacted**: every second value (starting from an
+    offset that alternates deterministically per level — no RNG, so
+    shard runs are reproducible) is promoted to level ``i + 1`` with
+    doubled weight, the rest are dropped. Memory is O(capacity · log(n
+    / capacity)) regardless of stream length.
+
+    * **Exact below capacity** — until the first compaction everything
+      sits at level 0 with weight 1, and :meth:`quantile` is plain
+      order statistics: small cells are never approximated.
+    * **Bounded rank error after** — each compaction of a level-``i``
+      buffer perturbs any rank by at most ``2**i`` of the items it
+      covers; summing the geometric series gives a worst-case rank
+      error of about ``2 · n / capacity`` observations, i.e. a rank
+      *fraction* of :attr:`rank_error` ≈ ``2 / capacity`` (0.4% at the
+      default capacity of 512). Observed error is far smaller;
+      tests assert the documented bound on 100k-sample streams.
+
+    ``merge`` concatenates the per-level buffers and recompacts — the
+    merged sketch covers the union stream with the same error bound.
+    """
+
+    __slots__ = ("capacity", "n", "_levels", "_parity")
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 8:
+            raise ValueError(f"capacity must be >= 8, got {capacity}")
+        self.capacity = int(capacity)
+        self.n = 0  # finite observations consumed (with multiplicity)
+        self._levels: List[List[float]] = [[]]
+        self._parity: List[int] = [0]
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            return
+        self.n += 1
+        self._levels[0].append(value)
+        if len(self._levels[0]) > self.capacity:
+            self._compact(0)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        arr = arr[np.isfinite(arr)]
+        for value in arr.tolist():
+            self.n += 1
+            self._levels[0].append(value)
+            if len(self._levels[0]) > self.capacity:
+                self._compact(0)
+
+    def _compact(self, level: int) -> None:
+        buf = sorted(self._levels[level])
+        offset = self._parity[level]
+        self._parity[level] ^= 1
+        promoted = buf[offset::2]
+        self._levels[level] = []
+        if level + 1 == len(self._levels):
+            self._levels.append([])
+            self._parity.append(0)
+        self._levels[level + 1].extend(promoted)
+        if len(self._levels[level + 1]) > self.capacity:
+            self._compact(level + 1)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` in (union stream, same error bound)."""
+        for level, buf in enumerate(other._levels):
+            if not buf:
+                continue
+            while level >= len(self._levels):
+                self._levels.append([])
+                self._parity.append(0)
+            self._levels[level].extend(buf)
+        self.n += other.n
+        for level in range(len(self._levels)):
+            while len(self._levels[level]) > self.capacity:
+                self._compact(level)
+        return self
+
+    @property
+    def rank_error(self) -> float:
+        """Documented worst-case quantile rank error (fraction of n)."""
+        return 2.0 / self.capacity
+
+    @property
+    def is_exact(self) -> bool:
+        """True while no compaction has happened (order statistics)."""
+        return all(not buf for buf in self._levels[1:])
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (weighted-rank interpolation)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        pairs = [
+            (value, 1 << level)
+            for level, buf in enumerate(self._levels)
+            for value in buf
+        ]
+        if not pairs:
+            return float("nan")
+        pairs.sort()
+        values = np.asarray([p[0] for p in pairs], dtype=np.float64)
+        weights = np.asarray([p[1] for p in pairs], dtype=np.float64)
+        # Midpoint cumulative ranks, normalized — matches numpy's
+        # 'linear' interpolation exactly in the unit-weight (exact) case.
+        cum = np.cumsum(weights) - weights / 2.0
+        total = float(weights.sum())
+        if total <= weights[0]:
+            return float(values[0])
+        ranks = (cum - cum[0]) / (cum[-1] - cum[0])
+        return float(np.interp(q, ranks, values))
+
+    def __repr__(self) -> str:
+        return (f"QuantileSketch(n={self.n}, capacity={self.capacity}, "
+                f"levels={[len(b) for b in self._levels]})")
+
+
+class RunAccumulator:
+    """Streaming equivalent of ``RunSummary``'s aggregate metrics.
+
+    Consumes per-replication :class:`~repro.sim.metrics.FloodResult`
+    objects one at a time (or whole ``RunSummary`` objects via
+    :meth:`add_summary`) and answers the same questions —
+    ``mean_delay`` / ``delay_ci`` / ``completion_rate`` /
+    ``mean_failures`` / ``mean_collisions`` / ``mean_tx_attempts`` /
+    ``per_packet_delay`` — without retaining any per-replication array.
+    Adds :meth:`delay_quantile` (sketch over all finite per-packet
+    delays), which the materialized path never offered because it would
+    require exactly the arrays this class avoids.
+
+    Accumulators from different shards :meth:`merge` into the pooled
+    answer; see the module docstring for the algebra.
+    """
+
+    __slots__ = ("n_runs", "delay", "completion", "failures", "collisions",
+                 "tx_attempts", "per_packet", "packet_delays")
+
+    def __init__(self, sketch_capacity: int = 512) -> None:
+        self.n_runs = 0
+        self.delay = StreamingMoments()        # per-replication mean delay
+        self.completion = StreamingMoments()   # 0/1 per replication
+        self.failures = StreamingMoments()
+        self.collisions = StreamingMoments()
+        self.tx_attempts = StreamingMoments()
+        self.per_packet = VectorNanMean()      # Fig. 9 curve
+        self.packet_delays = QuantileSketch(sketch_capacity)
+
+    def add(self, result) -> None:
+        """Fold one :class:`FloodResult` (a single replication) in."""
+        metrics = result.metrics
+        self.n_runs += 1
+        self.delay.add(metrics.average_delay())
+        self.completion.add(1.0 if result.completed else 0.0)
+        self.failures.add(metrics.tx_failures)
+        self.collisions.add(metrics.collisions)
+        self.tx_attempts.add(metrics.tx_attempts)
+        d = metrics.delays.total_delay().astype(np.float64)
+        d[d < 0] = np.nan
+        self.per_packet.add(d)
+        self.packet_delays.add_many(d)
+
+    def add_summary(self, summary) -> None:
+        """Fold every replication of a ``RunSummary`` in."""
+        for result in summary.results:
+            self.add(result)
+
+    def merge(self, other: "RunAccumulator") -> "RunAccumulator":
+        self.n_runs += other.n_runs
+        self.delay.merge(other.delay)
+        self.completion.merge(other.completion)
+        self.failures.merge(other.failures)
+        self.collisions.merge(other.collisions)
+        self.tx_attempts.merge(other.tx_attempts)
+        self.per_packet.merge(other.per_packet)
+        self.packet_delays.merge(other.packet_delays)
+        return self
+
+    # -- RunSummary-compatible accessors ------------------------------
+
+    def mean_delay(self) -> float:
+        return self.delay.mean if self.delay.n else float("nan")
+
+    def delay_ci(self, confidence: float = 0.95) -> MeanCI:
+        return self.delay.ci(confidence)
+
+    def completion_rate(self) -> float:
+        return self.completion.mean if self.completion.n else float("nan")
+
+    def mean_failures(self) -> float:
+        return self.failures.mean if self.failures.n else float("nan")
+
+    def mean_collisions(self) -> float:
+        return self.collisions.mean if self.collisions.n else float("nan")
+
+    def mean_tx_attempts(self) -> float:
+        return self.tx_attempts.mean if self.tx_attempts.n else float("nan")
+
+    def per_packet_delay(self) -> np.ndarray:
+        return self.per_packet.result()
+
+    def delay_quantile(self, q: float) -> float:
+        """Quantile of the pooled finite per-packet delay stream."""
+        return self.packet_delays.quantile(q)
+
+    def __repr__(self) -> str:
+        return f"RunAccumulator(n_runs={self.n_runs})"
+
+
+def accumulate(summaries: Iterable, **kwargs) -> RunAccumulator:
+    """Fold an iterable of ``RunSummary`` objects into one accumulator."""
+    acc = RunAccumulator(**kwargs)
+    for summary in summaries:
+        acc.add_summary(summary)
+    return acc

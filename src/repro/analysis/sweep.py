@@ -24,7 +24,8 @@ from ..net.topology import Topology
 from ..scenario import Scenario, ScenarioGrid
 from ..sim.runner import ExperimentSpec, RunSummary, run_experiments, run_scenarios
 
-__all__ = ["SweepAxis", "sweep", "sweep_grid", "collect"]
+__all__ = ["SweepAxis", "sweep", "sweep_grid", "collect",
+           "accumulate_grid"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +117,26 @@ def sweep_grid(
         return v.fingerprint() if hasattr(v, "fingerprint") else v
     keys = [tuple(freeze(v) for v in combo) for combo in grid.combos()]
     return dict(zip(keys, summaries))
+
+
+def accumulate_grid(grid: Dict[Tuple, RunSummary]) -> Dict[Tuple, "RunAccumulator"]:
+    """Per-cell streaming accumulators for a sweep result dict.
+
+    Each cell's ``RunSummary`` folds into a
+    :class:`~repro.analysis.streaming.RunAccumulator`, the mergeable
+    O(1)-memory aggregate: accumulators for the same cell from
+    different shards ``merge()`` into the pooled statistics, which is
+    how sharded sweeps aggregate without materializing per-replication
+    delay arrays.
+    """
+    from .streaming import RunAccumulator
+
+    out: Dict[Tuple, RunAccumulator] = {}
+    for key, summary in grid.items():
+        acc = RunAccumulator()
+        acc.add_summary(summary)
+        out[key] = acc
+    return out
 
 
 def collect(

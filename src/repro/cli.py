@@ -14,17 +14,33 @@ Commands
     is answered from the cache; ``--reps-per-task R`` chunks R
     replications into one task (auto by default: batch-capable
     protocols run whole chunks as one ``(R, ...)`` engine call).
-``run-scenario FILE.json [--jobs N] [--cache-dir PATH] [--summary PATH]``
+``run-scenario FILE.json [--shard I/K] [--jobs N] [--cache-dir PATH] [--summary PATH]``
     Run a declarative scenario file — a serialized
     :class:`repro.scenario.ScenarioGrid` (or a bare scenario object) —
     through the same executor/store stack as ``run``. New workloads ship
     as data files instead of Python. ``--summary PATH`` writes a
     deterministic JSON digest of every cell (axes, scenario fingerprint,
-    delay/failure metrics) for expectation diffing in CI.
-``scenario validate FILE.json`` / ``scenario show FILE.json``
+    delay/failure metrics) for expectation diffing in CI. ``--shard
+    I/K`` (0-based) executes one deterministic shard of the grid —
+    shard ``I`` of ``K`` — so k invocations with separate
+    ``--cache-dir``\\ s, on any mix of hosts, cover the grid exactly
+    once; ``repro store merge`` unions the caches back together.
+``report GRID.json --cache-dir PATH [--summary PATH]``
+    Render a grid purely from stored results — no simulation, no
+    executor. The reporting half of a sharded run: after merging shard
+    caches, ``report`` produces the digest the unsharded run would
+    have. Exits 2 naming the missing cells if any shard hasn't run.
+``store merge --into DEST SRC [SRC ...]`` / ``store verify DIR`` / ``store gc DIR``
+    Maintain result-store directories: ``merge`` unions shard caches
+    (re-verifying digests; refusing engine-version or grid-fingerprint
+    conflicts), ``verify`` classifies every entry (ok / stale /
+    truncated / corrupt / misplaced), ``gc`` deletes damaged entries
+    and orphaned temp files (``--stale`` also drops old-engine ones).
+``scenario validate FILE.json`` / ``scenario show FILE.json`` / ``scenario shard FILE.json K``
     Validate a scenario file (helpful errors name the closest valid
-    field) or print its normalized form — defaults materialized, cell
-    count and fingerprints included.
+    field), print its normalized form — defaults materialized, cell
+    count and fingerprints included — or split it into K self-contained
+    shard files stamped with the full-grid fingerprint.
 ``trace [--seed N] [--out PATH]``
     Synthesize the GreenOrbs-like trace, print its statistics, optionally
     save it as ``.npz``.
@@ -89,7 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
     runs.add_argument("--summary", default=None, metavar="PATH",
                       help="write a deterministic JSON digest of every "
                            "cell (for expectation diffing)")
+    runs.add_argument("--shard", default=None, metavar="I/K",
+                      help="execute one deterministic shard of the grid "
+                           "(0-based: shard I of K); run all K shards "
+                           "into separate --cache-dirs, then `repro "
+                           "store merge` them")
     add_exec_flags(runs)
+
+    rep = sub.add_parser(
+        "report",
+        help="render a grid purely from stored results (no simulation)",
+    )
+    rep.add_argument("file", help="scenario file (see repro.scenario)")
+    rep.add_argument("--cache-dir", required=True, metavar="PATH",
+                     help="result store holding the grid's entries "
+                          "(e.g. the destination of `repro store merge`)")
+    rep.add_argument("--summary", default=None, metavar="PATH",
+                     help="write the deterministic JSON digest (same "
+                          "format as run-scenario --summary)")
 
     scen = sub.add_parser("scenario", help="inspect scenario files")
     scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
@@ -97,6 +130,38 @@ def build_parser() -> argparse.ArgumentParser:
         .add_argument("file")
     scen_sub.add_parser("show", help="print the normalized grid") \
         .add_argument("file")
+    shard = scen_sub.add_parser(
+        "shard", help="split a grid file into K self-contained shard files"
+    )
+    shard.add_argument("file")
+    shard.add_argument("count", type=int, metavar="K")
+    shard.add_argument("--out-dir", default=None, metavar="DIR",
+                       help="where to write the shard files (default: "
+                            "next to the input)")
+
+    store = sub.add_parser("store", help="maintain result-store directories")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    merge = store_sub.add_parser(
+        "merge", help="union shard stores into one directory"
+    )
+    merge.add_argument("sources", nargs="+", metavar="SRC",
+                       help="source store directories")
+    merge.add_argument("--into", required=True, metavar="DEST",
+                       help="destination store directory (created if absent)")
+    merge.add_argument("--allow-mixed", action="store_true",
+                       help="permit merging stores whose manifests name "
+                            "disjoint grids (pooling unrelated caches)")
+    verify = store_sub.add_parser(
+        "verify", help="classify every entry (ok/stale/truncated/...)"
+    )
+    verify.add_argument("dir", metavar="DIR")
+    gc = store_sub.add_parser(
+        "gc", help="delete damaged entries and orphaned temp files"
+    )
+    gc.add_argument("dir", metavar="DIR")
+    gc.add_argument("--stale", action="store_true",
+                    help="also drop intact entries from older engine "
+                         "versions")
 
     trace = sub.add_parser("trace", help="synthesize the GreenOrbs trace")
     trace.add_argument("--seed", type=int, default=2011)
@@ -171,54 +236,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _axes_of(grid, combo) -> dict:
-    """One cell's axis values as JSON-able data, keyed by axis name."""
-    from .scenario import TopologySpec
+def _parse_shard(text: str):
+    """``"I/K"`` → ``(index, count)``, 0-based, with a helpful error."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects I/K (e.g. 0/2 for the first of two shards), "
+            f"got {text!r}"
+        ) from None
+    return index, count
 
-    return {
-        name: (value.to_dict() if isinstance(value, TopologySpec) else value)
-        for (name, _), value in zip(grid.axes, combo)
-    }
+
+def _print_digest(grid, digest) -> None:
+    name = grid.name or "scenario"
+    shard = f" [shard {grid.sharding[0]}/{grid.sharding[1]}]" \
+        if grid.sharding else ""
+    print(f"{name}{shard}: {digest['n_cells']} cell(s)")
+    for cell in digest["cells"]:
+        axes = ", ".join(f"{k}={v}" for k, v in cell["axes"].items()) or "-"
+        print(f"  [{axes}] delay={cell['mean_delay']} "
+              f"completion={cell['completion_rate']} "
+              f"failures={cell['mean_failures']}")
 
 
-def _scenario_digest(grid, summaries) -> dict:
-    """Deterministic per-cell digest for expectation diffing.
+def _write_summary(digest, path: str) -> None:
+    import json
 
-    Simulation is bit-identical across backends and machines, so the
-    rounded metrics are stable; NaNs (no finite delays) become nulls so
-    the digest stays valid JSON.
-    """
-    import math
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(digest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"summary -> {path}")
 
-    from .sim.engine import ENGINE_VERSION
 
-    def num(x: float):
-        return None if math.isnan(x) else round(float(x), 6)
+def _stamp_manifest(grid, cache_dir) -> None:
+    """Record grid provenance in the cache dir (merge's conflict guard)."""
+    from .exec import update_manifest
 
-    cells = []
-    for (combo, scenario), summary in zip(grid.items(), summaries):
-        cells.append({
-            "axes": _axes_of(grid, combo),
-            "fingerprint": scenario.fingerprint(),
-            "mean_delay": num(summary.mean_delay()),
-            "completion_rate": num(summary.completion_rate()),
-            "mean_failures": num(summary.mean_failures()),
-            "mean_tx_attempts": num(summary.mean_tx_attempts()),
-        })
-    return {"name": grid.name, "engine": ENGINE_VERSION,
-            "n_cells": len(cells), "cells": cells}
+    label = f"{grid.sharding[0]}/{grid.sharding[1]}" if grid.sharding \
+        else "full"
+    update_manifest(cache_dir, grid.grid_fingerprint(),
+                    name=grid.name, shard_label=label)
 
 
 def _cmd_run_scenario(args: argparse.Namespace) -> int:
-    import json
-
+    from .analysis.report import grid_digest
     from .exec import execution_context, use_execution
     from .scenario import ScenarioError, load_scenario_file
     from .sim.runner import run_scenarios
 
     try:
         grid = load_scenario_file(args.file)
-    except (OSError, ScenarioError) as exc:
+        if args.shard is not None:
+            index, count = _parse_shard(args.shard)
+            grid = grid.shard(index, count)
+    except (OSError, ValueError, ScenarioError) as exc:
         print(exc, file=sys.stderr)
         return 2
     try:
@@ -233,19 +306,36 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
     except (NotADirectoryError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
-    digest = _scenario_digest(grid, summaries)
-    name = grid.name or "scenario"
-    print(f"{name}: {digest['n_cells']} cell(s)")
-    for cell in digest["cells"]:
-        axes = ", ".join(f"{k}={v}" for k, v in cell["axes"].items()) or "-"
-        print(f"  [{axes}] delay={cell['mean_delay']} "
-              f"completion={cell['completion_rate']} "
-              f"failures={cell['mean_failures']}")
+    if args.cache_dir is not None:
+        _stamp_manifest(grid, args.cache_dir)
+    digest = grid_digest(grid, summaries)
+    _print_digest(grid, digest)
     if args.summary:
-        with open(args.summary, "w", encoding="utf-8") as fh:
-            json.dump(digest, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"summary -> {args.summary}")
+        _write_summary(digest, args.summary)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import grid_digest
+    from .exec import ResultStore
+    from .scenario import ScenarioError, load_scenario_file
+    from .sim.runner import MissingResults, load_scenario_summaries
+
+    try:
+        grid = load_scenario_file(args.file)
+    except (OSError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        store = ResultStore(args.cache_dir)
+        summaries = load_scenario_summaries(grid.scenarios(), store)
+    except (NotADirectoryError, ValueError, MissingResults) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    digest = grid_digest(grid, summaries)
+    _print_digest(grid, digest)
+    if args.summary:
+        _write_summary(digest, args.summary)
     return 0
 
 
@@ -257,6 +347,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     except (OSError, ScenarioError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 2
+    if args.scenario_command == "shard":
+        return _cmd_scenario_shard(args, grid)
     if args.scenario_command == "show":
         print(grid.to_json(indent=2))
     name = grid.name or "scenario"
@@ -267,6 +359,64 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"  {scenario.protocol} duty={scenario.duty_ratio:g} "
               f"M={scenario.n_packets} -> {scenario.fingerprint()[:16]}")
     return 0
+
+
+def _cmd_scenario_shard(args: argparse.Namespace, grid) -> int:
+    from pathlib import Path
+
+    from .scenario import ScenarioError
+
+    src = Path(args.file)
+    out_dir = Path(args.out_dir) if args.out_dir else src.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        shards = grid.shards(args.count)
+    except (ValueError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    stem = src.name[:-len(".json")] if src.name.endswith(".json") \
+        else src.name
+    for shard in shards:
+        index, count = shard.sharding
+        path = out_dir / f"{stem}.shard{index}of{count}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(shard.to_json(indent=2))
+            fh.write("\n")
+        print(f"{path}: {len(shard)} cell(s)")
+    print(f"grid fingerprint {grid.grid_fingerprint()[:16]} "
+          f"stamped into {args.count} shard file(s)")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .exec import MergeError, gc_store, merge_store, verify_store
+
+    if args.store_command == "merge":
+        try:
+            report = merge_store(args.into, args.sources,
+                                 allow_mixed=args.allow_mixed)
+        except (MergeError, ValueError, OSError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"{args.into}: {report}")
+        return 0
+    if args.store_command == "verify":
+        report = verify_store(args.dir)
+        print(f"{args.dir}: {report}")
+        for entry in report.problems:
+            print(f"  {entry.status:<10} {entry.name}  {entry.detail}")
+        for name in report.tmp_files:
+            print(f"  tmp        {name}  orphaned temp file")
+        return 0 if not report.problems else 1
+    if args.store_command == "gc":
+        report = gc_store(args.dir, stale=args.stale)
+        print(f"{args.dir}: {report}")
+        for name in report.removed:
+            print(f"  removed {name}")
+        return 0
+    raise AssertionError(
+        f"unhandled store command {args.store_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -337,8 +487,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "run-scenario":
         return _cmd_run_scenario(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "recommend":

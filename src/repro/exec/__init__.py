@@ -40,7 +40,22 @@ from .shared import (
     SharedTopologyRef,
     share_topology,
 )
-from .store import ResultStore, StoreStats, result_key, spec_fingerprint
+from .store import (
+    EntryStatus,
+    GcReport,
+    MergeError,
+    MergeReport,
+    ResultStore,
+    StoreStats,
+    VerifyReport,
+    gc_store,
+    merge_store,
+    read_manifest,
+    result_key,
+    spec_fingerprint,
+    update_manifest,
+    verify_store,
+)
 
 __all__ = [
     "Executor", "SerialExecutor", "ParallelExecutor", "ExecutorStats",
@@ -48,6 +63,9 @@ __all__ = [
     "SharedTopologyHandle", "SharedTopologyRef", "PickledRef",
     "share_topology",
     "ResultStore", "StoreStats", "result_key", "spec_fingerprint",
+    "EntryStatus", "VerifyReport", "MergeReport", "GcReport", "MergeError",
+    "verify_store", "merge_store", "gc_store",
+    "read_manifest", "update_manifest",
     "ExecutionContext", "execution_context", "configure_execution",
     "reset_execution", "use_execution",
 ]

@@ -66,18 +66,23 @@ def configure_execution(
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
     reps_per_task: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ExecutionContext:
     """Install (and return) a new process-wide context.
 
     ``backend``/``jobs`` follow :func:`~repro.exec.executor.resolve_executor`
     (``jobs > 1`` alone selects the parallel backend); ``cache_dir``
     upgrades the store from in-memory to persistent; ``reps_per_task``
-    sets the replication-chunking width (``None`` = auto).
+    sets the replication-chunking width (``None`` = auto). A
+    pre-constructed ``store`` (e.g. one shard's directory opened by a
+    test harness) may be passed instead of ``cache_dir`` — never both.
     """
     global _DEFAULT
+    if store is not None and cache_dir is not None:
+        raise ValueError("pass either store or cache_dir, not both")
     _DEFAULT = ExecutionContext(
         executor=resolve_executor(backend, jobs),
-        store=ResultStore(cache_dir),
+        store=store if store is not None else ResultStore(cache_dir),
         reps_per_task=reps_per_task,
     )
     return _DEFAULT
@@ -102,6 +107,7 @@ def use_execution(
     jobs: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
     reps_per_task: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> Iterator[ExecutionContext]:
     """Temporarily install a context, restoring the previous one on exit.
 
@@ -113,14 +119,15 @@ def use_execution(
     global _DEFAULT
     previous = _DEFAULT
     if (backend is None and jobs is None and cache_dir is None
-            and reps_per_task is None):
+            and reps_per_task is None and store is None):
         yield previous
         return
     ctx = None
     try:
         ctx = configure_execution(backend=backend, jobs=jobs,
                                   cache_dir=cache_dir,
-                                  reps_per_task=reps_per_task)
+                                  reps_per_task=reps_per_task,
+                                  store=store)
         yield ctx
     finally:
         _DEFAULT = previous

@@ -15,7 +15,7 @@ entry.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.series import ExperimentResult
 from ..exec import use_execution
@@ -63,8 +63,19 @@ SCENARIO_GRIDS: Dict[str, Callable[..., ScenarioGrid]] = {
 }
 
 
-def scenario_grid(experiment_id: str, scale: str = "full", **kwargs) -> ScenarioGrid:
-    """The declarative scenario grid behind a registered experiment."""
+def scenario_grid(
+    experiment_id: str,
+    scale: str = "full",
+    shard: Optional[Tuple[int, int]] = None,
+    **kwargs,
+) -> ScenarioGrid:
+    """The declarative scenario grid behind a registered experiment.
+
+    ``shard=(i, k)`` returns shard ``i`` of ``k`` (0-based) of the
+    grid — the registry-level entry into sharded execution, equivalent
+    to ``scenario_grid(id).shard(i, k)``: run each shard into its own
+    cache directory and ``repro store merge`` them back.
+    """
     try:
         builder = SCENARIO_GRIDS[experiment_id]
     except KeyError:
@@ -72,7 +83,11 @@ def scenario_grid(experiment_id: str, scale: str = "full", **kwargs) -> Scenario
             f"no scenario grid for {experiment_id!r}; "
             f"available: {sorted(SCENARIO_GRIDS)}"
         ) from None
-    return builder(scale=scale, **kwargs)
+    grid = builder(scale=scale, **kwargs)
+    if shard is not None:
+        index, count = shard
+        grid = grid.shard(index, count)
+    return grid
 
 
 def scenario_grid_ids() -> List[str]:

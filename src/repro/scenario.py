@@ -15,7 +15,11 @@ makes that space a *data type*:
 * :class:`ScenarioGrid` — a base scenario plus named sweep axes,
   expanding to the cartesian list of scenarios; the unit the experiment
   registry, the CLI (``repro run-scenario``) and the analysis helpers
-  all exchange.
+  all exchange. :meth:`ScenarioGrid.shard` deterministically partitions
+  a grid's cells into disjoint sub-grids that serialize to
+  self-contained shard files (stamped with the parent grid's
+  fingerprint), so one sweep can execute as independent processes or
+  hosts and merge back through the result store.
 
 Content addressing
 ------------------
@@ -561,14 +565,31 @@ class ScenarioGrid:
     ``axes`` maps scenario field names to value sequences; the grid
     expands to the cartesian product in axis order (last axis fastest),
     exactly like nested for-loops over the axes.
+
+    Sharding
+    --------
+    :meth:`shard` partitions the expanded cells into ``count``
+    deterministic, near-equal, disjoint subsets — the unit of multi-host
+    execution. The partition orders cells by ``(fingerprint, expansion
+    index)`` and deals sorted positions round-robin, so it depends only
+    on the cells' *content*, never on Python hashing or axis authoring
+    style; shard ``i`` then presents its cells in original expansion
+    order. A sharded grid serializes to a **self-contained** grid JSON
+    (full base + axes plus a ``shard`` stanza stamped with the parent
+    grid's fingerprint), so a shard file can be shipped to another host
+    and re-expanded there; the stamp makes editing a shard file's axes
+    — or mixing shards of different grids — a load-time error instead
+    of a silently wrong merge.
     """
 
     base: Scenario
     axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     name: Optional[str] = None
+    sharding: Optional[Tuple[int, int]] = None
 
     def __init__(self, base: Scenario, axes: Any = (),
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 sharding: Optional[Tuple[int, int]] = None):
         object.__setattr__(self, "base", base)
         object.__setattr__(self, "name", name)
         if isinstance(axes, Mapping):
@@ -582,32 +603,108 @@ class ScenarioGrid:
                 raise ScenarioError(f"axis {field_name!r} has no values")
             frozen.append((field_name, values))
         object.__setattr__(self, "axes", tuple(frozen))
-        for scenario in self.scenarios():  # validate every cell eagerly
+        if sharding is not None:
+            index, count = sharding
+            if count < 1:
+                raise ScenarioError(
+                    f"shard count must be >= 1, got {count}"
+                )
+            if not (0 <= index < count):
+                raise ScenarioError(
+                    f"shard index must be in [0, {count}), got {index} "
+                    f"(shard indices are 0-based)"
+                )
+            sharding = (int(index), int(count))
+        object.__setattr__(self, "sharding", sharding)
+        for scenario in self._full_scenarios():  # validate every cell eagerly
             assert isinstance(scenario, Scenario)
+
+    # -- expansion -----------------------------------------------------
+
+    def _full_combos(self) -> List[Tuple[Any, ...]]:
+        """Every cell's axis-value tuple, ignoring any sharding."""
+        if not self.axes:
+            return [()]
+        return list(itertools.product(*(v for _, v in self.axes)))
+
+    def _full_scenarios(self) -> List[Scenario]:
+        names = [n for n, _ in self.axes]
+        return [
+            dataclasses.replace(self.base,
+                                **dict(zip(names, combo)))
+            for combo in self._full_combos()
+        ]
+
+    def cell_indices(self) -> Tuple[int, ...]:
+        """Indices (in full-grid expansion order) of this grid's cells.
+
+        The whole determinism contract of sharding lives here: cells are
+        ordered by ``(cell fingerprint, expansion index)`` — a pure
+        function of the grid's content — and sorted position ``p`` goes
+        to shard ``p % count`` (round-robin, so shard sizes differ by at
+        most one). The selected indices are returned ascending, so a
+        shard's cells keep their original expansion order.
+        """
+        full = self._full_scenarios()
+        if self.sharding is None:
+            return tuple(range(len(full)))
+        index, count = self.sharding
+        fps = [s.fingerprint() for s in full]
+        order = sorted(range(len(full)), key=lambda j: (fps[j], j))
+        return tuple(sorted(order[p] for p in range(len(full))
+                            if p % count == index))
 
     def __len__(self) -> int:
         n = 1
         for _, values in self.axes:
             n *= len(values)
-        return n
+        if self.sharding is None:
+            return n
+        return len(self.cell_indices())
 
     def combos(self) -> List[Tuple[Any, ...]]:
-        """Axis-value tuples in expansion order (``()`` for no axes)."""
-        if not self.axes:
-            return [()]
-        return list(itertools.product(*(v for _, v in self.axes)))
+        """Axis-value tuples in expansion order (``()`` for no axes).
+
+        On a sharded grid, only this shard's cells (original order).
+        """
+        full = self._full_combos()
+        if self.sharding is None:
+            return full
+        return [full[i] for i in self.cell_indices()]
 
     def scenarios(self) -> List[Scenario]:
-        """The expanded cartesian list of scenarios."""
-        names = [n for n, _ in self.axes]
-        return [
-            dataclasses.replace(self.base,
-                                **dict(zip(names, combo)))
-            for combo in self.combos()
-        ]
+        """The expanded cartesian list of scenarios (this shard's cells)."""
+        full = self._full_scenarios()
+        if self.sharding is None:
+            return full
+        return [full[i] for i in self.cell_indices()]
 
     def items(self) -> Iterator[Tuple[Tuple[Any, ...], Scenario]]:
         return zip(self.combos(), self.scenarios())
+
+    # -- sharding ------------------------------------------------------
+
+    def shard(self, index: int, count: int) -> "ScenarioGrid":
+        """Shard ``index`` (0-based) of ``count`` disjoint sub-grids.
+
+        The union of ``grid.shard(0, k) .. grid.shard(k-1, k)`` is
+        exactly the full grid; see :meth:`cell_indices` for the
+        determinism contract. A shard with more shards than cells is
+        legal and simply empty. Re-sharding a shard is refused — shards
+        are stamped against the *parent* grid, and a shard-of-shard
+        would silently change which grid the stamp refers to.
+        """
+        if self.sharding is not None:
+            raise ScenarioError(
+                f"grid is already shard {self.sharding[0]}/{self.sharding[1]}; "
+                f"shard the full grid instead"
+            )
+        return ScenarioGrid(base=self.base, axes=self.axes, name=self.name,
+                            sharding=(index, count))
+
+    def shards(self, count: int) -> List["ScenarioGrid"]:
+        """All ``count`` shards, in index order."""
+        return [self.shard(i, count) for i in range(count)]
 
     # -- serialization ------------------------------------------------
 
@@ -624,6 +721,16 @@ class ScenarioGrid:
         data["scenario"] = self.base.to_dict()
         if axes:
             data["axes"] = axes
+        if self.sharding is not None:
+            # Self-contained shard file: the full grid definition plus
+            # which slice this is, stamped with the *parent* grid's
+            # fingerprint so shards of different grids can never be
+            # silently mixed (the stamp is re-checked on load).
+            data["shard"] = {
+                "index": self.sharding[0],
+                "count": self.sharding[1],
+                "grid": self.grid_fingerprint(),
+            }
         return data
 
     @classmethod
@@ -632,7 +739,8 @@ class ScenarioGrid:
             raise ScenarioError(
                 f"scenario file must hold an object, got {type(data).__name__}"
             )
-        _reject_unknown(data, ("schema", "name", "notes", "scenario", "axes"),
+        _reject_unknown(data, ("schema", "name", "notes", "scenario", "axes",
+                               "shard"),
                         "scenario-file field")
         schema = data.get("schema", SCHEMA_VERSION)
         if schema != SCHEMA_VERSION:
@@ -643,17 +751,54 @@ class ScenarioGrid:
         if "scenario" not in data:
             raise ScenarioError("scenario file is missing the 'scenario' object")
         base = Scenario.from_dict(data["scenario"])
-        return cls(base=base, axes=data.get("axes", ()),
-                   name=data.get("name"))
+        sharding = None
+        stamp = None
+        if data.get("shard") is not None:
+            shard = data["shard"]
+            if not isinstance(shard, Mapping):
+                raise ScenarioError("'shard' must be an object")
+            _reject_unknown(shard, ("index", "count", "grid"), "shard field")
+            if "index" not in shard or "count" not in shard:
+                raise ScenarioError("'shard' needs 'index' and 'count'")
+            sharding = (int(shard["index"]), int(shard["count"]))
+            stamp = shard.get("grid")
+        grid = cls(base=base, axes=data.get("axes", ()),
+                   name=data.get("name"), sharding=sharding)
+        if stamp is not None and stamp != grid.grid_fingerprint():
+            raise ScenarioError(
+                f"shard is stamped for grid {str(stamp)[:16]}… but this "
+                f"file expands to grid {grid.grid_fingerprint()[:16]}… — "
+                f"the base/axes were edited after sharding, or the stamp "
+                f"belongs to a different grid; re-shard the full grid"
+            )
+        return grid
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
                           default=_json_default)
 
     def fingerprint(self) -> str:
-        """Content hash over every expanded cell (order-sensitive)."""
+        """Content hash over this grid's expanded cells (order-sensitive).
+
+        On a shard, hashes only the shard's cells — shards of one grid
+        get distinct fingerprints. :meth:`grid_fingerprint` identifies
+        the parent grid shards share.
+        """
         h = hashlib.sha256()
         for scenario in self.scenarios():
+            h.update(scenario.fingerprint().encode())
+        return h.hexdigest()
+
+    def grid_fingerprint(self) -> str:
+        """Content hash over *every* cell of the full grid.
+
+        Invariant under sharding: every shard of a grid reports its
+        parent's fingerprint (an unsharded grid reports its own, equal
+        to :meth:`fingerprint`). This is the identity the shard stamp,
+        the store manifests and ``repro store merge`` key on.
+        """
+        h = hashlib.sha256()
+        for scenario in self._full_scenarios():
             h.update(scenario.fingerprint().encode())
         return h.hexdigest()
 

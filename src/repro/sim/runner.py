@@ -45,6 +45,7 @@ from .rng import RngStreams, derive_seed
 __all__ = ["ExperimentSpec", "RunSummary", "run_replication",
            "run_replication_chunk", "scenario_rep_batchable",
            "run_experiment", "run_experiments", "run_scenarios",
+           "load_scenario_summaries", "MissingResults",
            "run_protocol_sweep"]
 
 #: Widest replication chunk the auto policy hands one task — wide enough
@@ -461,6 +462,70 @@ def run_scenarios(
         )
         for i, summary in zip(indices, batch):
             summaries[i] = summary
+    return summaries  # type: ignore[return-value]
+
+
+class MissingResults(LookupError):
+    """A store-only load found cells with no stored result.
+
+    Raised by :func:`load_scenario_summaries`; ``missing`` holds
+    ``(index, scenario)`` pairs for every absent cell so callers can say
+    exactly which shard still has to run.
+    """
+
+    def __init__(self, missing):
+        self.missing = list(missing)
+        cells = ", ".join(
+            f"#{i} {s.fingerprint()[:16]}" for i, s in self.missing[:5]
+        )
+        more = f" (+{len(self.missing) - 5} more)" if len(self.missing) > 5 \
+            else ""
+        super().__init__(
+            f"{len(self.missing)} cell(s) have no stored result: "
+            f"{cells}{more} — run the missing shard(s) first, or merge "
+            f"their stores into this cache directory"
+        )
+
+
+def load_scenario_summaries(
+    scenarios: Sequence,
+    store,
+    topo: Optional[Topology] = None,
+) -> List[RunSummary]:
+    """Answer scenarios purely from a :class:`~repro.exec.ResultStore`.
+
+    The reporting half of the sharded-execution story
+    (``repro report``): never simulates, never needs an executor — it
+    resolves each scenario's topology exactly like :func:`run_scenarios`
+    (so content keys match the ones the run stamped), batches
+    ``get_many`` per substrate, and raises :class:`MissingResults`
+    naming every absent cell. On a store produced by ``repro store
+    merge`` over k shard runs, this returns summaries bit-identical to
+    the unsharded run's (the entries *are* the shard runs' pickles).
+    """
+    scenarios = [as_scenario(s) for s in scenarios]
+    groups: Dict[str, Tuple[Topology, List[int]]] = {}
+    for i, scenario in enumerate(scenarios):
+        if scenario.topology is not None:
+            t = build_topology(scenario.topology)
+        elif topo is not None:
+            t = topo
+        else:
+            raise ValueError(
+                f"scenario #{i} names no topology and no default was given"
+            )
+        groups.setdefault(t.fingerprint(), (t, []))[1].append(i)
+
+    summaries: List[Optional[RunSummary]] = [None] * len(scenarios)
+    for t, indices in groups.values():
+        keys = [store.key_for(t, scenarios[i]) for i in indices]
+        cached = store.get_many(keys)
+        for i, key in zip(indices, keys):
+            summaries[i] = cached.get(key)
+    missing = [(i, scenarios[i]) for i, s in enumerate(summaries)
+               if s is None]
+    if missing:
+        raise MissingResults(missing)
     return summaries  # type: ignore[return-value]
 
 

@@ -1,0 +1,194 @@
+"""Integration: a sharded run merged back equals the unsharded run.
+
+The tentpole's acceptance criterion, end to end: run a grid as k shards
+into k separate cache directories (as k independent processes would),
+``merge_store`` them, and the merged store answers the full grid with
+summaries bit-identical to the unsharded run — same FloodResult
+pickles, same report digest.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.exec import ResultStore, merge_store, read_manifest
+from repro.scenario import Scenario, ScenarioGrid, TopologySpec
+from repro.sim.runner import (
+    MissingResults,
+    load_scenario_summaries,
+    run_scenarios,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ScenarioGrid(
+        Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2, seed=7,
+                 n_replications=2,
+                 topology=TopologySpec(kind="line",
+                                       params={"n_sensors": 8, "prr": 0.9})),
+        axes={"protocol": ("opt", "dbao", "of"),
+              "duty_ratio": (0.1, 0.2)},
+        name="shard-roundtrip",
+    )
+
+
+def flat_pickles(summaries):
+    return [pickle.dumps(r) for s in summaries for r in s.results]
+
+
+class TestShardMergeRoundTrip:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_bit_identical_at_run_summary_level(self, grid, tmp_path, k):
+        baseline = run_scenarios(grid.scenarios(),
+                                 store=ResultStore(tmp_path / "unsharded"))
+
+        shard_dirs = []
+        for shard in grid.shards(k):
+            d = tmp_path / f"shard{shard.sharding[0]}"
+            run_scenarios(shard.scenarios(), store=ResultStore(d))
+            shard_dirs.append(d)
+
+        merged_dir = tmp_path / "merged"
+        report = merge_store(merged_dir, shard_dirs)
+        assert report.copied == len(grid)
+        assert report.rejected == 0
+
+        merged = load_scenario_summaries(
+            grid.scenarios(), ResultStore(merged_dir)
+        )
+        assert flat_pickles(merged) == flat_pickles(baseline)
+        assert [s.spec for s in merged] == [s.spec for s in baseline]
+
+    def test_missing_shard_is_named_not_guessed(self, grid, tmp_path):
+        shard0 = grid.shard(0, 2)
+        run_scenarios(shard0.scenarios(),
+                      store=ResultStore(tmp_path / "only0"))
+        with pytest.raises(MissingResults) as err:
+            load_scenario_summaries(grid.scenarios(),
+                                    ResultStore(tmp_path / "only0"))
+        missing = {s.fingerprint() for _, s in err.value.missing}
+        want = {s.fingerprint() for s in grid.shard(1, 2).scenarios()}
+        assert missing == want
+
+
+class TestCliShardPipeline:
+    def test_shard_run_merge_report_digest_equal(self, grid, tmp_path,
+                                                 capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+
+        # Unsharded reference digest.
+        ref = tmp_path / "ref.json"
+        assert main(["run-scenario", str(grid_file),
+                     "--cache-dir", str(tmp_path / "one"),
+                     "--summary", str(ref)]) == 0
+
+        for i in range(2):
+            assert main(["run-scenario", str(grid_file),
+                         "--shard", f"{i}/2",
+                         "--cache-dir", str(tmp_path / f"s{i}")]) == 0
+        assert main(["store", "merge",
+                     "--into", str(tmp_path / "merged"),
+                     str(tmp_path / "s0"), str(tmp_path / "s1")]) == 0
+        assert main(["store", "verify", str(tmp_path / "merged")]) == 0
+
+        got = tmp_path / "got.json"
+        assert main(["report", str(grid_file),
+                     "--cache-dir", str(tmp_path / "merged"),
+                     "--summary", str(got)]) == 0
+        capsys.readouterr()
+        assert got.read_bytes() == ref.read_bytes()
+
+    def test_run_stamps_manifest(self, grid, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        assert main(["run-scenario", str(grid_file), "--shard", "0/3",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        capsys.readouterr()
+        manifest = read_manifest(tmp_path / "c")
+        entry = manifest["grids"][grid.grid_fingerprint()]
+        assert entry == {"name": "shard-roundtrip", "shards": ["0/3"]}
+
+    def test_report_on_incomplete_store_exits_2(self, grid, tmp_path,
+                                                capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        assert main(["run-scenario", str(grid_file), "--shard", "0/2",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        capsys.readouterr()
+        assert main(["report", str(grid_file),
+                     "--cache-dir", str(tmp_path / "c")]) == 2
+        assert "no stored result" in capsys.readouterr().err
+
+    def test_bad_shard_spec_exits_2(self, grid, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        assert main(["run-scenario", str(grid_file),
+                     "--shard", "two"]) == 2
+        assert "I/K" in capsys.readouterr().err
+        assert main(["run-scenario", str(grid_file),
+                     "--shard", "2/2"]) == 2
+        assert "0-based" in capsys.readouterr().err
+
+    def test_scenario_shard_files_run_and_merge(self, grid, tmp_path,
+                                                capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        assert main(["scenario", "shard", str(grid_file), "2",
+                     "--out-dir", str(tmp_path / "parts")]) == 0
+        capsys.readouterr()
+        parts = sorted((tmp_path / "parts").glob("*.json"))
+        assert [p.name for p in parts] \
+            == ["grid.shard0of2.json", "grid.shard1of2.json"]
+        # Each shard file is self-contained and stamped; loading a
+        # tampered one fails (covered in scenario tests) — here the
+        # files must simply run and cover the grid exactly once.
+        for i, part in enumerate(parts):
+            assert main(["run-scenario", str(part),
+                         "--cache-dir", str(tmp_path / f"p{i}")]) == 0
+        assert main(["store", "merge",
+                     "--into", str(tmp_path / "pm"),
+                     str(tmp_path / "p0"), str(tmp_path / "p1")]) == 0
+        capsys.readouterr()
+        summaries = load_scenario_summaries(
+            grid.scenarios(), ResultStore(tmp_path / "pm")
+        )
+        assert len(summaries) == len(grid)
+
+    def test_merge_refuses_different_grids_from_manifests(self, grid,
+                                                          tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        other = ScenarioGrid(
+            Scenario(protocol="dbao", duty_ratio=0.2, n_packets=2, seed=9,
+                     topology=TopologySpec(kind="line",
+                                           params={"n_sensors": 6})),
+            name="other-grid",
+        )
+        other_file = tmp_path / "other.json"
+        other_file.write_text(other.to_json())
+        assert main(["run-scenario", str(grid_file), "--shard", "0/2",
+                     "--cache-dir", str(tmp_path / "g0")]) == 0
+        assert main(["run-scenario", str(other_file),
+                     "--cache-dir", str(tmp_path / "o")]) == 0
+        capsys.readouterr()
+        assert main(["store", "merge", "--into", str(tmp_path / "o"),
+                     str(tmp_path / "g0")]) == 2
+        assert "grid-fingerprint conflict" in capsys.readouterr().err
+
+    def test_gc_cleans_a_damaged_store(self, grid, tmp_path, capsys):
+        grid_file = tmp_path / "grid.json"
+        grid_file.write_text(grid.to_json())
+        cache = tmp_path / "c"
+        assert main(["run-scenario", str(grid_file), "--shard", "0/2",
+                     "--cache-dir", str(cache)]) == 0
+        (cache / ("0" * 64 + ".rsum")).write_bytes(b"killed mid-write")
+        capsys.readouterr()
+        assert main(["store", "verify", str(cache)]) == 1
+        assert "truncated" in capsys.readouterr().out
+        assert main(["store", "gc", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["store", "verify", str(cache)]) == 0
