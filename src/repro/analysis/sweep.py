@@ -70,7 +70,10 @@ def sweep(
         Optional :class:`repro.exec.Executor`; the flattened
         ``(spec, replication)`` tasks of the whole grid go through one
         ``map`` call, so a parallel backend load-balances across cells.
-        ``None`` runs serially in-process.
+        Cells differing only in per-replication axes (duty ratio, seed,
+        traffic interval) stack into shared ``(R, …)`` batched engine
+        invocations when the protocol supports it — a whole duty column
+        is one task. ``None`` runs serially in-process.
     store:
         Optional :class:`repro.exec.ResultStore`; cells already stored
         under their content key (spec + topology fingerprint + engine

@@ -89,10 +89,13 @@ class ExecutorStats:
     task_s_max: float = 0.0
     #: Replication batching (``--reps-per-task``): tasks that carried a
     #: multi-replication chunk, how many replications rode in them, and
-    #: the widest chunk seen. Width-1 tasks are ordinary tasks and are
-    #: not counted here.
+    #: the widest chunk seen. ``serial_reps`` counts the replications
+    #: that went out as ordinary width-1 tasks instead (non-batchable
+    #: scenarios and chunk tails) — together with ``batched_reps`` it
+    #: yields the dispatch's batch coverage.
     rep_batches: int = 0
     batched_reps: int = 0
+    serial_reps: int = 0
     max_batch_width: int = 0
 
     def note_rep_batches(self, widths: Sequence[int]) -> None:
@@ -103,6 +106,8 @@ class ExecutorStats:
                 self.batched_reps += int(w)
                 if w > self.max_batch_width:
                     self.max_batch_width = int(w)
+            else:
+                self.serial_reps += int(w)
 
     def record_task_times(self, times: Sequence[float]) -> None:
         for t in times:
@@ -132,6 +137,7 @@ class ExecutorStats:
         self.task_s_max = max(self.task_s_max, other.task_s_max)
         self.rep_batches += other.rep_batches
         self.batched_reps += other.batched_reps
+        self.serial_reps += other.serial_reps
         self.max_batch_width = max(self.max_batch_width, other.max_batch_width)
 
     def __str__(self) -> str:
@@ -143,10 +149,13 @@ class ExecutorStats:
         ]
         if self.shared_bytes:
             parts.append(f"{_human_bytes(self.shared_bytes)} shared-memory")
-        if self.rep_batches:
+        if self.rep_batches or self.serial_reps:
+            total = self.batched_reps + self.serial_reps
+            pct = 100.0 * self.batched_reps / total if total else 0.0
             parts.append(
                 f"{self.batched_reps} rep(s) in {self.rep_batches} "
-                f"batched task(s) (max {self.max_batch_width}/task)"
+                f"batched task(s) (max {self.max_batch_width}/task, "
+                f"{pct:.0f}% batch coverage)"
             )
         if self.pool_spinups:
             parts.append(

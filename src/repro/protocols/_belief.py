@@ -382,6 +382,83 @@ class RepNeighborBelief:
             return
         self._packed[kk, observers, cols] |= words
 
+    def sync_ack_summaries(self, outcome, view) -> None:
+        """Absorb each non-overheard reception's ACK possession summary.
+
+        The shared observe rule of the ACK-summary protocols (OF, naive,
+        FLASH, DCA): the transmitting sender — and only it — learns the
+        receiver's whole buffer from the piggybacked summary. One
+        batched sync per slot over a
+        :class:`~repro.net.radio.RepSlotOutcome`.
+        """
+        sel = ~outcome.rec_overheard
+        if not sel.any():
+            return
+        kk = outcome.rec_rep[sel]
+        observers = outcome.rec_sender[sel]
+        receivers = outcome.rec_receiver[sel]
+        if self._packed is not None and view.has_packed is not None:
+            self.sync_pairs_words(
+                kk, observers, receivers, view.has_packed[kk, receivers]
+            )
+        else:
+            self.sync_pairs(
+                kk, observers, receivers, view.has_stack[kk, :, receivers]
+            )
+
+    def coverage_counts(
+        self, kk: np.ndarray, observers: np.ndarray, packets: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`NeighborBelief.believed_coverage_count`.
+
+        Row ``i``: how many out-neighbors ``observers[i]`` believes hold
+        ``packets[i]`` in replication ``kk[i]``. Padding columns never
+        hold set bits, so the whole padded row sums exactly.
+        """
+        if self._packed is not None:
+            words = self._packed[kk, observers]  # (C, max_deg)
+            bits = (
+                words >> packets.astype(np.uint64)[:, None]
+            ) & np.uint64(1)
+            return bits.sum(axis=1).astype(np.int64)
+        return self._belief4[kk, observers, packets, :].sum(axis=1)
+
+    def offer_pairs_matrix(
+        self,
+        rep_ids: np.ndarray,
+        observers: np.ndarray,
+        receivers: np.ndarray,
+        has_stack: np.ndarray,
+        has_packed: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """:meth:`offer_pairs_reps` with per-replication observers.
+
+        ``observers`` is ``(len(rep_ids), P)`` — protocols whose
+        forwarding structure differs per replication (DCA's
+        schedule-dependent trees) ask about a different sender per
+        replication for the same frontier receiver. Entries ``< 0`` mark
+        pairs with no observer in that replication (never offer).
+        """
+        valid = observers >= 0
+        obs = np.where(valid, observers, 0)
+        cols = self._pair_col[obs, receivers[None, :]]
+        ok = valid & (cols >= 0)
+        cols = np.where(ok, cols, 0)
+        kk = rep_ids[:, None]
+        if self._packed is not None:
+            bel = self._packed[kk, obs, cols]
+            if has_packed is not None:
+                holds_w = has_packed[kk, obs]
+            else:
+                holds_w = (
+                    has_stack[rep_ids[:, None], :, obs].astype(np.uint64)
+                    * self._pow2[None, None, :]
+                ).sum(axis=2, dtype=np.uint64)
+            return ok & ((holds_w & ~bel) != 0)
+        believed = self._belief4[kk, obs, :, cols]  # (R', P, M)
+        holds = has_stack[rep_ids[:, None], :, obs]  # (R', P, M)
+        return ok & (holds & ~believed).any(axis=2)
+
     def offer_pairs_reps(
         self,
         rep_ids: np.ndarray,

@@ -14,6 +14,7 @@ which reads ground-truth possession — that is the point of OPT.
 
 from __future__ import annotations
 
+import math
 from abc import ABC
 from typing import Callable, Dict, List, Optional, Type
 
@@ -25,7 +26,8 @@ from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 
 __all__ = ["SimView", "RepSimView", "FloodingProtocol", "register_protocol",
-           "make_protocol", "available_protocols", "NEVER", "earliest_wake"]
+           "make_protocol", "available_protocols", "NEVER", "earliest_wake",
+           "phase_cache_period"]
 
 #: Sentinel arrival for absent packets in FCFS computations (hoisted —
 #: ``np.iinfo`` on every call shows up hard in profiles).
@@ -35,6 +37,24 @@ _INT64_MAX = np.iinfo(np.int64).max
 #: Far beyond any horizon yet small enough that the engine's clamping
 #: arithmetic cannot overflow int64.
 NEVER = _INT64_MAX // 4
+
+
+def phase_cache_period(schedules_list, cap: int = 16384) -> int:
+    """Common wake-phase period across a replication stack's schedules.
+
+    Wake sets — and every per-phase row structure derived from them —
+    repeat with the least common multiple of the replications' wake
+    periods, so caches keyed on ``t % period`` stay exact even when a
+    cross-cell stack mixes duty cycles. Returns ``0`` when the LCM
+    exceeds ``cap`` (pathological period mixes); callers must then
+    rebuild rows per slot instead of caching.
+    """
+    period = 1
+    for schedules in schedules_list:
+        period = math.lcm(period, int(schedules.period))
+        if period > cap:
+            return 0
+    return period
 
 
 def earliest_wake(schedules, t: int, receivers: np.ndarray) -> int:
@@ -215,7 +235,13 @@ class RepSimView:
         self.offsets_stack = np.stack(
             [np.asarray(s.offsets) for s in schedules_list]
         )
-        self.period = int(schedules_list[0].period)
+        #: (R,) per-replication wake periods; cross-cell stacks mix duty
+        #: cycles, so ``period`` (the first replication's) only stands
+        #: for the whole stack when ``uniform_period`` holds.
+        self.periods = np.asarray(
+            [int(s.period) for s in schedules_list], dtype=np.int64)
+        self.period = int(self.periods[0])
+        self.uniform_period = bool((self.periods == self.period).all())
         #: (R, n) buffer sizes, kept in sync by the engine as possession
         #: changes so pair queries skip the (P, M) gather-and-sum.
         self.held_counts = has_stack.sum(axis=1, dtype=np.int64)
@@ -305,13 +331,20 @@ class RepSimView:
             off = self.offsets_stack[rep_ids[:, None], frontier[None, :]]
         else:
             off = off_frontier[rep_ids]
-        # Offsets live in [0, period), so the modular next-wake formula
-        # collapses to a period-length lookup table per query slot.
         nxt = t + 1
-        wake_map = nxt + (
-            (np.arange(self.period, dtype=np.int64) - nxt) % self.period
-        )
-        return np.where(offers, wake_map[off], NEVER).min(axis=1)
+        if self.uniform_period:
+            # Offsets live in [0, period), so the modular next-wake
+            # formula collapses to a period-length lookup table per
+            # query slot.
+            wake_map = nxt + (
+                (np.arange(self.period, dtype=np.int64) - nxt) % self.period
+            )
+            return np.where(offers, wake_map[off], NEVER).min(axis=1)
+        # Heterogeneous-period stack: apply the formula directly with
+        # each replication's own period.
+        per = self.periods[rep_ids][:, None]
+        wakes = nxt + ((off - nxt) % per)
+        return np.where(offers, wakes, NEVER).min(axis=1)
 
 
 class FloodingProtocol(ABC):
@@ -402,11 +435,12 @@ class FloodingProtocol(ABC):
 
     # -- Replication-batched interface ---------------------------------
     #
-    # Batch-native protocols (currently OPT/designated and DBAO) answer
-    # True from ``rep_batchable`` and implement the ``*_reps`` methods;
-    # every other protocol keeps the defaults and the runner falls back
-    # to replication-by-replication serial runs (documented in
-    # DESIGN.md's "replication axis" section).
+    # Batch-native protocols answer True from ``rep_batchable`` and
+    # implement the ``*_reps`` methods; all seven paper-era floods do
+    # (OPT only under the designated server policy). A protocol that
+    # keeps the defaults makes the runner fall back to
+    # replication-by-replication serial runs (documented in DESIGN.md's
+    # "replication axis" section).
 
     def rep_batchable(self) -> bool:
         """Whether this instance supports (R, …) batched proposals."""

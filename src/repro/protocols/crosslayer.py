@@ -28,10 +28,18 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.tradeoff import EnergyModel, GainWeights, TradeoffPoint, optimal_duty_cycle
-from ..net.radio import TxBatch, csma_select
+from ..net.radio import TxBatch, csma_select, csma_select_reps
 from ..net.topology import SOURCE, Topology
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from ._repbatch import candidate_rows, flatten_sender_lists
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    phase_cache_period,
+    register_protocol,
+)
 
 __all__ = ["CrossLayerFlooding", "recommended_configuration"]
 
@@ -167,3 +175,164 @@ class CrossLayerFlooding(FloodingProtocol):
             self._belief.sync_possession(rec.sender, rec.receiver, held)
             audience = self._last_contenders.get(rec.receiver, ())
             self._belief.sync_for_witnesses(audience, rec.receiver, held)
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # Clique candidate rows per phase like DBAO; the best-link pick per
+    # (replication, sender) keeps the earliest traversal row on PRR ties
+    # (matching the serial strictly-greater replacement), usefulness is
+    # computed on the picked rows (beliefs are static within a slot),
+    # and the observe join mirrors DBAO's contender matching with the
+    # sender sync applied unconditionally.
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare consumes no randomness; the ETX anchor (and so
+        # the cliques) is period-independent.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_belief = RepNeighborBelief(
+            topo, workload.n_packets, len(schedules_list))
+        self._rep_schedules = list(schedules_list)
+        self._fwd_sizes, self._fwd_starts, self._fwd_flat = (
+            flatten_sender_lists(
+                [np.asarray(f, dtype=np.int64) for f in self._forwarders]
+            )
+        )
+        self._out_deg = np.asarray(
+            [topo.out_neighbors(v).size for v in range(topo.n_nodes)],
+            dtype=np.int64,
+        )
+        self._rep_cache_period = phase_cache_period(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        self._contender_k = None
+        self._contender_s = None
+        self._contender_r = None
+        self._off_frontier = None
+
+    def _rep_rows(self, t: int):
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
+        kk, ss, rr, sender_awake = candidate_rows(
+            self._rep_schedules, t, self._fwd_sizes, self._fwd_starts,
+            self._fwd_flat, with_sender_awake=True,
+        )
+        rows = (kk, ss, rr, sender_awake, self._topo.prr[ss, rr])
+        if key is not None:
+            self._rep_phase_cache[key] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        self._contender_k = self._contender_s = self._contender_r = None
+        kk, ss, rr, sender_awake, prr = self._rep_rows(t)
+        if kk.size == 0:
+            return empty, empty, empty, empty
+        if rep_ids.size < len(self._rep_schedules):
+            active = np.zeros(len(self._rep_schedules), dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk]
+            if not keep.all():
+                kk, ss, rr = kk[keep], ss[keep], rr[keep]
+                sender_awake, prr = sender_awake[keep], prr[keep]
+        needs = self._rep_belief.needs_pairs(kk, ss, rr)
+        heads, valid = view.fcfs_heads_pairs(kk, ss, needs)
+        listen = sender_awake & (ss != SOURCE) & (
+            view.held_counts[kk, ss] < view.n_packets
+        )
+        ok = valid & ~listen
+        if not ok.any():
+            return empty, empty, empty, empty
+        k_o, s_o, r_o = kk[ok], ss[ok], rr[ok]
+        h_o, prr_o = heads[ok], prr[ok]
+
+        # Best-link receiver per (replication, sender); the serial
+        # replacement is strictly-greater, so PRR ties keep the earliest
+        # traversal row (seq as the final sort key).
+        n = self._topo.n_nodes
+        seq = np.flatnonzero(ok)
+        pair = k_o * n + s_o
+        order = np.lexsort((seq, -prr_o, pair))
+        pair_srt = pair[order]
+        first = np.ones(pair_srt.size, dtype=bool)
+        first[1:] = pair_srt[1:] != pair_srt[:-1]
+        pick = order[first]  # ascending (replication, sender)
+        chosen_k = k_o[pick]
+        chosen_s = s_o[pick]
+        chosen_r = r_o[pick]
+        chosen_p = h_o[pick]
+        chosen_prr = prr_o[pick]
+
+        # Residual usefulness on the picked rows only — beliefs are
+        # static within a slot, so this matches the serial evaluation at
+        # traversal time.
+        useful = self._out_deg[chosen_s] - self._rep_belief.coverage_counts(
+            chosen_k, chosen_s, chosen_p
+        )
+
+        # All contenders (winners and deferrers) hear their receiver's
+        # ACK; observe_reps joins them against the slot's receptions.
+        self._contender_k = chosen_k
+        self._contender_s = chosen_s
+        self._contender_r = chosen_r
+
+        # Back-off rank: best link, then most useful, then id.
+        rank = np.lexsort((chosen_s, -useful, -chosen_prr, chosen_k))
+        win = csma_select_reps(
+            np.searchsorted(rep_ids, chosen_k[rank]), chosen_s[rank],
+            self._topo,
+        )
+        rows = rank[win]
+        if rows.size == 0:
+            return empty, empty, empty, empty
+        return chosen_k[rows], chosen_s[rows], chosen_r[rows], chosen_p[rows]
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        sel = ~outcome.rec_overheard
+        if not sel.any():
+            return
+        rep_f = outcome.rec_rep[sel]
+        recv_f = outcome.rec_receiver[sel]
+        send_f = outcome.rec_sender[sel]
+        wk, w_obs, w_recv = rep_f, send_f, recv_f
+        if self._contender_k is not None and self._contender_k.size:
+            # Witness audience: contenders whose chosen receiver got a
+            # non-overheard reception (at most one per (replication,
+            # receiver) per slot). Senders already sync above; repeated
+            # (rep, observer, receiver) tuples OR identical words, so
+            # the overlap is harmless.
+            n = view.n_nodes
+            ckey = self._contender_k * n + self._contender_r
+            rkey = rep_f * n + recv_f
+            rkey_sorted = np.sort(rkey)
+            pos = np.searchsorted(rkey_sorted, ckey)
+            pos_c = np.minimum(pos, rkey_sorted.size - 1)
+            match = rkey_sorted[pos_c] == ckey
+            if match.any():
+                wk = np.concatenate([wk, self._contender_k[match]])
+                w_obs = np.concatenate([w_obs, self._contender_s[match]])
+                w_recv = np.concatenate([w_recv, self._contender_r[match]])
+        if (self._rep_belief._packed is not None
+                and view.has_packed is not None):
+            self._rep_belief.sync_pairs_words(
+                wk, w_obs, w_recv, view.has_packed[wk, w_recv]
+            )
+        else:
+            self._rep_belief.sync_pairs(
+                wk, w_obs, w_recv, view.has_stack[wk, :, w_recv]
+            )
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        offers = self._rep_belief.offer_pairs_reps(
+            rep_ids, self._frontier_s, self._frontier_r, view.has_stack,
+            view.has_packed,
+        )
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )

@@ -51,6 +51,7 @@ from .base import (
     RepSimView,
     SimView,
     earliest_wake,
+    phase_cache_period,
     register_protocol,
 )
 
@@ -282,14 +283,15 @@ class Dbao(FloodingProtocol):
         return True
 
     def prepare_reps(self, topo, schedules_list, workload, rngs):
-        # Serial prepare reads only the period (identical across reps)
-        # and consumes no randomness; swap the belief store for the
-        # replication-stacked backing afterwards.
+        # Serial prepare consumes no randomness, and the ETX anchors it
+        # derives are period-independent, so one clique build serves
+        # replications with heterogeneous periods too.
         self.prepare(topo, schedules_list[0], workload, rngs[0])
         self._rep_belief = RepNeighborBelief(
             topo, workload.n_packets, len(schedules_list)
         )
         self._rep_schedules = list(schedules_list)
+        self._rep_cache_period = phase_cache_period(schedules_list)
         self._rep_phase_cache: Dict[int, Tuple] = {}
         # Static forwarder cliques flattened once: per-phase row builds
         # gather ranges out of these instead of concatenating hundreds
@@ -308,17 +310,20 @@ class Dbao(FloodingProtocol):
         self._contender_r = None
         self._off_frontier = None
 
-    def _phase_rows(self, phase: int):
-        """All-replication candidate rows for one schedule phase.
+    def _phase_rows(self, t: int):
+        """All-replication candidate rows for one slot's schedule phase.
 
         Wake sets repeat every period per replication, so the flat
         (replication, sender, receiver, prr, sender-awake) concatenation
-        across *all* replications is itself periodic — built once per
-        phase and reused for the rest of the run.
+        across *all* replications is periodic with the LCM of the
+        per-replication periods — built once per LCM phase and reused
+        for the rest of the run (uncached when the LCM is unreasonable).
         """
-        hit = self._rep_phase_cache.get(phase)
-        if hit is not None:
-            return hit
+        ck = t % self._rep_cache_period if self._rep_cache_period else None
+        if ck is not None:
+            hit = self._rep_phase_cache.get(ck)
+            if hit is not None:
+                return hit
         kk_parts: List[np.ndarray] = []
         s_parts: List[np.ndarray] = []
         r_parts: List[np.ndarray] = []
@@ -326,7 +331,7 @@ class Dbao(FloodingProtocol):
         aw_parts: List[np.ndarray] = []
         awake_mask = np.zeros(self._topo.n_nodes, dtype=bool)
         for k, sched in enumerate(self._rep_schedules):
-            aw = sched.awake_at(phase)
+            aw = sched.awake_at(t)
             if aw.size == 0:
                 continue
             awake_mask[aw] = True
@@ -394,7 +399,8 @@ class Dbao(FloodingProtocol):
             rows = (empty, empty, empty, np.empty(0, dtype=np.float64),
                     empty, empty, empty, np.empty(0, dtype=bool), empty,
                     empty, empty)
-        self._rep_phase_cache[phase] = rows
+        if ck is not None:
+            self._rep_phase_cache[ck] = rows
         return rows
 
     def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
@@ -402,9 +408,7 @@ class Dbao(FloodingProtocol):
         self._contender_k = self._contender_s = self._contender_r = None
 
         (k_srt, s_srt, r_srt, prr_srt, col_srt,
-         u_k, u_s, u_listen, inv_srt, bel_idx, u_idx) = self._phase_rows(
-            t % self._schedules.period
-        )
+         u_k, u_s, u_listen, inv_srt, bel_idx, u_idx) = self._phase_rows(t)
         if k_srt.size == 0:
             return empty, empty, empty, empty
 

@@ -23,10 +23,18 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import TxBatch, csma_select
+from ..net.radio import TxBatch, csma_select, csma_select_reps
 from ..net.topology import SOURCE, Topology
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from .base import (
+    NEVER,
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    phase_cache_period,
+    register_protocol,
+)
 
 __all__ = ["DutyCycleAwareFlooding", "build_delay_optimal_tree"]
 
@@ -134,3 +142,135 @@ class DutyCycleAwareFlooding(FloodingProtocol):
                 self._belief.sync_possession(
                     rec.sender, rec.receiver, view.held_packets(rec.receiver)
                 )
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # DCA's forwarding structure is *schedule-derived*, so unlike the
+    # other floods its per-replication state is a whole tree: one
+    # delay-optimal parent vector per replication's offsets. Candidate
+    # rows are one (parent, receiver) pair per waking receiver; the
+    # frontier query asks about a different observer per replication
+    # (offer_pairs_matrix).
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare consumes no randomness; replication 0's tree is
+        # exactly what it built.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        R = len(schedules_list)
+        n = topo.n_nodes
+        parents = np.empty((R, n), dtype=np.int64)
+        parents[0] = self._parent
+        for k in range(1, R):
+            sched = schedules_list[k]
+            parents[k], _ = build_delay_optimal_tree(
+                topo, sched.offsets, sched.period
+            )
+        self._rep_parent = parents
+        self._rep_belief = RepNeighborBelief(topo, workload.n_packets, R)
+        self._rep_schedules = list(schedules_list)
+        self._rep_cache_period = phase_cache_period(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        fr = np.flatnonzero((parents >= 0).any(axis=0))
+        self._rep_frontier_r = fr[fr != SOURCE]
+        self._off_frontier = None
+
+    def _rep_rows(self, t: int):
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
+        kk_parts: List[np.ndarray] = []
+        s_parts: List[np.ndarray] = []
+        r_parts: List[np.ndarray] = []
+        aw_parts: List[np.ndarray] = []
+        awake_mask = np.zeros(self._topo.n_nodes, dtype=bool)
+        for k, sched in enumerate(self._rep_schedules):
+            aw = sched.awake_at(t)
+            if aw.size == 0:
+                continue
+            recv = aw[aw != SOURCE]
+            par = self._rep_parent[k, recv]
+            keep = par >= 0
+            recv, par = recv[keep], par[keep]
+            if recv.size:
+                awake_mask[aw] = True
+                kk_parts.append(np.full(recv.size, k, dtype=np.int64))
+                s_parts.append(par)
+                r_parts.append(recv)
+                aw_parts.append(awake_mask[par])
+                awake_mask[aw] = False
+        if kk_parts:
+            rows = (
+                np.concatenate(kk_parts), np.concatenate(s_parts),
+                np.concatenate(r_parts), np.concatenate(aw_parts),
+            )
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            rows = (empty, empty, empty, np.empty(0, dtype=bool))
+        if key is not None:
+            self._rep_phase_cache[key] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        kk, ss, rr, sender_awake = self._rep_rows(t)
+        if kk.size == 0:
+            return empty, empty, empty, empty
+        if rep_ids.size < len(self._rep_schedules):
+            active = np.zeros(len(self._rep_schedules), dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk]
+            if not keep.all():
+                kk, ss, rr = kk[keep], ss[keep], rr[keep]
+                sender_awake = sender_awake[keep]
+        needs = self._rep_belief.needs_pairs(kk, ss, rr)
+        heads, valid = view.fcfs_heads_pairs(kk, ss, needs)
+        # RX-mode rule: a waking non-source parent with an incomplete
+        # buffer listens instead of forwarding.
+        listen = sender_awake & (ss != SOURCE) & (
+            view.held_counts[kk, ss] < view.n_packets
+        )
+        ok = valid & ~listen
+        if not ok.any():
+            return empty, empty, empty, empty
+        k_o, s_o, r_o, h_o = kk[ok], ss[ok], rr[ok], heads[ok]
+
+        # One TX per parent per slot: the serial loop serves the first
+        # waking child (ascending id) with a valid head; the first flat
+        # occurrence per (replication, parent) is that choice.
+        n = self._topo.n_nodes
+        _, first_idx = np.unique(k_o * n + s_o, return_index=True)
+        chosen_k = k_o[first_idx]  # ascending (replication, sender)
+        chosen_s = s_o[first_idx]
+        chosen_r = r_o[first_idx]
+        chosen_p = h_o[first_idx]
+
+        # Deterministic id back-off: ascending sender id is both the
+        # rank order and the order `chosen_*` is already in.
+        win = csma_select_reps(
+            np.searchsorted(rep_ids, chosen_k), chosen_s, self._topo
+        )
+        if not win.any():
+            return empty, empty, empty, empty
+        return (chosen_k[win], chosen_s[win], chosen_r[win], chosen_p[win])
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        self._rep_belief.sync_ack_summaries(outcome, view)
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        fr = self._rep_frontier_r
+        if fr.size == 0:
+            return np.full(len(rep_ids), NEVER, dtype=np.int64)
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, fr]
+        observers = self._rep_parent[rep_ids][:, fr]
+        offers = self._rep_belief.offer_pairs_matrix(
+            rep_ids, observers, fr, view.has_stack, view.has_packed
+        )
+        return view.earliest_wakes(
+            t, rep_ids, fr, offers, self._off_frontier
+        )

@@ -26,8 +26,16 @@ import numpy as np
 
 from ..net.radio import TxBatch
 from ..net.topology import SOURCE
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from ._repbatch import candidate_rows, flatten_sender_lists
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    phase_cache_period,
+    register_protocol,
+)
 
 __all__ = ["FlashFlooding"]
 
@@ -113,3 +121,124 @@ class FlashFlooding(FloodingProtocol):
                 self._belief.sync_possession(
                     rec.sender, rec.receiver, view.held_packets(rec.receiver)
                 )
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # Candidate rows are the serial traversal flattened (receivers
+    # ascending, each receiver's in-neighbors strongest-first); validity
+    # and the listen rule vectorize, then a small Python walk over the
+    # surviving rows applies the stateful one-TX-per-sender /
+    # cap-per-receiver greedy exactly as the serial loop does. Flash
+    # consumes no protocol randomness and uses no CSMA.
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare consumes no randomness and holds no
+        # period-dependent state.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_schedules = list(schedules_list)
+        n = topo.n_nodes
+        self._rep_belief = RepNeighborBelief(
+            topo, workload.n_packets, len(schedules_list))
+        strongest_first = []
+        for r in range(n):
+            nbs = topo.in_neighbors(r)
+            order = np.argsort(-topo.prr[nbs, r], kind="stable")
+            strongest_first.append(nbs[order])
+        self._in_sizes, self._in_starts, self._in_flat = flatten_sender_lists(
+            strongest_first
+        )
+        self._rep_cache_period = phase_cache_period(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        s_parts, r_parts = [], []
+        for r in range(n):
+            if r == SOURCE:
+                continue
+            nbs = topo.in_neighbors(r)
+            if nbs.size:
+                s_parts.append(nbs)
+                r_parts.append(np.full(nbs.size, r, dtype=np.int64))
+        if s_parts:
+            self._frontier_s = np.concatenate(s_parts)
+            self._frontier_r = np.concatenate(r_parts)
+        else:
+            self._frontier_s = np.empty(0, dtype=np.int64)
+            self._frontier_r = np.empty(0, dtype=np.int64)
+        self._off_frontier = None
+
+    def _rep_rows(self, t: int):
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
+        rows = candidate_rows(
+            self._rep_schedules, t, self._in_sizes, self._in_starts,
+            self._in_flat, with_sender_awake=True,
+        )
+        if key is not None:
+            self._rep_phase_cache[key] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        kk, ss, rr, sender_awake = self._rep_rows(t)
+        if kk.size == 0:
+            return empty, empty, empty, empty
+        if rep_ids.size < len(self._rep_schedules):
+            active = np.zeros(len(self._rep_schedules), dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk]
+            if not keep.all():
+                kk, ss, rr = kk[keep], ss[keep], rr[keep]
+                sender_awake = sender_awake[keep]
+        needs = self._rep_belief.needs_pairs(kk, ss, rr)
+        heads, valid = view.fcfs_heads_pairs(kk, ss, needs)
+        listen = sender_awake & (ss != SOURCE) & (
+            view.held_counts[kk, ss] < view.n_packets
+        )
+        ok = valid & ~listen
+        if not ok.any():
+            return empty, empty, empty, empty
+
+        # Greedy walk over the surviving rows in traversal order: one TX
+        # per sender, at most max_concurrent accepted rows per receiver
+        # (a cap-skipped sender stays available at a later receiver —
+        # the serial `break` never assigns it).
+        el = np.flatnonzero(ok)
+        k_l = kk[el].tolist()
+        s_l = ss[el].tolist()
+        r_l = rr[el].tolist()
+        cap = self.max_concurrent
+        assigned = set()
+        sent: Dict[Tuple[int, int], int] = {}
+        sel: List[int] = []
+        for j, k in enumerate(k_l):
+            s = s_l[j]
+            if (k, s) in assigned:
+                continue
+            rkey = (k, r_l[j])
+            c = sent.get(rkey, 0)
+            if c >= cap:
+                continue
+            assigned.add((k, s))
+            sent[rkey] = c + 1
+            sel.append(int(el[j]))
+        rows = np.asarray(sel, dtype=np.int64)
+        return kk[rows], ss[rows], rr[rows], heads[rows]
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        self._rep_belief.sync_ack_summaries(outcome, view)
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        offers = self._rep_belief.offer_pairs_reps(
+            rep_ids, self._frontier_s, self._frontier_r, view.has_stack,
+            view.has_packed,
+        )
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )

@@ -19,8 +19,16 @@ import numpy as np
 
 from ..net.radio import TxBatch
 from ..net.topology import SOURCE
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from ._repbatch import candidate_rows, flatten_sender_lists
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    phase_cache_period,
+    register_protocol,
+)
 
 __all__ = ["NaiveFlooding"]
 
@@ -96,3 +104,118 @@ class NaiveFlooding(FloodingProtocol):
                 self._belief.sync_possession(
                     rec.sender, rec.receiver, view.held_packets(rec.receiver)
                 )
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # The option-collection loop flattens to (replication, sender,
+    # receiver) rows per phase; the persistence and uniform-pick draws
+    # stay a small Python loop over the per-(replication, sender) option
+    # groups so each replication consumes its channel stream exactly as
+    # its serial run does.
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare consumes no randomness and holds no
+        # period-dependent state.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_rngs = list(rngs)
+        self._rep_schedules = list(schedules_list)
+        n = topo.n_nodes
+        self._rep_belief = RepNeighborBelief(
+            topo, workload.n_packets, len(schedules_list))
+        self._in_sizes, self._in_starts, self._in_flat = flatten_sender_lists(
+            [topo.in_neighbors(r) for r in range(n)]
+        )
+        self._rep_cache_period = phase_cache_period(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        s_parts, r_parts = [], []
+        for r in range(n):
+            if r == SOURCE:
+                continue
+            nbs = topo.in_neighbors(r)
+            if nbs.size:
+                s_parts.append(nbs)
+                r_parts.append(np.full(nbs.size, r, dtype=np.int64))
+        if s_parts:
+            self._frontier_s = np.concatenate(s_parts)
+            self._frontier_r = np.concatenate(r_parts)
+        else:
+            self._frontier_s = np.empty(0, dtype=np.int64)
+            self._frontier_r = np.empty(0, dtype=np.int64)
+        self._off_frontier = None
+
+    def _rep_rows(self, t: int):
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
+        rows = candidate_rows(
+            self._rep_schedules, t, self._in_sizes, self._in_starts,
+            self._in_flat,
+        )
+        if key is not None:
+            self._rep_phase_cache[key] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        kk, ss, rr = self._rep_rows(t)
+        if kk.size == 0:
+            return empty, empty, empty, empty
+        if rep_ids.size < len(self._rep_schedules):
+            active = np.zeros(len(self._rep_schedules), dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk]
+            if not keep.all():
+                kk, ss, rr = kk[keep], ss[keep], rr[keep]
+        needs = self._rep_belief.needs_pairs(kk, ss, rr)
+        heads, valid = view.fcfs_heads_pairs(kk, ss, needs)
+        if not valid.any():
+            return empty, empty, empty, empty
+        k_o, s_o, r_o, h_o = kk[valid], ss[valid], rr[valid], heads[valid]
+
+        # Group the option rows by (replication, sender). The stable
+        # sort keeps each group's rows in flat traversal order — the
+        # exact candidate-list order the serial loop accumulates — and
+        # orders groups by ascending (replication, sender), matching the
+        # serial `for s in sorted(options)` draw and emission order.
+        n = self._topo.n_nodes
+        key = k_o * n + s_o
+        order = np.argsort(key, kind="stable")
+        key_srt = key[order]
+        first = np.ones(order.size, dtype=bool)
+        first[1:] = key_srt[1:] != key_srt[:-1]
+        starts = np.flatnonzero(first)
+        bounds = np.append(starts, order.size)
+        group_reps = k_o[order[starts]].tolist()
+
+        p = self.persistence
+        sel: List[int] = []
+        for gi, k in enumerate(group_reps):
+            rng = self._rep_rngs[k]
+            if p < 1.0 and rng.random() >= p:
+                continue
+            lo = int(bounds[gi])
+            hi = int(bounds[gi + 1])
+            sel.append(lo + int(rng.integers(hi - lo)))
+        if not sel:
+            return empty, empty, empty, empty
+        rows = order[np.asarray(sel, dtype=np.int64)]
+        return k_o[rows], s_o[rows], r_o[rows], h_o[rows]
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        self._rep_belief.sync_ack_summaries(outcome, view)
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        offers = self._rep_belief.offer_pairs_reps(
+            rep_ids, self._frontier_s, self._frontier_r, view.has_stack,
+            view.has_packed,
+        )
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )

@@ -26,10 +26,18 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..net.radio import TxBatch, csma_select
+from ..net.radio import TxBatch, csma_select, csma_select_reps
 from ..net.topology import SOURCE
-from ._belief import NeighborBelief
-from .base import FloodingProtocol, SimView, earliest_wake, register_protocol
+from ._belief import NeighborBelief, RepNeighborBelief
+from ._repbatch import candidate_rows, flatten_sender_lists
+from .base import (
+    FloodingProtocol,
+    RepSimView,
+    SimView,
+    earliest_wake,
+    phase_cache_period,
+    register_protocol,
+)
 from .tree import EtxTree, build_etx_tree, hop_delay_moments
 
 __all__ = ["OpportunisticFlooding"]
@@ -150,3 +158,175 @@ class OpportunisticFlooding(FloodingProtocol):
                 self._belief.sync_possession(
                     rec.sender, rec.receiver, view.held_packets(rec.receiver)
                 )
+
+    # -- Replication-batched path ---------------------------------------
+    #
+    # OF's proposal flattens to (replication, sender, receiver) rows per
+    # schedule phase: the statistical gate becomes one vectorized float
+    # comparison over the rows (evaluated with the serial operation
+    # order, so borderline comparisons agree bit for bit), the
+    # one-TX-per-sender rule a first-row-per-(replication, sender) pick,
+    # and the random back-off a per-replication permutation drawn from
+    # each replication's own channel stream — exactly when the serial
+    # run would draw one.
+
+    def rep_batchable(self) -> bool:
+        return True
+
+    def prepare_reps(self, topo, schedules_list, workload, rngs):
+        # Serial prepare consumes no randomness; the ETX-tree parents
+        # (and so the tree-edge set) are period-independent, while the
+        # delay statistics the opportunistic gate tests scale with the
+        # wake period — build those per distinct period so a cross-cell
+        # stack mixing duty cycles gates each replication exactly as its
+        # own serial run would.
+        self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_rngs = list(rngs)
+        self._rep_schedules = list(schedules_list)
+        n = topo.n_nodes
+        periods = [int(s.period) for s in schedules_list]
+        distinct = sorted(set(periods))
+        quant = np.empty((len(distinct), n))
+        own = np.empty((len(distinct), n))
+        hop = np.empty((len(distinct), n, n))
+        for d, period in enumerate(distinct):
+            tree = (
+                self._tree if period == int(self._period)
+                else build_etx_tree(topo, period)
+            )
+            quant[d] = [
+                tree.delay_quantile(v, self.opp_quantile) for v in range(n)
+            ]
+            own[d] = np.asarray(tree.delay_mean, dtype=np.float64)
+            with np.errstate(divide="ignore"):
+                hop[d] = np.where(topo.prr > 0.0, period / topo.prr, np.inf)
+        self._pidx = np.asarray(
+            [distinct.index(p) for p in periods], dtype=np.int64)
+        self._quant_stack = quant
+        self._own_stack = own
+        self._hop_stack = hop
+        tree_edge = np.zeros((n, n), dtype=bool)
+        parent = np.asarray(self._tree.parent, dtype=np.int64)
+        kids = np.flatnonzero(parent >= 0)
+        tree_edge[parent[kids], kids] = True
+        self._tree_edge = tree_edge
+        self._rep_belief = RepNeighborBelief(
+            topo, workload.n_packets, len(schedules_list))
+        self._in_sizes, self._in_starts, self._in_flat = flatten_sender_lists(
+            [topo.in_neighbors(r) for r in range(n)]
+        )
+        self._rep_cache_period = phase_cache_period(schedules_list)
+        self._rep_phase_cache: Dict[int, Tuple] = {}
+        # Quiescence frontier: every believed in-neighbor link with a
+        # non-source receiver — the ungated offer superset the serial
+        # next_action_slot scans (it also bounds RNG consumption).
+        s_parts, r_parts = [], []
+        for r in range(n):
+            if r == SOURCE:
+                continue
+            nbs = topo.in_neighbors(r)
+            if nbs.size:
+                s_parts.append(nbs)
+                r_parts.append(np.full(nbs.size, r, dtype=np.int64))
+        if s_parts:
+            self._frontier_s = np.concatenate(s_parts)
+            self._frontier_r = np.concatenate(r_parts)
+        else:
+            self._frontier_s = np.empty(0, dtype=np.int64)
+            self._frontier_r = np.empty(0, dtype=np.int64)
+        self._off_frontier = None
+
+    def _rep_rows(self, t: int):
+        """Phase-cached candidate rows plus OF's static gate columns."""
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
+        kk, ss, rr = candidate_rows(
+            self._rep_schedules, t, self._in_sizes, self._in_starts,
+            self._in_flat,
+        )
+        pid = self._pidx[kk]
+        own_r = self._own_stack[pid, ss]
+        rows = (
+            kk, ss, rr,
+            self._tree_edge[ss, rr],
+            own_r,
+            self._hop_stack[pid, ss, rr],
+            self._quant_stack[pid, rr],
+            np.isfinite(own_r),
+        )
+        if key is not None:
+            self._rep_phase_cache[key] = rows
+        return rows
+
+    def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
+        empty = np.empty(0, dtype=np.int64)
+        kk, ss, rr, tree_e, own_r, hop_r, quant_r, fin = self._rep_rows(t)
+        if kk.size == 0:
+            return empty, empty, empty, empty
+        if rep_ids.size < len(self._rep_schedules):
+            active = np.zeros(len(self._rep_schedules), dtype=bool)
+            active[rep_ids] = True
+            keep = active[kk]
+            if not keep.all():
+                kk, ss, rr = kk[keep], ss[keep], rr[keep]
+                tree_e, own_r = tree_e[keep], own_r[keep]
+                hop_r, quant_r, fin = hop_r[keep], quant_r[keep], fin[keep]
+        needs = self._rep_belief.needs_pairs(kk, ss, rr)
+        heads, valid = view.fcfs_heads_pairs(kk, ss, needs)
+        if not valid.any():
+            return empty, empty, empty, empty
+        # The statistical gate (_wants_to_send), vectorized. Heads on
+        # invalid rows are argmin garbage; `valid &` masks them out.
+        arrival = view.arrival_stack[kk, heads, ss]
+        age = (t - arrival) + own_r
+        ok = valid & (tree_e | (fin & (age + hop_r <= quant_r)))
+        if not ok.any():
+            return empty, empty, empty, empty
+        k_o, s_o, r_o, h_o = kk[ok], ss[ok], rr[ok], heads[ok]
+
+        # One TX per sender per slot: the serial loop keeps the first
+        # waking receiver (traversal order) whose row is valid and
+        # gated; rows are in that exact order, so the first flat
+        # occurrence per (replication, sender) is the serial choice.
+        n = self._topo.n_nodes
+        _, first_idx = np.unique(k_o * n + s_o, return_index=True)
+        chosen_k = k_o[first_idx]  # ascending (replication, sender)
+        chosen_s = s_o[first_idx]
+        chosen_r = r_o[first_idx]
+        chosen_p = h_o[first_idx]
+
+        # Random back-off: each replication with a non-empty choice set
+        # draws one permutation from its own channel stream — the same
+        # draw, at the same point in the stream, as its serial run.
+        reps_u, starts = np.unique(chosen_k, return_index=True)
+        bounds = np.append(starts, chosen_k.size)
+        parts = []
+        for i, k in enumerate(reps_u.tolist()):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            parts.append(lo + self._rep_rngs[k].permutation(hi - lo))
+        rank = np.concatenate(parts)
+        win = csma_select_reps(
+            np.searchsorted(rep_ids, chosen_k[rank]), chosen_s[rank],
+            self._topo,
+        )
+        rows = rank[win]
+        if rows.size == 0:
+            return empty, empty, empty, empty
+        return chosen_k[rows], chosen_s[rows], chosen_r[rows], chosen_p[rows]
+
+    def observe_reps(self, t, outcome, view: RepSimView):
+        self._rep_belief.sync_ack_summaries(outcome, view)
+
+    def next_action_slots(self, t, rep_ids, view: RepSimView):
+        if self._off_frontier is None:
+            self._off_frontier = view.offsets_stack[:, self._frontier_r]
+        offers = self._rep_belief.offer_pairs_reps(
+            rep_ids, self._frontier_s, self._frontier_r, view.has_stack,
+            view.has_packed,
+        )
+        return view.earliest_wakes(
+            t, rep_ids, self._frontier_r, offers, self._off_frontier
+        )

@@ -40,6 +40,7 @@ from .base import (
     RepSimView,
     SimView,
     earliest_wake,
+    phase_cache_period,
     register_protocol,
 )
 
@@ -236,22 +237,32 @@ class OptOracle(FloodingProtocol):
         return self.server_policy == "designated"
 
     def prepare_reps(self, topo, schedules_list, workload, rngs):
-        # Serial prepare only reads the schedule period (identical across
-        # replications) and consumes no randomness.
+        # Serial prepare consumes no randomness, and the designated map
+        # is derived from ETX costs and link PRRs only — both
+        # period-independent — so it serves replications with
+        # heterogeneous periods too.
         self.prepare(topo, schedules_list[0], workload, rngs[0])
+        self._rep_periods = np.asarray(
+            [int(s.period) for s in schedules_list], dtype=np.int64
+        )
+        self._rep_cache_period = phase_cache_period(schedules_list)
         self._off_frontier = None
         self._rep_phase_cache: dict = {}
 
-    def _phase_pairs(self, phase: int, awake_by_rep):
-        """Static (replication, server, receiver) request rows per phase.
+    def _phase_pairs(self, t: int, awake_by_rep):
+        """Static (replication, server, receiver) request rows per slot.
 
-        Wake sets repeat every period, and the designated-server map is
-        static, so the sorted flat request list across all replications
-        only depends on the schedule phase — built once and reused.
+        Wake sets repeat with the LCM of the per-replication periods,
+        and the designated-server map is static, so the sorted flat
+        request list across all replications only depends on the LCM
+        phase — built once and reused (uncached when the LCM is
+        unreasonable).
         """
-        hit = self._rep_phase_cache.get(phase)
-        if hit is not None:
-            return hit
+        key = t % self._rep_cache_period if self._rep_cache_period else None
+        if key is not None:
+            hit = self._rep_phase_cache.get(key)
+            if hit is not None:
+                return hit
         kk_parts = []
         rr_parts = []
         for k, aw in enumerate(awake_by_rep):
@@ -268,7 +279,8 @@ class OptOracle(FloodingProtocol):
             rows = (kk_r[order], ss_flat[order], rr_flat[order])
         else:
             rows = (empty, empty, empty)
-        self._rep_phase_cache[phase] = rows
+        if key is not None:
+            self._rep_phase_cache[key] = rows
         return rows
 
     def propose_reps(self, t, rep_ids, awake_by_rep, view: RepSimView):
@@ -279,9 +291,7 @@ class OptOracle(FloodingProtocol):
         # Flat (replication, waking sensor) pairs with a live request,
         # presorted by (replication, server, receiver) from the phase
         # cache; subset gathers preserve that order.
-        kk_r, ss_flat, rr_flat = self._phase_pairs(
-            t % max(self._period, 1), awake_by_rep
-        )
+        kk_r, ss_flat, rr_flat = self._phase_pairs(t, awake_by_rep)
         if kk_r.size and rep_ids.size < view.n_reps:
             active = np.zeros(view.n_reps, dtype=bool)
             active[rep_ids] = True
@@ -323,8 +333,9 @@ class OptOracle(FloodingProtocol):
         else:
             needs = ~view.has_stack[kk_r, :, rr_flat]
             heads, valid = view.fcfs_heads_pairs(kk_r, ss_flat, needs)
-        rotation = t // max(self._period, 1)
-        rot = (pos - (rotation % L)[g]) % L[g]
+        # Round-robin rotation counts each replication's own periods.
+        rotk = t // self._rep_periods[kk_r]
+        rot = (pos - (rotk % L[g])) % L[g]
         big = P + 1
         score = np.where(valid, rot, big)
         enc = score * big + np.arange(P)

@@ -1,8 +1,10 @@
 """Replication-batched flood engine: R independent floods in lockstep.
 
-:func:`run_flood_batch` runs R replications of *one scenario* (same
-topology, workload, radio model; per-replication schedules and streams)
-through a single staged slot loop over ``(R, …)`` state stacks. Each
+:func:`run_flood_batch` runs R replications sharing one substrate (same
+topology, radio model and packet count; per-replication schedules,
+workloads and streams — wake periods may differ, which is how a
+cross-cell stack sweeps a whole duty column in one call) through a
+single staged slot loop over ``(R, …)`` state stacks. Each
 replication's trajectory is **bit-identical** to what R separate
 :func:`~repro.sim.engine.run_flood` calls would produce — same channel
 draws, same fast-forward jumps, same counters — because every layer of
@@ -38,7 +40,7 @@ from ..net.packet import FloodWorkload
 from ..net.radio import Transmission, resolve_slot_reps
 from ..net.schedule import ScheduleTable
 from ..net.topology import SOURCE, Topology
-from ..protocols.base import FloodingProtocol, RepSimView
+from ..protocols.base import FloodingProtocol, RepSimView, phase_cache_period
 from .energy import EnergyLedger
 from .engine import (
     _LONG_JUMP,
@@ -108,7 +110,7 @@ def _raise_invalid_batch(
 def run_flood_batch(
     topo: Topology,
     schedules_list: Sequence[ScheduleTable],
-    workload: FloodWorkload,
+    workload,
     protocol: FloodingProtocol,
     rngs: Sequence[np.random.Generator],
     config: Optional[SimConfig] = None,
@@ -118,10 +120,16 @@ def run_flood_batch(
 
     Parameters
     ----------
-    topo, workload:
+    topo:
         The substrate shared by every replication.
+    workload:
+        One :class:`FloodWorkload` shared by every replication, or a
+        sequence of R per-replication workloads (cross-cell stacks mix
+        generation intervals); packet counts must agree.
     schedules_list:
-        One :class:`ScheduleTable` per replication (shared wake period).
+        One :class:`ScheduleTable` per replication. Wake periods may
+        differ per replication — a cross-cell stack runs a whole duty
+        column in one batch.
     protocol:
         A fresh replication-batchable protocol instance
         (:meth:`FloodingProtocol.rep_batchable`); ``prepare_reps`` is
@@ -147,6 +155,16 @@ def run_flood_batch(
         raise ValueError(
             f"{R} replications but {len(rngs)} channel streams"
         )
+    if isinstance(workload, FloodWorkload):
+        workloads = [workload] * R
+    else:
+        workloads = list(workload)
+        if len(workloads) != R:
+            raise ValueError(
+                f"{R} replications but {len(workloads)} workloads"
+            )
+        if any(w.n_packets != workloads[0].n_packets for w in workloads[1:]):
+            raise ValueError("stacked workloads must share n_packets")
     config = config or SimConfig()
     if not supports_rep_batching(protocol, config):
         raise ValueError(
@@ -159,9 +177,6 @@ def run_flood_batch(
                 f"schedule table covers {len(schedules)} nodes but "
                 f"topology has {topo.n_nodes}"
             )
-    period = int(schedules_list[0].period)
-    if any(int(s.period) != period for s in schedules_list[1:]):
-        raise ValueError("replications must share one wake period")
 
     batch_dyn = None
     if dynamics_list is not None:
@@ -175,8 +190,16 @@ def run_flood_batch(
             batch_dyn = BatchGilbertElliott.from_instances(list(dynamics_list))
 
     n = topo.n_nodes
-    M = workload.n_packets
-    horizon = config.max_slots or _default_horizon(topo, schedules_list[0], M)
+    M = workloads[0].n_packets
+    # Horizons are per replication: the default scales with the wake
+    # period, which a cross-cell stack varies.
+    if config.max_slots:
+        horizons = np.full(R, int(config.max_slots), dtype=np.int64)
+    else:
+        horizons = np.asarray(
+            [_default_horizon(topo, s, M) for s in schedules_list],
+            dtype=np.int64,
+        )
 
     eligible = topo.reachable_from_source()
     eligible[SOURCE] = False  # coverage counts sensors only
@@ -185,13 +208,18 @@ def run_flood_batch(
         raise ValueError("no sensor is reachable from the source")
     need_count = coverage_threshold(n_eligible, config.coverage_target)
 
-    # Injection cursors share one slot-sorted packet list (the workload
-    # is common); each replication drains it on its own clock.
-    generated = workload.generation_slots()
-    order = np.argsort(generated, kind="stable")
-    inject_order = order.astype(np.int64)
-    inject_slots = generated[order].astype(np.int64)
-    n_inject = len(inject_slots)
+    # Per-replication slot-sorted packet lists; each replication drains
+    # its own on its own clock (one shared workload still builds R
+    # references to identical arrays — cheap either way).
+    inject_order_by_rep: List[np.ndarray] = []
+    inject_slots_by_rep: List[np.ndarray] = []
+    for wl in workloads:
+        generated = wl.generation_slots()
+        order = np.argsort(generated, kind="stable")
+        inject_order_by_rep.append(order.astype(np.int64))
+        inject_slots_by_rep.append(generated[order].astype(np.int64))
+    n_inject = np.asarray(
+        [len(s) for s in inject_slots_by_rep], dtype=np.int64)
 
     # (R, …) state stacks — the serial pipeline's arrays with a leading
     # replication axis.
@@ -223,28 +251,33 @@ def run_flood_batch(
 
     schedules_list = list(schedules_list)
     rngs = list(rngs)
-    view = RepSimView(topo, schedules_list, workload, has_stack, arrival_stack)
+    view = RepSimView(
+        topo, schedules_list, workloads[0], has_stack, arrival_stack)
     pack_pw = (
         np.uint64(1) << np.arange(M, dtype=np.uint64)
         if view.has_packed is not None
         else None
     )
-    protocol.prepare_reps(topo, schedules_list, workload, rngs)
+    protocol.prepare_reps(topo, schedules_list, workloads[0], rngs)
 
-    # Wake sets repeat every schedule period and are identical across
-    # slots with the same phase, so the per-phase wake lists and the
-    # (R, n) wake matrix are built once and reused for the whole run.
+    # Wake sets repeat with the LCM of the replications' wake periods
+    # and are identical across slots with the same phase, so the
+    # per-phase wake lists and the (R, n) wake matrix are built once and
+    # reused for the whole run (rebuilt per slot if the LCM is huge).
+    cache_period = phase_cache_period(schedules_list)
     phase_cache: Dict[int, Tuple[List[np.ndarray], np.ndarray, np.ndarray]] = {}
 
     def _phase_awake(t: int):
-        entry = phase_cache.get(t % period)
+        key = t % cache_period if cache_period else None
+        entry = phase_cache.get(key) if key is not None else None
         if entry is None:
             lists = [s.awake_at(t) for s in schedules_list]
             stack = np.zeros((R, n), dtype=bool)
             for ki, aw in enumerate(lists):
                 stack[ki, aw] = True
             entry = (lists, stack, stack.any(axis=1))
-            phase_cache[t % period] = entry
+            if key is not None:
+                phase_cache[key] = entry
         return entry
 
     fast_forward = config.fast_forward
@@ -270,11 +303,14 @@ def run_flood_batch(
 
         # Inject arrivals and collect wake sets for this slot.
         awake_by_rep, awake_stack, has_awake = _phase_awake(t)
-        pending_inject = exec_reps[inject_cursor[exec_reps] < n_inject]
+        pending_inject = exec_reps[
+            inject_cursor[exec_reps] < n_inject[exec_reps]]
         for k in pending_inject:
             ki = int(k)
+            inject_slots = inject_slots_by_rep[ki]
+            inject_order = inject_order_by_rep[ki]
             cur = int(inject_cursor[ki])
-            while cur < n_inject and inject_slots[cur] <= t:
+            while cur < n_inject[ki] and inject_slots[cur] <= t:
                 p = int(inject_order[cur])
                 has_stack[ki, p, SOURCE] = True
                 arrival_stack[ki, p, SOURCE] = t
@@ -384,8 +420,8 @@ def run_flood_batch(
         t_next[exec_reps] = t1
         rest = exec_reps[~has_rows[exec_reps] | long_jump[exec_reps]]
         long_jump[rest] = False
-        if fast_forward and t1 < horizon and rest.size:
-            qids = rest[n_pending[rest] > 0]
+        if fast_forward and rest.size:
+            qids = rest[(n_pending[rest] > 0) & (t1 < horizons[rest])]
         else:
             qids = empty64
         if qids.size:
@@ -396,18 +432,21 @@ def run_flood_batch(
                     t_next[ki] = t1
                     continue
                 cur = int(inject_cursor[ki])
-                if cur < n_inject and inject_slots[cur] < target:
+                inject_slots = inject_slots_by_rep[ki]
+                if cur < n_inject[ki] and inject_slots[cur] < target:
                     target = int(inject_slots[cur])  # > t: inject(t) drained
                     if target <= t1:
                         t_next[ki] = t1
                         continue
-                if target > horizon:
-                    target = horizon
+                horizon_k = int(horizons[ki])
+                if target > horizon_k:
+                    target = horizon_k
                 long_jump[ki] = target - t1 >= _LONG_JUMP
                 t_next[ki] = target
 
         finished = exec_reps[
-            (t_next[exec_reps] >= horizon) | (n_pending[exec_reps] == 0)
+            (t_next[exec_reps] >= horizons[exec_reps])
+            | (n_pending[exec_reps] == 0)
         ]
         done[finished] = True
 
@@ -422,7 +461,7 @@ def run_flood_batch(
         ledger.validate()
         metrics = FloodMetrics(
             delays=PacketDelays(
-                generated=workload.generation_slots(),
+                generated=workloads[k].generation_slots(),
                 first_tx=first_tx[k].copy(),
                 completed=completed_at[k].copy(),
             ),

@@ -28,7 +28,7 @@ trip.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,15 +43,18 @@ from .engine import FloodResult, SimConfig, run_flood
 from .rng import RngStreams, derive_seed
 
 __all__ = ["ExperimentSpec", "RunSummary", "run_replication",
-           "run_replication_chunk", "scenario_rep_batchable",
+           "run_replication_chunk", "run_replication_stack",
+           "scenario_rep_batchable", "scenario_stack_key",
            "run_experiment", "run_experiments", "run_scenarios",
            "load_scenario_summaries", "MissingResults",
            "run_protocol_sweep"]
 
 #: Widest replication chunk the auto policy hands one task — wide enough
-#: to amortize per-slot dispatch across the batch, narrow enough that
-#: the (R, M, n) state stacks stay cache-friendly.
-_MAX_AUTO_REPS_PER_TASK = 32
+#: to amortize per-slot dispatch across the batch (with every protocol
+#: batch-native, the engine's per-slot cost is shared by the whole
+#: stack), narrow enough that the (R, M, n) state stacks stay
+#: cache-friendly.
+_MAX_AUTO_REPS_PER_TASK = 128
 
 
 @dataclass(frozen=True)
@@ -206,6 +209,14 @@ def run_replication(topo: Topology, spec, rep: int) -> FloodResult:
     )
 
 
+#: Memo for :func:`scenario_rep_batchable`: batchability depends only on
+#: the protocol (name + constructor kwargs) and the event-log switch, so
+#: grid sweeps — thousands of cells over a handful of protocols — skip
+#: the throwaway protocol construction after the first probe per key.
+_BATCHABLE_CACHE: Dict[Tuple, bool] = {}
+_BATCHABLE_CACHE_CAP = 4096
+
+
 def scenario_rep_batchable(scenario) -> bool:
     """Whether a scenario's replications can share one batched engine run.
 
@@ -215,6 +226,9 @@ def scenario_rep_batchable(scenario) -> bool:
     (:meth:`~repro.protocols.base.FloodingProtocol.rep_batchable`).
     Everything else falls back to replication-by-replication
     :func:`run_replication` — same results, serial throughput.
+
+    The verdict is memoized per ``(protocol, protocol_kwargs,
+    track_events)`` — the only inputs it depends on.
     """
     scenario = as_scenario(scenario)
     if (
@@ -223,8 +237,42 @@ def scenario_rep_batchable(scenario) -> bool:
         or scenario.measure_transmission_delay
     ):
         return False
+    config = scenario.sim_config()
+    key: Optional[Tuple]
+    key = (scenario.protocol,
+           tuple(sorted(scenario.protocol_kwargs.items())),
+           bool(config.track_events))
+    try:
+        hit = _BATCHABLE_CACHE.get(key)
+    except TypeError:  # unhashable kwargs value: probe directly
+        key, hit = None, None
+    if hit is not None:
+        return hit
     protocol = make_protocol(scenario.protocol, **scenario.protocol_kwargs)
-    return supports_rep_batching(protocol, scenario.sim_config())
+    out = supports_rep_batching(protocol, config)
+    if key is not None and len(_BATCHABLE_CACHE) < _BATCHABLE_CACHE_CAP:
+        _BATCHABLE_CACHE[key] = out
+    return out
+
+
+def scenario_stack_key(scenario) -> Optional[str]:
+    """Grouping key for cross-cell replication stacking, or ``None``.
+
+    Two scenarios with the same key can run their replications in one
+    stacked ``(R_total, …)`` engine batch: they share the substrate
+    contract, protocol (with kwargs), packet count and engine
+    configuration, and differ only in the axes the batched engine
+    carries per replication — duty ratio (wake period), seed (schedule /
+    channel / dynamics streams) and generation interval (workload).
+    Non-batchable scenarios return ``None`` and never stack.
+    """
+    scenario = as_scenario(scenario)
+    if not scenario_rep_batchable(scenario):
+        return None
+    return replace(
+        scenario, duty_ratio=1.0, seed=0, n_replications=1,
+        generation_interval=0,
+    ).fingerprint()
 
 
 def run_replication_chunk(
@@ -268,18 +316,87 @@ def run_replication_chunk(
     )
 
 
+def run_replication_stack(
+    topo: Topology, cells: Sequence[Tuple]
+) -> List[List[FloodResult]]:
+    """Run several scenarios' replication chunks as ONE batched engine call.
+
+    ``cells`` is a sequence of ``(spec, rep_start, n_reps)`` triples
+    whose scenarios share a :func:`scenario_stack_key` — same substrate
+    contract, protocol and engine configuration, differing only in the
+    per-replication axes (duty ratio, seed, generation interval). Their
+    replications concatenate into one ``(R_total, …)``
+    :func:`~repro.sim.batch.run_flood_batch` invocation with
+    per-replication schedule, stream and workload rows: a whole Fig. 10
+    duty column becomes a single engine run. Each cell's streams are
+    derived from its own ``(seed, rep)`` exactly as
+    :func:`run_replication_chunk` derives them, so every extracted
+    replication is bit-identical to its standalone run.
+
+    Returns one result list per cell, index-aligned with ``cells``.
+    """
+    if not cells:
+        raise ValueError("stack must cover at least one cell")
+    scenarios = [as_scenario(spec) for spec, _, _ in cells]
+    base = scenarios[0]
+    config = base.sim_config()
+    schedules_list: List[ScheduleTable] = []
+    channel_rngs = []
+    dynamics_list = []
+    workloads: List[FloodWorkload] = []
+    splits: List[int] = []
+    for scenario, (_, rep_start, n_reps) in zip(scenarios, cells):
+        if n_reps < 1:
+            raise ValueError(
+                f"stack cell must cover at least one replication, got {n_reps}"
+            )
+        period = scenario.period
+        streams = RngStreams(scenario.seed)
+        workload = FloodWorkload(
+            scenario.n_packets, scenario.generation_interval
+        )
+        for rep in range(rep_start, rep_start + n_reps):
+            schedules_list.append(
+                ScheduleTable.random(
+                    topo.n_nodes, period, streams.get(f"schedule/{rep}")
+                )
+            )
+            channel_rngs.append(streams.get(f"channel/{rep}"))
+            dynamics_list.append(
+                scenario.make_dynamics(topo, streams.get(f"dynamics/{rep}"))
+            )
+            workloads.append(workload)
+        splits.append(n_reps)
+    protocol = make_protocol(base.protocol, **base.protocol_kwargs)
+    results = run_flood_batch(
+        topo, schedules_list, workloads, protocol, channel_rngs, config,
+        dynamics_list=dynamics_list,
+    )
+    out: List[List[FloodResult]] = []
+    pos = 0
+    for n_reps in splits:
+        out.append(results[pos:pos + n_reps])
+        pos += n_reps
+    return out
+
+
 def _scenario_task(topo: Topology, scenarios: Sequence[Scenario], task):
     """The one broadcast-style task adapter for
     :meth:`repro.exec.Executor.map`.
 
     The task payload is ``(scenario_index, rep)`` for a single
-    replication or ``(scenario_index, rep_start, n_reps)`` for a
-    replication chunk — the topology and the scenario table broadcast
-    once per dispatch (the topology zero-copy via shared memory), so a
-    Monte Carlo grid's per-task pickle cost is a couple of ints instead
-    of megabytes of substrate. Scenarios are pure data, so this single
-    adapter replaces the old per-call-shape task functions.
+    replication, ``(scenario_index, rep_start, n_reps)`` for a
+    replication chunk, or ``("stack", ((scenario_index, rep_start,
+    n_reps), ...))`` for a cross-cell stack — the topology and the
+    scenario table broadcast once per dispatch (the topology zero-copy
+    via shared memory), so a Monte Carlo grid's per-task pickle cost is
+    a couple of ints instead of megabytes of substrate. Scenarios are
+    pure data, so this single adapter replaces the old per-call-shape
+    task functions.
     """
+    if task[0] == "stack":
+        cells = [(scenarios[i], start, count) for i, start, count in task[1]]
+        return run_replication_stack(topo, cells)
     if len(task) == 3:
         i, rep_start, n_reps = task
         return run_replication_chunk(topo, scenarios[i], rep_start, n_reps)
@@ -354,13 +471,21 @@ def run_experiments(
 
     ``reps_per_task`` controls how many replications ride in one task.
     ``None`` (auto) chunks replication-batchable scenarios up to
-    ``min(32, ceil(n_reps / jobs))`` wide — each chunk runs as one
+    ``min(128, ceil(n_reps / jobs))`` wide — each chunk runs as one
     ``(R, …)`` batched engine invocation — and keeps one-replication
     tasks for everything else. An explicit value forces that chunk
     width for every scenario (non-batchable ones loop serially inside
-    the task); ``1`` restores per-replication dispatch. Chunking is an
-    execution policy: it never changes results, only throughput, so it
-    is deliberately *not* part of the scenario fingerprint.
+    the task); ``1`` restores per-replication dispatch.
+
+    Batchable scenarios sharing a :func:`scenario_stack_key` (same
+    protocol and engine configuration, differing only in duty ratio,
+    seed or generation interval) additionally *stack*: their
+    replication streams concatenate and chunks may span cell
+    boundaries, so a whole duty column dispatches as a handful of
+    ``("stack", …)`` tasks — one engine invocation each — instead of
+    one task per cell. Chunking and stacking are execution policy: they
+    never change results, only throughput, so they are deliberately
+    *not* part of the scenario fingerprint.
     """
     scenarios = tuple(as_scenario(spec) for spec in specs)
     if reps_per_task is not None and reps_per_task < 1:
@@ -373,25 +498,61 @@ def run_experiments(
         summaries = [cached.get(key) for key in keys]
 
     jobs = getattr(executor, "jobs", 1) if executor is not None else 1
-    tasks: List[Tuple[int, ...]] = []
+    tasks: List[Tuple] = []
     widths: List[int] = []
+
+    # Cross-cell stacking: pending batchable scenarios group by stack
+    # key; each group's replications form one concatenated stream, cut
+    # into width-bounded chunks that may span cell boundaries. Fallback
+    # scenarios (key None) keep per-replication tasks.
+    stack_groups: Dict[str, List[int]] = {}
     for i, scenario in enumerate(scenarios):
         if summaries[i] is not None:
             continue
-        n_reps = scenario.n_replications
+        skey = scenario_stack_key(scenario)
+        if skey is None or (reps_per_task is not None and reps_per_task == 1):
+            if reps_per_task is not None and reps_per_task > 1:
+                # Forced chunking of a non-batchable scenario: the task
+                # loops run_replication serially inside.
+                n_reps = scenario.n_replications
+                width = min(reps_per_task, n_reps)
+                for start in range(0, n_reps, width):
+                    count = min(width, n_reps - start)
+                    tasks.append((i, start, count))
+                    widths.append(count)
+            else:
+                n_reps = scenario.n_replications
+                tasks.extend((i, rep) for rep in range(n_reps))
+                widths.extend([1] * n_reps)
+            continue
+        stack_groups.setdefault(skey, []).append(i)
+
+    for indices in stack_groups.values():
+        total = sum(scenarios[i].n_replications for i in indices)
         if reps_per_task is not None:
-            width = min(reps_per_task, n_reps)
-        elif scenario_rep_batchable(scenario):
-            width = _auto_reps_per_task(n_reps, jobs)
+            width = min(reps_per_task, total)
         else:
-            width = 1
-        if width > 1:
-            for start in range(0, n_reps, width):
-                count = min(width, n_reps - start)
-                tasks.append((i, start, count))
-                widths.append(count)
-        else:
-            tasks.extend((i, rep) for rep in range(n_reps))
+            width = _auto_reps_per_task(total, jobs)
+        chunk: List[Tuple[int, int, int]] = []
+        room = width
+        for i in indices:
+            n_reps = scenarios[i].n_replications
+            start = 0
+            while start < n_reps:
+                take = min(room, n_reps - start)
+                chunk.append((i, start, take))
+                start += take
+                room -= take
+                if room == 0:
+                    tasks.append(chunk[0] if len(chunk) == 1
+                                 else ("stack", tuple(chunk)))
+                    widths.append(width)
+                    chunk, room = [], width
+        if chunk:
+            tail = sum(c[2] for c in chunk)
+            tasks.append(chunk[0] if len(chunk) == 1
+                         else ("stack", tuple(chunk)))
+            widths.append(tail)
 
     if tasks:
         if executor is None:
@@ -406,7 +567,10 @@ def run_experiments(
                 executor.last.note_rep_batches(widths)
         grouped: Dict[int, List[FloodResult]] = {}
         for task, result in zip(tasks, results):
-            if len(task) == 3:
+            if task[0] == "stack":
+                for (i, _, _), cell_results in zip(task[1], result):
+                    grouped.setdefault(i, []).extend(cell_results)
+            elif len(task) == 3:
                 grouped.setdefault(task[0], []).extend(result)
             else:
                 grouped.setdefault(task[0], []).append(result)

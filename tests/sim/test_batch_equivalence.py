@@ -19,14 +19,17 @@ from repro.sim.runner import (
     run_experiments,
     run_replication,
     run_replication_chunk,
+    run_replication_stack,
     scenario_rep_batchable,
+    scenario_stack_key,
 )
 
 N_REPS = 3
 
 #: Protocols whose proposal path runs batch-native over the replication
-#: axis; everything else must still work through the serial fallback.
-BATCH_NATIVE = {"opt", "dbao"}
+#: axis — every paper-era flood; anything non-batchable (e.g. OPT's
+#: "any" server policy) must still work through the serial fallback.
+BATCH_NATIVE = {"naive", "of", "dca", "flash", "crosslayer", "opt", "dbao"}
 
 
 @pytest.fixture(scope="module")
@@ -36,13 +39,15 @@ def topo():
     )
 
 
-def _scenario(protocol, fast_forward=True, link_model="static"):
+def _scenario(protocol, fast_forward=True, link_model="static",
+              duty_ratio=0.1, seed=2011, generation_interval=0):
     return Scenario(
         protocol=protocol,
-        duty_ratio=0.1,
+        duty_ratio=duty_ratio,
         n_packets=3,
-        seed=2011,
+        seed=seed,
         n_replications=N_REPS,
+        generation_interval=generation_interval,
         link_model=link_model,
         sim={"fast_forward": fast_forward, "max_slots": 4000},
     )
@@ -173,13 +178,76 @@ class TestRunnerChunking:
     def test_auto_policy_chunks_batchable_only(self, topo):
         from repro.exec import SerialExecutor
 
+        # Every paper-era flood is batch-native now: OF chunks too.
         executor = SerialExecutor()
         run_experiments(topo, [_scenario("of")], executor=executor)
-        assert executor.stats.rep_batches == 0  # fallback stays per-rep
-        assert executor.stats.tasks == N_REPS
-
-        executor = SerialExecutor()
-        run_experiments(topo, [_scenario("opt")], executor=executor)
         assert executor.stats.rep_batches == 1  # one 3-wide chunk
         assert executor.stats.batched_reps == N_REPS
         assert executor.stats.tasks == 1
+
+        # The event log still forces the per-replication fallback — and
+        # the stats meter the fallback replications as serial.
+        executor = SerialExecutor()
+        tracked = Scenario(
+            protocol="of", duty_ratio=0.1, n_packets=3, seed=2011,
+            n_replications=N_REPS,
+            sim={"track_events": True, "max_slots": 4000},
+        )
+        run_experiments(topo, [tracked], executor=executor)
+        assert executor.stats.rep_batches == 0
+        assert executor.stats.serial_reps == N_REPS
+        assert executor.stats.tasks == N_REPS
+        assert "batch coverage" in str(executor.stats)
+
+
+class TestCrossCellStacking:
+    """Cross-cell stacks: cells extract bit-identical to standalone runs."""
+
+    def test_stack_key_gates(self):
+        # Duty ratio, seed and generation interval are per-replication
+        # axes: they share a key. Protocol or engine config changes (and
+        # non-batchable scenarios) split or drop the key.
+        base = _scenario("of")
+        assert scenario_stack_key(base) is not None
+        assert scenario_stack_key(_scenario("of", duty_ratio=0.05,
+                                            seed=7, generation_interval=4)) \
+            == scenario_stack_key(base)
+        assert scenario_stack_key(_scenario("dbao")) \
+            != scenario_stack_key(base)
+        assert scenario_stack_key(_scenario("of", fast_forward=False)) \
+            != scenario_stack_key(base)
+        tracked = Scenario(protocol="of", duty_ratio=0.1, n_packets=3,
+                           sim={"track_events": True})
+        assert scenario_stack_key(tracked) is None
+
+    def test_stack_matches_standalone_chunks(self, topo):
+        # One engine invocation over a whole duty column (plus a seed
+        # and a workload variant): every extracted cell must equal its
+        # standalone chunk bit for bit.
+        cells = [
+            (_scenario("of", duty_ratio=0.05), 0, N_REPS),
+            (_scenario("of", duty_ratio=0.1, seed=7), 1, 2),
+            (_scenario("of", duty_ratio=0.2, generation_interval=4),
+             0, N_REPS),
+        ]
+        stacked = run_replication_stack(topo, cells)
+        assert [len(r) for r in stacked] == [c[2] for c in cells]
+        for (spec, start, count), cell_results in zip(cells, stacked):
+            standalone = run_replication_chunk(topo, spec, start, count)
+            for s, c in zip(standalone, cell_results):
+                assert_results_identical(s, c)
+
+    def test_run_experiments_stacks_column(self, topo):
+        from repro.exec import SerialExecutor
+
+        specs = [_scenario("of", duty_ratio=d) for d in (0.05, 0.1, 0.2)]
+        base = run_experiments(topo, specs, reps_per_task=1)
+        executor = SerialExecutor()
+        column = run_experiments(topo, specs, executor=executor)
+        # The whole column rides in ONE stacked engine invocation.
+        assert executor.stats.tasks == 1
+        assert executor.stats.batched_reps == 3 * N_REPS
+        for b, c in zip(base, column):
+            assert b.n_runs == c.n_runs == N_REPS
+            for s, r in zip(b.results, c.results):
+                assert_results_identical(s, r)
