@@ -107,6 +107,16 @@ def test_bench_engine_dbao_slot_by_slot(best_of, bench_journal, bench_record):
     print(f"\nDBAO fig9-scale (ff off): {slots} slots in {elapsed:.3f}s "
           f"({rate:.0f} slots/sec)")
     assert rate > 300
+    # Fast-forward must never cost throughput: its next_action_slot
+    # frontier scans are cached on the engine's state version, so the
+    # ff-on run (journaled just above by the throughput bench in the
+    # same session, back to back on the same host) has to keep pace
+    # with slot-by-slot execution. 0.95 absorbs measurement noise.
+    ff_on = bench_journal.get("fig9-dbao/ff-on")
+    if ff_on is not None:
+        assert ff_on["slots_per_sec"] >= 0.95 * rate, (
+            f"fast-forward run is slower than slot-by-slot: "
+            f"{ff_on['slots_per_sec']} vs {rate:.1f} slots/sec")
 
 
 def test_bench_lemma2_fast_forward_speedup(best_of, bench_journal, bench_record):
@@ -300,3 +310,45 @@ def test_bench_column_stacking(best_of, bench_journal, bench_record):
     # shared per-slot dispatch; the wider stack also mixes periods, so
     # the guard only excludes pathological slowdowns.
     assert ratio >= 0.5
+
+
+def test_bench_phase_profile(once, bench_journal):
+    """Journal the per-phase wall/allocation split of the fig10 grid.
+
+    Runs the same grid as ``test_bench_replications_per_sec`` once with
+    a :class:`PhaseProfiler` attached (after a warm pass, so arena
+    buffers are at steady-state size) and records the report under
+    ``fig10-reps/profile``. Two structural assertions ride along:
+
+    * the scratch arena must not grow a single buffer during the
+      profiled pass — the "allocation-free steady state" contract;
+    * per-slot net live-block growth stays bounded by the deferred
+      counter accumulators (a handful of retained index arrays per
+      executed slot), not unbounded temporaries.
+    """
+    from repro.sim.arena import global_arena
+    from repro.sim.observers import PhaseProfiler
+
+    topo = get_trace("smoke")
+    arena = global_arena()
+    for spec in _REP_SPECS:  # warm pass: grow buffers, prime caches
+        run_replication_chunk(topo, spec, 0, REPS)
+    grows_before = arena.counters()[1]
+    profiler = PhaseProfiler()
+
+    def profiled_pass():
+        for spec in _REP_SPECS:
+            run_replication_chunk(topo, spec, 0, REPS, profiler=profiler)
+
+    once(profiled_pass)
+    report = profiler.report(arena=arena)
+    report["scenario"] = "fig10-reps"
+    report["n_replications"] = REPS
+    report["arena_grows_steady_state"] = arena.counters()[1] - grows_before
+    bench_journal["fig10-reps/profile"] = report
+    top = next(iter(report["phases"]))
+    print(f"\nfig10 phase profile: {report['loop_slots']} loop slots, "
+          f"top phase {top} ({report['phases'][top]['share']:.0%}), "
+          f"{report.get('net_alloc_blocks_per_slot', 0)} net blocks/slot")
+    assert report["arena_grows_steady_state"] == 0
+    assert report.get("net_alloc_blocks_per_slot", 0.0) < 50

@@ -41,6 +41,15 @@ Commands
     field), print its normalized form — defaults materialized, cell
     count and fingerprints included — or split it into K self-contained
     shard files stamped with the full-grid fingerprint.
+``profile FILE.json [--json PATH] [--no-allocs] [--reps R]``
+    Per-phase wall-time and allocation profile of a scenario file's
+    batched slot pipeline: runs every rep-batchable cell through
+    :class:`repro.sim.observers.PhaseProfiler`, prints the phase table
+    (inject/propose/validate/resolve/apply/observe/fastforward), the
+    per-slot net allocation-block and traced-peak-byte rates, and the
+    scratch-arena borrow/grow counters. ``--json PATH`` writes the raw
+    report for CI artifacts; ``--no-allocs`` skips the tracemalloc
+    pass.
 ``trace [--seed N] [--out PATH]``
     Synthesize the GreenOrbs-like trace, print its statistics, optionally
     save it as ``.npz``.
@@ -162,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--stale", action="store_true",
                     help="also drop intact entries from older engine "
                          "versions")
+
+    prof = sub.add_parser(
+        "profile",
+        help="per-phase wall-time and allocation profile of a "
+             "scenario's batched slot pipeline",
+    )
+    prof.add_argument("file", help="scenario file (batchable cells are "
+                                   "profiled; others are skipped)")
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="write the profile report as JSON")
+    prof.add_argument("--no-allocs", action="store_true",
+                      help="skip the tracemalloc allocation pass")
+    prof.add_argument("--reps", type=int, default=None, metavar="R",
+                      help="override n_replications for the profiled run")
 
     trace = sub.add_parser("trace", help="synthesize the GreenOrbs trace")
     trace.add_argument("--seed", type=int, default=2011)
@@ -419,6 +442,88 @@ def _cmd_store(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import tracemalloc
+
+    from .scenario import ScenarioError, as_scenario, build_topology, \
+        load_scenario_file
+    from .sim.arena import global_arena
+    from .sim.observers import PhaseProfiler
+    from .sim.runner import run_replication_chunk, scenario_rep_batchable
+
+    try:
+        grid = load_scenario_file(args.file)
+        scenarios = [as_scenario(s) for s in grid.scenarios()]
+    except (OSError, ValueError, ScenarioError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cells = []
+    for s in scenarios:
+        if not scenario_rep_batchable(s):
+            continue
+        if s.topology is None:
+            print(f"scenario {s.fingerprint()[:16]} names no topology",
+                  file=sys.stderr)
+            return 2
+        n = args.reps if args.reps is not None else s.n_replications
+        # The profiler hooks live in the batched engine; a width-1 chunk
+        # would degrade to the serial path and record nothing.
+        cells.append((build_topology(s.topology), s, max(2, int(n))))
+    skipped = len(scenarios) - len(cells)
+    if not cells:
+        print("no replication-batchable scenario in the file — the "
+              "profiler instruments the batched slot pipeline",
+              file=sys.stderr)
+        return 2
+    if skipped:
+        print(f"(skipping {skipped} non-batchable cell(s))")
+
+    def run_all(profiler=None):
+        for topo, s, n in cells:
+            run_replication_chunk(topo, s, 0, n, profiler=profiler)
+
+    arena = global_arena()
+    run_all()  # warm pass: arena buffers grown, caches primed
+    profiler = PhaseProfiler()
+    run_all(profiler)
+    report = profiler.report(arena=arena)
+    if not args.no_allocs:
+        tracemalloc.start()
+        alloc_prof = PhaseProfiler()
+        run_all(alloc_prof)
+        tracemalloc.stop()
+        alloc = alloc_prof.report()
+        report["net_alloc_blocks_per_slot"] = alloc.get(
+            "net_alloc_blocks_per_slot", 0.0)
+        report["peak_alloc_bytes_per_slot"] = alloc.get(
+            "peak_alloc_bytes_per_slot", 0.0)
+
+    print(f"{len(cells)} cell(s), {report['loop_slots']} loop slots, "
+          f"{report['slots']} replication-slots")
+    print(f"{'phase':<12} {'seconds':>9} {'share':>7} {'calls':>8}")
+    for name, row in report["phases"].items():
+        print(f"{name:<12} {row['seconds']:>9.4f} "
+              f"{100 * row['share']:>6.1f}% {row['calls']:>8}")
+    print(f"{'total':<12} {report['total_seconds']:>9.4f}")
+    if "net_alloc_blocks_per_slot" in report:
+        line = (f"steady-state allocations/slot: "
+                f"{report['net_alloc_blocks_per_slot']} net blocks")
+        if "peak_alloc_bytes_per_slot" in report and not args.no_allocs:
+            line += f", {report['peak_alloc_bytes_per_slot']} peak bytes"
+        print(line)
+    if "arena" in report:
+        a = report["arena"]
+        print(f"arena: {a['borrows']} borrows, {a['grows']} grows, "
+              f"{a['buffers']} buffers, {a['nbytes']} bytes held")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .net.trace import save_trace, synthesize_greenorbs, trace_statistics
 
@@ -493,6 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "recommend":

@@ -97,6 +97,26 @@ class ExecutorStats:
     batched_reps: int = 0
     serial_reps: int = 0
     max_batch_width: int = 0
+    #: Cross-cell stacking: ``("stack", …)`` tasks dispatched and the
+    #: grid cells they merged. ``stacked_cells / stack_tasks`` is the
+    #: mean stacking ratio — the fig10-column diagnosis number.
+    stack_tasks: int = 0
+    stacked_cells: int = 0
+    #: Scratch-arena reuse across the dispatch (in-process backends):
+    #: buffer borrows served and the subset that forced a fresh backing
+    #: allocation. ``arena_grows ≈ 0`` on a warm arena.
+    arena_borrows: int = 0
+    arena_grows: int = 0
+
+    def note_stacks(self, n_tasks: int, n_cells: int) -> None:
+        """Meter cross-cell stacked tasks and the cells they merged."""
+        self.stack_tasks += int(n_tasks)
+        self.stacked_cells += int(n_cells)
+
+    def note_arena(self, borrows: int, grows: int) -> None:
+        """Meter scratch-arena borrow/grow deltas for one dispatch."""
+        self.arena_borrows += int(borrows)
+        self.arena_grows += int(grows)
 
     def note_rep_batches(self, widths: Sequence[int]) -> None:
         """Meter replication-batched tasks (``widths`` in reps per task)."""
@@ -139,6 +159,10 @@ class ExecutorStats:
         self.batched_reps += other.batched_reps
         self.serial_reps += other.serial_reps
         self.max_batch_width = max(self.max_batch_width, other.max_batch_width)
+        self.stack_tasks += other.stack_tasks
+        self.stacked_cells += other.stacked_cells
+        self.arena_borrows += other.arena_borrows
+        self.arena_grows += other.arena_grows
 
     def __str__(self) -> str:
         lo, mean, hi = self.task_spread()
@@ -156,6 +180,17 @@ class ExecutorStats:
                 f"{self.batched_reps} rep(s) in {self.rep_batches} "
                 f"batched task(s) (max {self.max_batch_width}/task, "
                 f"{pct:.0f}% batch coverage)"
+            )
+        if self.stack_tasks:
+            ratio = self.stacked_cells / self.stack_tasks
+            parts.append(
+                f"{self.stacked_cells} cell(s) in {self.stack_tasks} "
+                f"stacked task(s) ({ratio:.1f} cells/stack)"
+            )
+        if self.arena_borrows:
+            parts.append(
+                f"arena {self.arena_borrows} borrow(s) / "
+                f"{self.arena_grows} grow(s)"
             )
         if self.pool_spinups:
             parts.append(

@@ -33,6 +33,21 @@ import numpy as np
 
 from .topology import Topology
 
+#: Lazily-built fallback arena (allocates per borrow) for callers that
+#: pass no arena. Imported lazily: ``repro.sim`` imports this module at
+#: package-init time, so a top-level import would be circular.
+_null_arena = None
+
+
+def _default_arena():
+    global _null_arena
+    if _null_arena is None:
+        from ..sim.arena import NullArena
+
+        _null_arena = NullArena()
+    return _null_arena
+
+
 __all__ = [
     "Transmission",
     "TxBatch",
@@ -310,6 +325,7 @@ def resolve_slot(
     rng: np.random.Generator,
     model: RadioModel = RadioModel(),
     dynamics=None,
+    assume_unique_senders: bool = False,
 ) -> SlotOutcome:
     """Resolve one slot of concurrent transmissions.
 
@@ -355,8 +371,11 @@ def resolve_slot(
 
     senders = batch.senders
     # Duplicate-sender guard without the per-slot sort np.unique costs:
-    # bincount over the (small, bounded-by-n_nodes) id range.
-    if k > 1 and int(np.bincount(senders).max()) > 1:
+    # bincount over the (small, bounded-by-n_nodes) id range. The engine
+    # pipeline's validate stage already proves uniqueness and passes
+    # ``assume_unique_senders`` — the guard is then folded into that
+    # stage instead of re-running per resolve.
+    if not assume_unique_senders and k > 1 and int(np.bincount(senders).max()) > 1:
         seen: Set[int] = set()
         for s in senders.tolist():
             if s in seen:
@@ -510,6 +529,7 @@ def resolve_slot_reps(
     model: RadioModel = RadioModel(),
     dynamics=None,
     awake_stack: Optional[np.ndarray] = None,
+    arena=None,
 ) -> RepSlotOutcome:
     """Resolve one slot's transmissions across R replications at once.
 
@@ -547,17 +567,22 @@ def resolve_slot_reps(
     if T == 0:
         return RepSlotOutcome.empty()
     n = topo.n_nodes
+    if arena is None:
+        arena = _default_arena()
 
     # kk arrives in ascending replication groups: boundary detection
     # replaces np.unique's sort.
-    is_head = np.empty(T, dtype=bool)
+    is_head = arena.buf("radio.is_head", T, np.bool_)
     is_head[0] = True
     np.not_equal(kk[1:], kk[:-1], out=is_head[1:])
     starts = np.flatnonzero(is_head)
     rep_ids = kk[starts]
-    bounds = np.append(starts, T)
+    blist = starts.tolist()
+    blist.append(T)
     n_local = rep_ids.size
-    local = np.cumsum(is_head) - 1
+    local = arena.buf("radio.local", T, np.int64)
+    np.cumsum(is_head, out=local)
+    local -= 1
 
     # CSMA start-phase jitter: the serial resolver draws one block per
     # replication per slot with transmissions, scattered to sender-sorted
@@ -566,34 +591,45 @@ def resolve_slot_reps(
     rep_list = rep_ids.tolist()
     jitter = None
     if model.collisions:
-        draws = np.empty(T)
-        blist = bounds.tolist()
+        draws = arena.buf("radio.draws", T, np.float64)
         for li in range(n_local):
             lo, hi = blist[li], blist[li + 1]
-            draws[lo:hi] = rngs[rep_list[li]].random(hi - lo)
+            rngs[rep_list[li]].random(out=draws[lo:hi])
         # One global (replication, sender) sort lands every block draw on
         # the same position the serial per-replication scatter used.
         # (rep, sender) rows are duplicate-free, so the fused integer key
         # sorts identically to lexsort((ss, kk)).
-        jitter = np.empty(T)
-        jitter[np.argsort(kk * n + ss, kind="stable")] = draws
+        skey = arena.buf("radio.skey", T, np.int64)
+        np.multiply(kk, n, out=skey)
+        skey += ss
+        jitter = arena.buf("radio.jitter", T, np.float64)
+        jitter[np.argsort(skey, kind="stable")] = draws
 
     # Per-replication receiver eligibility: awake and not transmitting.
+    mask = arena.buf2("radio.mask", (n_local, n), np.bool_)
     if awake_stack is not None:
-        mask = awake_stack[rep_ids]  # fancy index -> private copy
+        np.take(awake_stack, rep_ids, axis=0, out=mask)
     else:
-        mask = np.zeros((n_local, n), dtype=bool)
+        mask[:] = False
         for li in range(n_local):
             mask[li, awake_by_rep[int(rep_ids[li])]] = True
     mask[local, ss] = False
-    hits = topo.adjacency[ss] & mask[local]  # (T, n)
+    hits = arena.buf2("radio.hits", (T, n), np.bool_)  # (T, n)
+    np.take(topo.adjacency, ss, axis=0, out=hits)
+    mlocal = arena.buf2("radio.mlocal", (T, n), np.bool_)
+    np.take(mask, local, axis=0, out=mlocal)
+    hits &= mlocal
     tx_idx, recv = np.nonzero(hits)
 
-    delivered = np.zeros(T, dtype=bool)
+    delivered = arena.buf("radio.delivered", T, np.bool_)
+    delivered[:] = False
     collision_counts = {}
 
     if tx_idx.size:
-        key = local[tx_idx] * n + recv
+        key = arena.buf("radio.key", tx_idx.size, np.int64)
+        np.take(local, tx_idx, out=key)
+        key *= n
+        key += recv
         order = np.argsort(key, kind="stable")
         key_s = key[order]
         tx_s = tx_idx[order]
@@ -603,7 +639,10 @@ def resolve_slot_reps(
         np.not_equal(key_s[1:], key_s[:-1], out=g_head[1:])
         start_u = np.flatnonzero(g_head)
         uniq = key_s[start_u]
-        counts = np.diff(np.append(start_u, key_s.size))
+        G = start_u.size
+        counts = arena.buf("radio.counts", G, np.int64)
+        np.subtract(start_u[1:], start_u[:-1], out=counts[: G - 1])
+        counts[G - 1] = key_s.size - start_u[G - 1]
         grp_rep_local = uniq // n
         grp_recv = uniq % n
         addr_s = rr[tx_s] == recv_s
@@ -644,9 +683,9 @@ def resolve_slot_reps(
             seg_len = (stops_u[hard] - start_u[hard]).astype(np.int64)
             seg_start = np.concatenate(([0], np.cumsum(seg_len)[:-1]))
             total = int(seg_len.sum())
-            offs = np.arange(total) - np.repeat(seg_start, seg_len)
+            offs = arena.arange(total) - np.repeat(seg_start, seg_len)
             flat = np.repeat(start_u[hard], seg_len) + offs
-            gid = np.repeat(np.arange(hard.size), seg_len)
+            gid = np.repeat(arena.arange(hard.size), seg_len)
             rows_f = tx_s[flat]
             r_f = np.repeat(grp_recv[hard], seg_len)
             send_f = ss[rows_f]
@@ -721,16 +760,18 @@ def resolve_slot_reps(
     # receivers, exactly the serial draw, written into one flat buffer so
     # the accept/gather stage runs once across all replications.
     if model.lossless:
-        okd = np.ones(g_row.size, dtype=bool)
+        okd = arena.buf("radio.okd", g_row.size, np.bool_)
+        okd[:] = True
     else:
         pend_starts = np.searchsorted(
-            g_rep_local, np.arange(n_local + 1)).tolist()
-        rnd = np.empty(g_row.size)
+            g_rep_local, arena.arange(n_local + 1)).tolist()
+        rnd = arena.buf("radio.bern", g_row.size, np.float64)
         for li in range(n_local):
             p_lo, p_hi = pend_starts[li], pend_starts[li + 1]
             if p_hi > p_lo:
-                rnd[p_lo:p_hi] = rngs[rep_list[li]].random(p_hi - p_lo)
-        okd = rnd < prr
+                rngs[rep_list[li]].random(out=rnd[p_lo:p_hi])
+        okd = arena.buf("radio.okd", g_row.size, np.bool_)
+        np.less(rnd, prr, out=okd)
     acc_rows = g_row[okd]
     addr_ok = is_addr[okd]
     delivered[acc_rows[addr_ok]] = True
@@ -799,7 +840,7 @@ def csma_select(
 
 
 def csma_select_reps(
-    groups: np.ndarray, senders: np.ndarray, topo: Topology
+    groups: np.ndarray, senders: np.ndarray, topo: Topology, arena=None
 ) -> np.ndarray:
     """Winners-only :func:`csma_select` across independent groups.
 
@@ -813,7 +854,12 @@ def csma_select_reps(
     win = np.zeros(senders.size, dtype=bool)
     if senders.size == 0:
         return win
-    heard = np.zeros((int(groups[-1]) + 1, topo.n_nodes), dtype=bool)
+    if arena is None:
+        arena = _default_arena()
+    heard = arena.buf2(
+        "radio.csma_heard", (int(groups[-1]) + 1, topo.n_nodes), np.bool_
+    )
+    heard[:] = False
     audible = topo.audible
     # Round-based greedy: each round, the earliest-ranked candidate of
     # every group that hears no winner yet transmits. Equivalent to the
@@ -821,7 +867,7 @@ def csma_select_reps(
     # stays deferred and the earliest eligible candidate each round is
     # exactly the scan's next winner — but each round is one vector pass
     # instead of a Python iteration per candidate.
-    idx = np.arange(senders.size)
+    idx = arena.arange(senders.size)
     while idx.size:
         g = groups[idx]
         first = np.empty(idx.size, dtype=bool)

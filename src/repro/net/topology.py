@@ -326,13 +326,21 @@ class Topology:
         return len(reach) == self.n_nodes - 1
 
     def reachable_from_source(self) -> np.ndarray:
-        """Boolean mask of nodes reachable from the source (source included)."""
-        g = self.to_networkx()
-        mask = np.zeros(self.n_nodes, dtype=bool)
-        mask[SOURCE] = True
-        for v in nx.descendants(g, SOURCE):
-            mask[v] = True
-        return mask
+        """Boolean mask of nodes reachable from the source (source included).
+
+        The BFS result is memoized (the topology is immutable once
+        built); callers receive a private copy because the engines mask
+        the source out of it in place.
+        """
+        cached = getattr(self, "_reachable_cache", None)
+        if cached is None:
+            g = self.to_networkx()
+            cached = np.zeros(self.n_nodes, dtype=bool)
+            cached[SOURCE] = True
+            for v in nx.descendants(g, SOURCE):
+                cached[v] = True
+            self._reachable_cache = cached
+        return cached.copy()
 
     def hop_distances_from_source(self) -> np.ndarray:
         """Unweighted hop count from the source; ``-1`` for unreachable nodes."""

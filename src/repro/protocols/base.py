@@ -106,6 +106,12 @@ class SimView:
         self.workload = workload
         self._has = has
         self._arrival = arrival
+        #: Monotone state-change counter, bumped by the engine whenever
+        #: possession (and hence any belief derived from channel events)
+        #: may have changed. Quiescence frontiers cache their offer sets
+        #: keyed on this so repeated ``next_action_slot`` probes between
+        #: state changes skip the possession scan.
+        self.state_version = 0
 
     @property
     def n_nodes(self) -> int:
@@ -256,6 +262,29 @@ class RepSimView:
             ).sum(axis=1, dtype=np.uint64)
         else:
             self.has_packed = None
+        #: (R,) per-replication state-change counters (see
+        #: :attr:`SimView.state_version`); the batch engine bumps a
+        #: replication's entry whenever its possession/belief inputs may
+        #: have changed, and frontier caches key on it.
+        self.state_version = np.zeros(self.n_reps, dtype=np.int64)
+        #: Scratch arena the engine threads through the run; protocols
+        #: may borrow hot-path buffers from it (``None`` outside the
+        #: batched engine — borrowers fall back to fresh allocation).
+        self.arena = None
+
+    def get_arena(self):
+        """The engine's scratch arena, or a lazily-attached NullArena.
+
+        Protocol hot paths borrow per-slot buffers through this; outside
+        the batched engine (direct test invocations) the NullArena keeps
+        the same API with fresh allocation per borrow.
+        """
+        ar = self.arena
+        if ar is None:
+            from ..sim.arena import NullArena
+
+            ar = self.arena = NullArena()
+        return ar
 
     @property
     def n_reps(self) -> int:

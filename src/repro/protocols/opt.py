@@ -127,6 +127,10 @@ class OptOracle(FloodingProtocol):
             rs = rs[rs != SOURCE]
             self._frontier_r = rs
             self._frontier_s = designated[rs]
+        # Frontier cache: offers depend only on possession, so repeated
+        # probes between state changes reuse the last receiver set.
+        self._nas_version = -1
+        self._nas_receivers = None
 
     def next_action_slot(self, t, awake, view):
         # OPT's frontier reads ground truth (that is the point of OPT):
@@ -135,15 +139,20 @@ class OptOracle(FloodingProtocol):
         # fallback, and semi-duplex conflicts only *defer* service within
         # a wake slot — they never create traffic where no pair offers —
         # so the oracle offer set is a sound frontier.
-        has = view.oracle_possession()
-        if self.server_policy == "designated":
-            offers = (has[:, self._frontier_s] & ~has[:, self._frontier_r])
-            receivers = self._frontier_r[offers.any(axis=0)]
+        if view.state_version == self._nas_version:
+            receivers = self._nas_receivers
         else:
-            held = has[:, self._in_pad]  # (M, n, max_deg)
-            offers = (held & ~has[:, :, None]).any(axis=0) & self._in_valid
-            receivers = np.flatnonzero(offers.any(axis=1))
-            receivers = receivers[receivers != SOURCE]
+            has = view.oracle_possession()
+            if self.server_policy == "designated":
+                offers = (has[:, self._frontier_s] & ~has[:, self._frontier_r])
+                receivers = self._frontier_r[offers.any(axis=0)]
+            else:
+                held = has[:, self._in_pad]  # (M, n, max_deg)
+                offers = (held & ~has[:, :, None]).any(axis=0) & self._in_valid
+                receivers = np.flatnonzero(offers.any(axis=1))
+                receivers = receivers[receivers != SOURCE]
+            self._nas_version = view.state_version
+            self._nas_receivers = receivers
         return earliest_wake(self._schedules, t, receivers)
 
     # ------------------------------------------------------------------
@@ -248,6 +257,10 @@ class OptOracle(FloodingProtocol):
         self._rep_cache_period = phase_cache_period(schedules_list)
         self._off_frontier = None
         self._rep_phase_cache: dict = {}
+        # Per-replication frontier cache for next_action_slots, keyed on
+        # the engine-maintained state versions (see dbao for the pattern).
+        self._nas_vers_reps = None
+        self._nas_offers_reps = None
 
     def _phase_pairs(self, t: int, awake_by_rep):
         """Static (replication, server, receiver) request rows per slot.
@@ -297,19 +310,30 @@ class OptOracle(FloodingProtocol):
             active[rep_ids] = True
             keep = active[kk_r]
             kk_r, ss_flat, rr_flat = kk_r[keep], ss_flat[keep], rr_flat[keep]
+        arena = view.get_arena()
         cand_w = None
         if kk_r.size:
             hp = view.has_packed
             if hp is not None:
                 # Packed possession words: "receiver still lacks a
                 # packet" and "server holds one of those" are single
-                # uint64 ops per row.
+                # uint64 ops per row, gathered through flat takes into
+                # borrowed scratch.
+                hp_flat = hp.reshape(-1)
                 full = np.uint64((1 << view.n_packets) - 1)
-                recv_w = hp[kk_r, rr_flat]
-                needy = recv_w != full
-                kk_r, ss_flat, rr_flat = (
-                    kk_r[needy], ss_flat[needy], rr_flat[needy])
-                cand_w = hp[kk_r, ss_flat] & ~recv_w[needy]
+                idx = arena.buf("opt.idx", kk_r.size, np.int64)
+                np.multiply(kk_r, n, out=idx)
+                idx += rr_flat
+                recv_w = arena.buf("opt.recv_w", kk_r.size, np.uint64)
+                np.take(hp_flat, idx, out=recv_w)
+                sel = np.flatnonzero(recv_w != full)
+                kk_r = kk_r.take(sel)
+                ss_flat = ss_flat.take(sel)
+                rr_flat = rr_flat.take(sel)
+                idx2 = idx[: sel.size]
+                np.multiply(kk_r, n, out=idx2)
+                idx2 += ss_flat
+                cand_w = hp_flat.take(idx2) & ~recv_w.take(sel)
             else:
                 needy = ~view.has_stack[kk_r, :, rr_flat].all(axis=1)
                 kk_r, ss_flat, rr_flat = (
@@ -322,8 +346,8 @@ class OptOracle(FloodingProtocol):
         group_start = np.flatnonzero(new_grp)
         G = group_start.size
         L = np.diff(np.append(group_start, P))
-        g = np.repeat(np.arange(G), L)
-        pos = np.arange(P) - group_start[g]
+        g = np.repeat(arena.arange(G), L)
+        pos = arena.arange(P) - group_start[g]
 
         # FCFS head per (server, dependent) pair; round-robin rotation
         # picks each group's first valid head in rotated order.
@@ -338,7 +362,7 @@ class OptOracle(FloodingProtocol):
         rot = (pos - (rotk % L[g])) % L[g]
         big = P + 1
         score = np.where(valid, rot, big)
-        enc = score * big + np.arange(P)
+        enc = score * big + arena.arange(P)
         best = np.minimum.reduceat(enc, group_start)
         has_cand = (best // big) < big
         pick = (best % big)[has_cand]
@@ -388,14 +412,28 @@ class OptOracle(FloodingProtocol):
         assert self.server_policy == "designated"
         if self._off_frontier is None:
             self._off_frontier = view.offsets_stack[:, self._frontier_r]
-        if view.has_packed is not None:
-            hp = view.has_packed[rep_ids]
-            offers = (hp[:, self._frontier_s] & ~hp[:, self._frontier_r]) != 0
-        else:
-            has = view.has_stack[rep_ids]
-            offers = (
-                has[:, :, self._frontier_s] & ~has[:, :, self._frontier_r]
-            ).any(axis=1)
+        # Offers depend only on possession: recompute only for
+        # replications whose state version moved since the last probe.
+        if self._nas_offers_reps is None:
+            F = self._frontier_r.size
+            self._nas_offers_reps = np.zeros((view.n_reps, F), dtype=bool)
+            self._nas_vers_reps = np.full(view.n_reps, -1, dtype=np.int64)
+        stale = rep_ids[
+            self._nas_vers_reps[rep_ids] != view.state_version[rep_ids]
+        ]
+        if stale.size:
+            if view.has_packed is not None:
+                hp = view.has_packed[stale]
+                self._nas_offers_reps[stale] = (
+                    hp[:, self._frontier_s] & ~hp[:, self._frontier_r]
+                ) != 0
+            else:
+                has = view.has_stack[stale]
+                self._nas_offers_reps[stale] = (
+                    has[:, :, self._frontier_s] & ~has[:, :, self._frontier_r]
+                ).any(axis=1)
+            self._nas_vers_reps[stale] = view.state_version[stale]
+        offers = self._nas_offers_reps[rep_ids]
         return view.earliest_wakes(
             t, rep_ids, self._frontier_r, offers, self._off_frontier
         )

@@ -35,12 +35,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from time import perf_counter
+
 from ..net.dynamics import BatchGilbertElliott
 from ..net.packet import FloodWorkload
 from ..net.radio import Transmission, resolve_slot_reps
 from ..net.schedule import ScheduleTable
 from ..net.topology import SOURCE, Topology
 from ..protocols.base import FloodingProtocol, RepSimView, phase_cache_period
+from .arena import ScratchArena
 from .energy import EnergyLedger
 from .engine import (
     _LONG_JUMP,
@@ -115,6 +118,8 @@ def run_flood_batch(
     rngs: Sequence[np.random.Generator],
     config: Optional[SimConfig] = None,
     dynamics_list: Optional[Sequence] = None,
+    arena=None,
+    profiler=None,
 ) -> List[FloodResult]:
     """Simulate R replications of one flood scenario in a single batch.
 
@@ -144,6 +149,17 @@ def run_flood_batch(
     dynamics_list:
         Optional per-replication :class:`GilbertElliott` instances,
         stacked into one :class:`BatchGilbertElliott`. All or none.
+    arena:
+        Optional :class:`~repro.sim.arena.ScratchArena` serving the hot
+        path's per-slot buffers. Defaults to a fresh arena per call; the
+        runner threads :func:`~repro.sim.arena.global_arena` through so
+        consecutive invocations reuse warm buffers. Pass a
+        :class:`~repro.sim.arena.NullArena` to force fresh allocation
+        per borrow (arena-off mode — trajectories are bit-identical
+        either way).
+    profiler:
+        Optional :class:`~repro.sim.observers.PhaseProfiler`; when
+        present, the loop records per-phase wall time into it.
 
     Returns one :class:`FloodResult` per replication, index-aligned with
     ``schedules_list``, each bit-identical to its serial counterpart.
@@ -220,6 +236,15 @@ def run_flood_batch(
         inject_slots_by_rep.append(generated[order].astype(np.int64))
     n_inject = np.asarray(
         [len(s) for s in inject_slots_by_rep], dtype=np.int64)
+    _NEVER = np.iinfo(np.int64).max
+    # Next undrained injection slot per replication (sentinel when the
+    # workload is exhausted): lets both the inject stage and the
+    # fast-forward clamp run as array ops instead of per-rep cursor
+    # probes.
+    next_inject = np.asarray(
+        [int(s[0]) if s.size else _NEVER for s in inject_slots_by_rep],
+        dtype=np.int64,
+    )
 
     # (R, …) state stacks — the serial pipeline's arrays with a leading
     # replication axis.
@@ -230,9 +255,14 @@ def run_flood_batch(
     completed_at = np.full((R, M), -1, dtype=np.int64)
     n_pending = np.full(R, M, dtype=np.int64)
     inject_cursor = np.zeros(R, dtype=np.int64)
+    # ``t_next`` doubles as the live/done discriminator: finished
+    # replications park at the +inf sentinel, so each iteration's
+    # earliest-slot scan is one ``min`` over the whole array instead of
+    # an active-mask compression. ``elapsed`` captures the final clock
+    # before the sentinel overwrites it.
     t_next = np.zeros(R, dtype=np.int64)
+    elapsed = np.zeros(R, dtype=np.int64)
     long_jump = np.zeros(R, dtype=bool)
-    done = np.zeros(R, dtype=bool)
     # Last slot each replication's dynamics were stepped through, plus
     # one: lazy catch-up advances exactly the slots the serial loop
     # would have stepped or block-advanced.
@@ -251,8 +281,12 @@ def run_flood_batch(
 
     schedules_list = list(schedules_list)
     rngs = list(rngs)
+    if arena is None:
+        arena = ScratchArena()
     view = RepSimView(
         topo, schedules_list, workloads[0], has_stack, arrival_stack)
+    view.arena = arena
+    state_version = view.state_version
     pack_pw = (
         np.uint64(1) << np.arange(M, dtype=np.uint64)
         if view.has_packed is not None
@@ -275,7 +309,7 @@ def run_flood_batch(
             stack = np.zeros((R, n), dtype=bool)
             for ki, aw in enumerate(lists):
                 stack[ki, aw] = True
-            entry = (lists, stack, stack.any(axis=1))
+            entry = (lists, stack, stack.reshape(-1), stack.any(axis=1))
             if key is not None:
                 phase_cache[key] = entry
         return entry
@@ -283,13 +317,39 @@ def run_flood_batch(
     fast_forward = config.fast_forward
     empty64 = np.empty(0, dtype=np.int64)
     has_rows = np.zeros(R, dtype=bool)
+    inj_rows = np.zeros(R, dtype=bool)
+    # Flat aliases for the validation/apply gathers: one flat-index
+    # ``np.take`` into a scratch buffer replaces the 2-/3-axis fancy
+    # index (which builds the same flat indices internally but always
+    # allocates its result).
+    has_flat = has_stack.reshape(-1)
+    packed_flat = (
+        view.has_packed.reshape(-1) if view.has_packed is not None else None
+    )
+    prof = profiler
+    _tprev = perf_counter() if prof is not None else 0.0
+
+    # Deferred counter accumulation: attempts, failures, duplicate /
+    # overhear tallies and energy counts are write-only until result
+    # assembly, so the hot loop just retains the (fresh, unaliased)
+    # per-slot index arrays and one bincount per counter runs at the
+    # end instead of several scatter ops per slot.
+    acc_att_k: List[np.ndarray] = []
+    acc_att_s: List[np.ndarray] = []
+    acc_fail_k: List[np.ndarray] = []
+    acc_fail_s: List[np.ndarray] = []
+    acc_rx_k: List[np.ndarray] = []
+    acc_rx_r: List[np.ndarray] = []
+    acc_dup: List[np.ndarray] = []
+    acc_over: List[np.ndarray] = []
 
     while True:
-        active = np.flatnonzero(~done)
-        if active.size == 0:
+        # Finished replications park at the sentinel, so the earliest
+        # pending slot is one unmasked min over the clock array.
+        t = int(t_next.min())
+        if t == _NEVER:
             break
-        t = int(t_next[active].min())
-        exec_reps = active[t_next[active] == t]
+        exec_reps = np.flatnonzero(t_next == t)
 
         # Link dynamics: lazy per-replication catch-up over skipped
         # slots (bit-identical block advance), then this slot's step.
@@ -301,10 +361,12 @@ def run_flood_batch(
             batch_dyn.step_reps(exec_reps)
             dyn_clock[exec_reps] = t + 1
 
-        # Inject arrivals and collect wake sets for this slot.
-        awake_by_rep, awake_stack, has_awake = _phase_awake(t)
-        pending_inject = exec_reps[
-            inject_cursor[exec_reps] < n_inject[exec_reps]]
+        # Inject arrivals and collect wake sets for this slot. The
+        # ``next_inject`` probe keeps injection-free slots (most of a
+        # flood) out of the per-replication Python loop entirely.
+        awake_by_rep, awake_stack, awake_flat, has_awake = _phase_awake(t)
+        inj_rows[exec_reps] = False
+        pending_inject = exec_reps[next_inject[exec_reps] <= t]
         for k in pending_inject:
             ki = int(k)
             inject_slots = inject_slots_by_rep[ki]
@@ -319,7 +381,15 @@ def run_flood_batch(
                     view.has_packed[ki, SOURCE] |= pack_pw[p]
                 cur += 1
             inject_cursor[ki] = cur
+            next_inject[ki] = (
+                int(inject_slots[cur]) if cur < n_inject[ki] else _NEVER
+            )
+            inj_rows[ki] = True
         rep_ids = exec_reps[has_awake[exec_reps]]
+        if prof is not None:
+            _now = perf_counter()
+            prof.note("inject", _now - _tprev)
+            _tprev = _now
 
         if rep_ids.size:
             kk, ss, rr, pp = protocol.propose_reps(
@@ -327,33 +397,65 @@ def run_flood_batch(
             )
         else:
             kk = ss = rr = pp = empty64
+        if prof is not None:
+            _now = perf_counter()
+            prof.note("propose", _now - _tprev)
+            _tprev = _now
 
         if kk.size:
-            # Validate: the serial engine's mask checks, batched.
-            tx_keys = np.sort(kk * n + ss)
+            # Validate: the serial engine's mask checks, batched, on
+            # borrowed scratch (sender uniqueness via the sorted fused
+            # key; possession and receiver-awake via flat-index takes).
+            P = kk.size
+            vkey = arena.buf("batch.vkey", P, np.int64)
+            np.multiply(kk, n, out=vkey)
+            vkey += ss
+            vkey.sort()
+            fidx = arena.buf("batch.fidx", P, np.int64)
+            np.multiply(kk, M, out=fidx)
+            fidx += pp
+            fidx *= n
+            fidx += ss
+            hasv = arena.buf("batch.hasv", P, np.bool_)
+            np.take(has_flat, fidx, out=hasv)
+            aidx = arena.buf("batch.aidx", P, np.int64)
+            np.multiply(kk, n, out=aidx)
+            aidx += rr
+            awakev = arena.buf("batch.awakev", P, np.bool_)
+            np.take(awake_flat, aidx, out=awakev)
             ok = (
-                bool((tx_keys[1:] != tx_keys[:-1]).all())
-                and bool(has_stack[kk, pp, ss].all())
-                and bool(awake_stack[kk, rr].all())
+                bool((vkey[1:] != vkey[:-1]).all())
+                and bool(hasv.all())
+                and bool(awakev.all())
             )
             if not ok:
                 _raise_invalid_batch(
                     protocol, t, kk, ss, rr, pp, has_stack, awake_stack
                 )
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("validate", _now - _tprev)
+                _tprev = _now
 
+            # Validation just proved per-replication sender uniqueness,
+            # so the resolver's duplicate-guard bincount is folded away
+            # (the serial engine passes assume_unique_senders likewise).
             outcome = resolve_slot_reps(
                 kk, ss, rr, pp, topo, awake_by_rep, rngs, config.radio,
-                dynamics=batch_dyn, awake_stack=awake_stack,
+                dynamics=batch_dyn, awake_stack=awake_stack, arena=arena,
             )
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("resolve", _now - _tprev)
+                _tprev = _now
 
-            # Counters + energy, scattered onto the replication axis.
-            # (rep, sender) rows are duplicate-free (validated above), as
-            # is their failure subset, so plain fancy increments apply.
-            c_attempts += np.bincount(kk, minlength=R)
-            e_tx[kk, ss] += 1
+            # Counters + energy: retained for the end-of-run bincounts
+            # (kk/ss and the outcome arrays are fresh per slot).
+            acc_att_k.append(kk)
+            acc_att_s.append(ss)
             if outcome.fail_rep.size:
-                c_failures += np.bincount(outcome.fail_rep, minlength=R)
-                e_fail[outcome.fail_rep, outcome.fail_sender] += 1
+                acc_fail_k.append(outcome.fail_rep)
+                acc_fail_s.append(outcome.fail_sender)
             for ki, count in outcome.collision_counts.items():
                 c_collisions[ki] += count
 
@@ -373,14 +475,25 @@ def run_flood_batch(
                 rrv = outcome.rec_receiver
                 rpk = outcome.rec_packet
                 rov = outcome.rec_overheard
-                dup = has_stack[rk, rpk, rrv]
+                if packed_flat is not None:
+                    # Fused duplicate probe: one word gather + bit test
+                    # against the possession bitmask instead of the
+                    # 3-axis boolean gather.
+                    pidx = arena.buf("batch.pidx", rk.size, np.int64)
+                    np.multiply(rk, n, out=pidx)
+                    pidx += rrv
+                    words = arena.buf("batch.words", rk.size, np.uint64)
+                    np.take(packed_flat, pidx, out=words)
+                    dup = (words & pack_pw[rpk]) != 0
+                else:
+                    dup = has_stack[rk, rpk, rrv]
                 new = ~dup
                 dup_counted = rk[dup & ~rov]
                 if dup_counted.size:
-                    c_duplicates += np.bincount(dup_counted, minlength=R)
+                    acc_dup.append(dup_counted)
                 over_counted = rk[new & rov]
                 if over_counted.size:
-                    c_overhears += np.bincount(over_counted, minlength=R)
+                    acc_over.append(over_counted)
                 if new.any():
                     nk = rk[new]
                     nr = rrv[new]
@@ -392,7 +505,8 @@ def run_flood_batch(
                     view.held_counts[nk, nr] += 1
                     if pack_pw is not None:
                         view.has_packed[nk, nr] |= pack_pw[npk]
-                    e_rx[nk, nr] += 1
+                    acc_rx_k.append(nk)
+                    acc_rx_r.append(nr)
                     elig = eligible[nr]
                     if elig.any():
                         ck = nk[elig]
@@ -407,15 +521,30 @@ def run_flood_batch(
                         if comp.any():
                             completed_at[uk[comp], up[comp]] = t
                             np.add.at(n_pending, uk[comp], -1)
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("apply", _now - _tprev)
+                _tprev = _now
 
             protocol.observe_reps(t, outcome, view)
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("observe", _now - _tprev)
+                _tprev = _now
 
         # Fast-forward bookkeeping — the serial loop's skip-attempt
-        # policy, applied per replication with one batched frontier
-        # query for all replications that earn one this slot.
+        # policy, vectorized: the frontier targets are clamped against
+        # the pending-injection and horizon arrays in two ``minimum``
+        # passes instead of a per-replication Python loop.
         has_rows[:] = False
         if kk.size:
             has_rows[kk] = True
+        # Possession/belief may have changed for replications that
+        # transmitted or injected this slot; bump their state version so
+        # frontier caches keyed on it recompute.
+        ver = exec_reps[has_rows[exec_reps] | inj_rows[exec_reps]]
+        if ver.size:
+            state_version[ver] += 1
         t1 = t + 1
         t_next[exec_reps] = t1
         rest = exec_reps[~has_rows[exec_reps] | long_jump[exec_reps]]
@@ -426,29 +555,50 @@ def run_flood_batch(
             qids = empty64
         if qids.size:
             targets = protocol.next_action_slots(t, qids, view)
-            for i, ki in enumerate(qids.tolist()):
-                target = int(targets[i])
-                if target <= t1:
-                    t_next[ki] = t1
-                    continue
-                cur = int(inject_cursor[ki])
-                inject_slots = inject_slots_by_rep[ki]
-                if cur < n_inject[ki] and inject_slots[cur] < target:
-                    target = int(inject_slots[cur])  # > t: inject(t) drained
-                    if target <= t1:
-                        t_next[ki] = t1
-                        continue
-                horizon_k = int(horizons[ki])
-                if target > horizon_k:
-                    target = horizon_k
-                long_jump[ki] = target - t1 >= _LONG_JUMP
-                t_next[ki] = target
+            # Injection clamp (next_inject > t for every executed
+            # replication, so the clamp never undershoots t1) and
+            # horizon clamp (> t1 by the qids filter); a replication
+            # jumps iff the clamped target still exceeds t1.
+            eff = np.minimum(targets, next_inject[qids])
+            np.minimum(eff, horizons[qids], out=eff)
+            jump = eff > t1
+            t_next[qids] = np.where(jump, eff, t1)
+            long_jump[qids] = jump & (eff - t1 >= _LONG_JUMP)
 
-        finished = exec_reps[
+        fin = exec_reps[
             (t_next[exec_reps] >= horizons[exec_reps])
             | (n_pending[exec_reps] == 0)
         ]
-        done[finished] = True
+        if fin.size:
+            elapsed[fin] = t_next[fin]
+            t_next[fin] = _NEVER
+        if prof is not None:
+            _now = perf_counter()
+            prof.note("fastforward", _now - _tprev)
+            _tprev = _now
+            prof.note_slot(exec_reps.size)
+
+    # Settle the deferred counters: one concatenate + bincount pass per
+    # counter over the whole run.
+    if acc_att_k:
+        att_k = np.concatenate(acc_att_k)
+        att_s = np.concatenate(acc_att_s)
+        c_attempts += np.bincount(att_k, minlength=R)
+        e_tx += np.bincount(att_k * n + att_s, minlength=R * n).reshape(R, n)
+    if acc_fail_k:
+        fail_k = np.concatenate(acc_fail_k)
+        fail_s = np.concatenate(acc_fail_s)
+        c_failures += np.bincount(fail_k, minlength=R)
+        e_fail += np.bincount(
+            fail_k * n + fail_s, minlength=R * n).reshape(R, n)
+    if acc_rx_k:
+        rx_k = np.concatenate(acc_rx_k)
+        rx_r = np.concatenate(acc_rx_r)
+        e_rx += np.bincount(rx_k * n + rx_r, minlength=R * n).reshape(R, n)
+    if acc_dup:
+        c_duplicates += np.bincount(np.concatenate(acc_dup), minlength=R)
+    if acc_over:
+        c_overhears += np.bincount(np.concatenate(acc_over), minlength=R)
 
     # Per-replication result assembly, shaped exactly like run_flood's.
     results: List[FloodResult] = []
@@ -457,7 +607,7 @@ def run_flood_batch(
         ledger.tx_attempts[:] = e_tx[k]
         ledger.tx_failures[:] = e_fail[k]
         ledger.rx_successes[:] = e_rx[k]
-        ledger.note_elapsed(int(t_next[k]))
+        ledger.note_elapsed(int(elapsed[k]))
         ledger.validate()
         metrics = FloodMetrics(
             delays=PacketDelays(
@@ -470,7 +620,7 @@ def run_flood_batch(
             collisions=int(c_collisions[k]),
             duplicates=int(c_duplicates[k]),
             overhears=int(c_overhears[k]),
-            elapsed_slots=int(t_next[k]),
+            elapsed_slots=int(elapsed[k]),
             coverage_per_packet=covered[k] / n_eligible,
             transmission_delay=None,
             sleep_misses=0,

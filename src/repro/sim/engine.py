@@ -243,6 +243,14 @@ class _SlotPipeline:
         self._actual_mask = np.zeros(n_nodes, dtype=bool)
         self._sender_mask = np.zeros(n_nodes, dtype=bool)
 
+        # Per-phase wall-time profiler, detected by marker attribute so
+        # the loop can time stages directly (observer hooks see events,
+        # not stage boundaries).
+        self._profiler = next(
+            (ob for ob in observers if getattr(ob, "phase_profiler", False)),
+            None,
+        )
+
         # Per-hook observer fan-out, resolved once: a hook nobody
         # overrides costs nothing per slot.
         self._slot_obs = overriders_of(observers, "on_slot")
@@ -274,6 +282,8 @@ class _SlotPipeline:
                 ob.on_inject(t, p)
             cur += 1
         self._inject_cursor = cur
+        # Source possession changed: invalidate frontier-offer caches.
+        self.view.state_version += 1
 
     def wake_sets(self, t: int):
         """Stage 2: believed and actual wake sets for this slot."""
@@ -328,10 +338,14 @@ class _SlotPipeline:
         return misses
 
     def resolve(self, batch: TxBatch, actually_awake) -> SlotOutcome:
-        """Stage 5: channel resolution (against reality)."""
+        """Stage 5: channel resolution (against reality).
+
+        The validate stage already proved per-sender uniqueness, so the
+        resolver's own duplicate guard is folded away.
+        """
         return resolve_slot(
             batch, self.topo, actually_awake, self.rng, self.config.radio,
-            dynamics=self.dynamics,
+            dynamics=self.dynamics, assume_unique_senders=True,
         )
 
     def apply(
@@ -370,6 +384,9 @@ class _SlotPipeline:
                 ob.on_reception(t, rec, False)
 
         self.protocol.observe(t, outcome, self.view)
+        # Possession and protocol beliefs may have changed: invalidate
+        # frontier-offer caches keyed on the state version.
+        self.view.state_version += 1
 
     # -- loop ----------------------------------------------------------
 
@@ -403,6 +420,11 @@ class _SlotPipeline:
         inject_slots = self._inject_slots
         n_inject = len(inject_slots)
         long_jump = False  # did a span of >= _LONG_JUMP slots land here?
+        prof = self._profiler
+        if prof is not None:
+            from time import perf_counter
+
+            _tprev = perf_counter()
         while t < horizon and self.n_pending > 0:
             if dynamics is not None:
                 dynamics.step()  # links fade regardless of traffic
@@ -410,25 +432,56 @@ class _SlotPipeline:
             awake, actually_awake = self.wake_sets(t)
             for ob in self._slot_obs:
                 ob.on_slot(t, awake)
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("inject", _now - _tprev)
+                _tprev = _now
             batch = self.propose(t, awake)
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("propose", _now - _tprev)
+                _tprev = _now
             t += 1
             if len(batch):
                 self.validate(t - 1, batch, awake)
                 sleep_misses = self.count_sleep_misses(batch, actually_awake)
+                if prof is not None:
+                    _now = perf_counter()
+                    prof.note("validate", _now - _tprev)
+                    _tprev = _now
                 outcome = self.resolve(batch, actually_awake)
+                if prof is not None:
+                    _now = perf_counter()
+                    prof.note("resolve", _now - _tprev)
+                    _tprev = _now
                 self.apply(t - 1, batch, outcome, sleep_misses)
+                if prof is not None:
+                    _now = perf_counter()
+                    prof.note("apply", _now - _tprev)
+                    _tprev = _now
+                    prof.note_slot()
                 if not long_jump:
                     continue
+            elif prof is not None:
+                prof.note_slot()
             long_jump = False
             if not fast_forward or t >= horizon or self.n_pending == 0:
                 continue
             target = protocol.next_action_slot(t - 1, awake, self.view)
             if target <= t:
+                if prof is not None:
+                    _now = perf_counter()
+                    prof.note("fastforward", _now - _tprev)
+                    _tprev = _now
                 continue
             cur = self._inject_cursor
             if cur < n_inject and inject_slots[cur] < target:
                 target = inject_slots[cur]  # > t - 1: inject(t-1) drained
                 if target <= t:
+                    if prof is not None:
+                        _now = perf_counter()
+                        prof.note("fastforward", _now - _tprev)
+                        _tprev = _now
                     continue
             if target > horizon:
                 target = horizon
@@ -438,6 +491,10 @@ class _SlotPipeline:
                 ob.on_idle_span(t, target)
             long_jump = target - t >= _LONG_JUMP
             t = target
+            if prof is not None:
+                _now = perf_counter()
+                prof.note("fastforward", _now - _tprev)
+                _tprev = _now
         self.elapsed = t
 
 

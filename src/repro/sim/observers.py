@@ -33,7 +33,9 @@ registered observer with two hooks costs nothing on the other four.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import sys
+import tracemalloc
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +49,7 @@ __all__ = [
     "CounterObserver",
     "EnergyObserver",
     "EventLogObserver",
+    "PhaseProfiler",
     "overriders_of",
 ]
 
@@ -189,3 +192,104 @@ class EventLogObserver(SimObserver):
 
     def on_complete(self, t, packet):
         self.log.record(SimEvent(t, EventKind.COMPLETE, packet))
+
+
+class PhaseProfiler(SimObserver):
+    """Per-phase wall time and allocation metering for the slot pipeline.
+
+    Unlike the other observers, the profiler does not watch simulation
+    *events* — it watches the engine itself. Both engines detect it via
+    the ``phase_profiler`` marker attribute and call :meth:`note` with
+    the wall seconds each pipeline phase consumed (``inject``,
+    ``propose``, ``validate``, ``resolve``, ``apply``, ``observe`` —
+    batch only — and ``fastforward``), plus :meth:`note_slot` once per
+    executed loop slot (the batch engine passes the number of
+    replications that executed, so ``slots`` counts replication-slots
+    while ``loop_slots`` counts loop iterations).
+
+    Allocation metering is sampled per loop slot:
+
+    * ``sys.getallocatedblocks()`` deltas — the *net* live-block growth
+      per slot. An allocation-free steady state nets ~0 here even
+      before any interpreter-level tracing.
+    * when :mod:`tracemalloc` is tracing (``repro profile`` enables it
+      for its second pass), the per-slot traced high-water mark
+      (``get_traced_memory`` + ``reset_peak``) — transient churn that
+      net block counts cannot see.
+
+    Attach at most one per run; the engines use the first observer
+    carrying the marker.
+    """
+
+    #: Marker the engines look for (kept as a plain attribute so
+    #: duck-typed stand-ins work in tests).
+    phase_profiler = True
+
+    def __init__(self, sample_allocs: bool = True):
+        self.phase_seconds: Dict[str, float] = {}
+        self.phase_calls: Dict[str, int] = {}
+        #: Replication-slots executed (loop slots x batch width).
+        self.slots = 0
+        #: Loop iterations (== slots for the serial engine).
+        self.loop_slots = 0
+        self._sample = bool(sample_allocs)
+        self._tracing = self._sample and tracemalloc.is_tracing()
+        self._blocks_prev: Optional[int] = None
+        self.net_alloc_blocks = 0
+        self.peak_alloc_bytes = 0
+
+    def note(self, phase: str, dt: float) -> None:
+        """Record ``dt`` wall seconds spent in ``phase``."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+        self.phase_calls[phase] = self.phase_calls.get(phase, 0) + 1
+
+    def note_slot(self, width: int = 1) -> None:
+        """One engine loop slot finished; ``width`` replications ran."""
+        self.slots += int(width)
+        self.loop_slots += 1
+        if self._sample:
+            blocks = sys.getallocatedblocks()
+            if self._blocks_prev is not None:
+                self.net_alloc_blocks += blocks - self._blocks_prev
+            self._blocks_prev = blocks
+            if self._tracing:
+                cur, peak = tracemalloc.get_traced_memory()
+                if peak > cur:
+                    self.peak_alloc_bytes += peak - cur
+                tracemalloc.reset_peak()
+
+    def report(self, arena=None) -> dict:
+        """Summarise the run as a JSON-ready dict.
+
+        ``arena`` (optional) contributes its borrow/grow counters so a
+        steady-state run can show ``grows == 0`` next to the per-slot
+        allocation numbers.
+        """
+        total = sum(self.phase_seconds.values())
+        phases = {
+            name: {
+                "seconds": round(secs, 6),
+                "calls": self.phase_calls.get(name, 0),
+                "share": round(secs / total, 4) if total else 0.0,
+            }
+            for name, secs in sorted(
+                self.phase_seconds.items(), key=lambda kv: -kv[1]
+            )
+        }
+        out = {
+            "phases": phases,
+            "total_seconds": round(total, 6),
+            "loop_slots": self.loop_slots,
+            "slots": self.slots,
+        }
+        if self._sample and self.loop_slots:
+            out["net_alloc_blocks_per_slot"] = round(
+                self.net_alloc_blocks / self.loop_slots, 3
+            )
+            if self._tracing:
+                out["peak_alloc_bytes_per_slot"] = round(
+                    self.peak_alloc_bytes / self.loop_slots, 1
+                )
+        if arena is not None:
+            out["arena"] = arena.snapshot()
+        return out

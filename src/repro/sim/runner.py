@@ -38,6 +38,7 @@ from ..net.schedule import ScheduleTable
 from ..net.topology import Topology
 from ..protocols.base import make_protocol
 from ..scenario import Scenario, as_scenario, build_topology
+from .arena import global_arena
 from .batch import run_flood_batch, supports_rep_batching
 from .engine import FloodResult, SimConfig, run_flood
 from .rng import RngStreams, derive_seed
@@ -276,19 +277,25 @@ def scenario_stack_key(scenario) -> Optional[str]:
 
 
 def run_replication_chunk(
-    topo: Topology, spec, rep_start: int, n_reps: int
+    topo: Topology, spec, rep_start: int, n_reps: int, profiler=None
 ) -> List[FloodResult]:
     """Run replications ``rep_start .. rep_start + n_reps - 1`` of ``spec``.
 
     The chunked unit of parallel work behind ``--reps-per-task``: when
     the scenario is replication-batchable (see
     :func:`scenario_rep_batchable`), all ``n_reps`` floods run as one
-    ``(R, …)`` :func:`~repro.sim.batch.run_flood_batch` invocation;
-    otherwise the chunk degrades to a loop of :func:`run_replication`
-    calls. Either way each replication's streams are derived from
-    ``(seed, rep)`` exactly as the single-replication task derives them,
-    so results are bit-identical to ``[run_replication(topo, spec, rep)
-    for rep in ...]`` regardless of chunking or backend.
+    ``(R, …)`` :func:`~repro.sim.batch.run_flood_batch` invocation —
+    against the process-global scratch arena, so consecutive chunks
+    reuse warm buffers; otherwise the chunk degrades to a loop of
+    :func:`run_replication` calls. Either way each replication's streams
+    are derived from ``(seed, rep)`` exactly as the single-replication
+    task derives them, so results are bit-identical to
+    ``[run_replication(topo, spec, rep) for rep in ...]`` regardless of
+    chunking or backend.
+
+    ``profiler`` (an optional
+    :class:`~repro.sim.observers.PhaseProfiler`) is threaded into the
+    batched engine — the ``repro profile`` hook.
     """
     if n_reps < 1:
         raise ValueError(f"chunk must cover at least one replication, got {n_reps}")
@@ -312,7 +319,8 @@ def run_replication_chunk(
     protocol = make_protocol(scenario.protocol, **scenario.protocol_kwargs)
     return run_flood_batch(
         topo, schedules_list, workload, protocol, channel_rngs, config,
-        dynamics_list=dynamics_list,
+        dynamics_list=dynamics_list, arena=global_arena(),
+        profiler=profiler,
     )
 
 
@@ -370,7 +378,7 @@ def run_replication_stack(
     protocol = make_protocol(base.protocol, **base.protocol_kwargs)
     results = run_flood_batch(
         topo, schedules_list, workloads, protocol, channel_rngs, config,
-        dynamics_list=dynamics_list,
+        dynamics_list=dynamics_list, arena=global_arena(),
     )
     out: List[List[FloodResult]] = []
     pos = 0
@@ -559,12 +567,26 @@ def run_experiments(
             results = [_scenario_task(topo, scenarios, task)
                        for task in tasks]
         else:
+            arena0 = global_arena().counters()
             results = executor.map(
                 _scenario_task, tasks, broadcast=(topo, scenarios)
             )
-            executor.stats.note_rep_batches(widths)
-            if executor.last is not None:
-                executor.last.note_rep_batches(widths)
+            # Dispatch metering: stacked tasks + the cells they merged,
+            # and the global arena's borrow/grow deltas (meaningful for
+            # in-process backends; pool workers keep their own arenas).
+            n_stacks = sum(1 for task in tasks if task[0] == "stack")
+            n_cells = sum(len(task[1]) for task in tasks
+                          if task[0] == "stack")
+            arena1 = global_arena().counters()
+            for stats in (executor.stats, executor.last):
+                if stats is None:
+                    continue
+                stats.note_rep_batches(widths)
+                if n_stacks:
+                    stats.note_stacks(n_stacks, n_cells)
+                stats.note_arena(
+                    arena1[0] - arena0[0], arena1[1] - arena0[1]
+                )
         grouped: Dict[int, List[FloodResult]] = {}
         for task, result in zip(tasks, results):
             if task[0] == "stack":

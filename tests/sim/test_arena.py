@@ -1,0 +1,211 @@
+"""Scratch-arena unit behaviour and aliasing safety.
+
+The arena is pure memory policy: borrowing preallocated buffers instead
+of calling ``np.empty`` per slot must never change a trajectory. The
+aliasing tests run every batch-capable golden scenario (all seven
+protocols, plus bursty links) twice — once against a shared
+:class:`ScratchArena`, once against a :class:`NullArena` (fresh
+allocation per borrow, the pre-arena behaviour) — and require the
+resulting :class:`FloodResult` lists to be bit-identical under pickle.
+
+Cross-contamination is covered by interleaving: floods of different
+protocols and sizes borrow from ONE arena in alternation, so every
+buffer is handed back stale-full of another flood's data before reuse.
+If any borrower read stale content instead of overwriting, the second
+pass would diverge from its fresh-arena twin.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.net.generators import random_geometric_topology
+from repro.net.packet import FloodWorkload
+from repro.net.radio import RadioModel
+from repro.net.schedule import ScheduleTable
+from repro.net.dynamics import GilbertElliott
+from repro.protocols import available_protocols, make_protocol
+from repro.protocols.opt import opt_radio_model
+from repro.sim.arena import NullArena, ScratchArena, global_arena
+from repro.sim.batch import run_flood_batch
+from repro.sim.engine import SimConfig
+
+
+# ---------------------------------------------------------------- unit
+
+
+def test_buf_reuses_backing_until_capacity_miss():
+    a = ScratchArena()
+    first = a.buf("k", 20)
+    base = first.base if first.base is not None else first
+    again = a.buf("k", 6)
+    base2 = again.base if again.base is not None else again
+    assert base2 is base  # smaller borrow served from the same backing
+    assert a.counters() == (2, 1)
+    a.buf("k", 21)  # capacity miss forces one regrow
+    assert a.grows == 2
+
+
+def test_buf_growth_is_geometric():
+    a = ScratchArena()
+    a.buf("k", 20)
+    a.buf("k", 21)  # regrow doubles: capacity is now >= 40
+    assert a.buf("k", 40).size == 40  # capacity hit, no third grow
+    assert a.grows == 2
+
+
+def test_buf_dtype_change_reallocates():
+    a = ScratchArena()
+    a.buf("k", 4, np.int64)
+    out = a.buf("k", 4, np.float64)
+    assert out.dtype == np.float64
+    assert a.grows == 2
+
+
+def test_keys_are_isolated():
+    a = ScratchArena()
+    x = a.buf("x", 8)
+    y = a.buf("y", 8)
+    x[:] = 1
+    y[:] = 2
+    assert x.sum() == 8  # y's fill must not alias x
+
+
+def test_buf2_shape_and_contiguity():
+    a = ScratchArena()
+    m = a.buf2("m", (3, 5), np.float64)
+    assert m.shape == (3, 5) and m.flags.c_contiguous
+    m[:] = 0.5
+    assert a.buf2("m", (3, 5), np.float64).base is m.base
+
+
+def test_arange_is_monotone_prefix():
+    a = ScratchArena()
+    r = a.arange(7)
+    np.testing.assert_array_equal(r, np.arange(7))
+    r2 = a.arange(5)
+    np.testing.assert_array_equal(r2, np.arange(5))
+    assert r2.base is a.arange(3).base  # served from one backing ramp
+    np.testing.assert_array_equal(a.arange(100), np.arange(100))
+
+
+def test_snapshot_shape():
+    a = ScratchArena()
+    a.buf("k", 16)
+    snap = a.snapshot()
+    assert snap["buffers"] == 1 and snap["borrows"] == 1
+    assert snap["nbytes"] >= 16 * 8
+
+
+def test_null_arena_always_allocates_fresh():
+    a = NullArena()
+    x = a.buf("k", 4)
+    y = a.buf("k", 4)
+    assert x is not y and x.base is None and y.base is None
+    assert a.counters() == (2, 2)
+    assert a.snapshot()["nbytes"] == 0
+
+
+def test_global_arena_is_process_singleton():
+    assert global_arena() is global_arena()
+    assert isinstance(global_arena(), ScratchArena)
+
+
+# ------------------------------------------------------- aliasing gate
+
+M = 3
+PERIOD = 5
+N_REPS = 3
+
+
+def _substrate(n_nodes=25, topo_seed=7, sched_seed=8):
+    rng = np.random.default_rng(topo_seed)
+    topo = random_geometric_topology(n_nodes, area_m=180.0, rng=rng)
+    schedules = ScheduleTable.random(
+        topo.n_nodes, PERIOD, np.random.default_rng(sched_seed)
+    )
+    return topo, schedules
+
+
+def _config(protocol, fast_forward=True):
+    kwargs = {"max_slots": 600, "fast_forward": fast_forward}
+    if protocol == "opt":
+        kwargs["radio"] = opt_radio_model()
+    elif protocol == "crosslayer":
+        kwargs["radio"] = RadioModel(overhearing=True)
+    return SimConfig(**kwargs)
+
+
+def _run(protocol, arena, *, bursty=False, fast_forward=True, n_nodes=25):
+    topo, schedules = _substrate(n_nodes)
+    dyn = None
+    if bursty:
+        dyn = [
+            GilbertElliott(topo, rng=np.random.default_rng(123 + rep))
+            for rep in range(N_REPS)
+        ]
+    return run_flood_batch(
+        topo,
+        [schedules] * N_REPS,
+        FloodWorkload(M),
+        make_protocol(protocol),
+        [np.random.default_rng(42 + rep) for rep in range(N_REPS)],
+        _config(protocol, fast_forward),
+        dynamics_list=dyn,
+        arena=arena,
+    )
+
+
+#: Every batch-capable golden scenario: the seven registered protocols
+#: on static links, plus the bursty-dynamics variant.
+ALIAS_SCENARIOS = [(proto, False) for proto in sorted(available_protocols())]
+ALIAS_SCENARIOS += [("dbao", True), ("opt", True)]
+
+
+@pytest.mark.parametrize("fast_forward", [True, False])
+@pytest.mark.parametrize(
+    "protocol,bursty",
+    ALIAS_SCENARIOS,
+    ids=[f"{p}{'-bursty' if b else ''}" for p, b in ALIAS_SCENARIOS],
+)
+def test_arena_on_off_bit_identical(protocol, bursty, fast_forward):
+    shared = ScratchArena()
+    with_arena = _run(protocol, shared, bursty=bursty,
+                      fast_forward=fast_forward)
+    without = _run(protocol, NullArena(), bursty=bursty,
+                   fast_forward=fast_forward)
+    assert ([pickle.dumps(r) for r in with_arena]
+            == [pickle.dumps(r) for r in without])
+    assert shared.borrows > 0  # the run actually exercised the arena
+
+
+def test_interleaved_floods_share_one_arena_without_contamination():
+    """A-B-A alternation on one arena reproduces fresh-arena results.
+
+    The two floods differ in protocol AND topology size, so every
+    backing buffer is returned carrying the other flood's stale data
+    (often at a different length) before each reuse. Any borrower that
+    trusts stale contents diverges here.
+    """
+    fresh = {
+        ("dbao", 25): _run("dbao", NullArena(), n_nodes=25),
+        ("of", 40): _run("of", NullArena(), n_nodes=40),
+    }
+    shared = ScratchArena()
+    for protocol, n_nodes in [("dbao", 25), ("of", 40), ("dbao", 25),
+                              ("of", 40), ("dbao", 25)]:
+        got = _run(protocol, shared, n_nodes=n_nodes)
+        want = fresh[(protocol, n_nodes)]
+        assert ([pickle.dumps(r) for r in got]
+                == [pickle.dumps(r) for r in want]), (
+            f"{protocol}/{n_nodes} diverged under the shared arena")
+
+
+def test_warm_arena_stops_growing():
+    """Steady state: a repeated identical flood forces zero regrows."""
+    arena = ScratchArena()
+    _run("dbao", arena)  # warmup: buffers grow to working-set size
+    grows = arena.grows
+    _run("dbao", arena)
+    assert arena.grows == grows
