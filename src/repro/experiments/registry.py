@@ -21,7 +21,7 @@ from ..analysis.series import ExperimentResult
 from ..exec import use_execution
 from ..scenario import ScenarioGrid
 from . import ablations, fig3, fig5, fig6, fig7, fig9, fig10, fig11
-from . import hetero, lemma2, skew, slot_split, table1, tradeoff_gain
+from . import hetero, lemma2, mac_duty, skew, slot_split, table1, tradeoff_gain
 from ._trace_sweep import trace_sweep_grid
 
 __all__ = ["EXPERIMENTS", "SCENARIO_GRIDS", "run_experiment_by_id",
@@ -45,6 +45,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "abl-bursty": ablations.run_bursty_links,
     "skew": skew.run,
     "hetero": hetero.run,
+    "mac-duty": mac_duty.run,
     "slot-split": slot_split.run,
 }
 
@@ -56,6 +57,7 @@ SCENARIO_GRIDS: Dict[str, Callable[..., ScenarioGrid]] = {
     "fig10": trace_sweep_grid,
     "fig11": trace_sweep_grid,
     "hetero": hetero.grid,
+    "mac-duty": mac_duty.grid,
     "abl-collisions": ablations.collisions_grid,
     "abl-overhearing": ablations.overhearing_grid,
     "abl-opp-threshold": ablations.opp_threshold_grid,

@@ -25,6 +25,7 @@ from .topology import Topology
 
 __all__ = [
     "grid_topology",
+    "geometric_topology",
     "random_geometric_topology",
     "clustered_positions",
     "positions_to_topology",
@@ -132,6 +133,56 @@ def random_geometric_topology(
     rng = rng if rng is not None else np.random.default_rng(0)
     positions = rng.uniform(0.0, area_m, size=(n_nodes, 2))
     positions[0] = (area_m / 2.0, area_m / 2.0)
+    radio = radio or RadioParameters()
+    return positions_to_topology(
+        positions, radio, rng, neighbor_threshold=neighbor_threshold
+    )
+
+
+def geometric_topology(
+    n_nodes: int,
+    area_m: float,
+    placement: str = "uniform",
+    radio: Optional[RadioParameters] = None,
+    rng: Optional[np.random.Generator] = None,
+    neighbor_threshold: float = 0.1,
+) -> Topology:
+    """Bring-your-own-PHY deployment: log-distance path loss on a square.
+
+    The scenario layer's ``geometric`` topology source. Nodes are placed
+    over an ``area_m x area_m`` square — ``"uniform"`` (random placement,
+    source at the area center, exactly
+    :func:`random_geometric_topology`) or ``"grid"`` (a near-square
+    lattice spanning the area, with the source swapped to the lattice
+    point nearest the center) — and every directed link's PRR comes from
+    the log-distance narrowband model in :mod:`repro.net.links`
+    (``radio`` carries the path-loss/shadowing/noise constants; the rng
+    also draws the per-link shadowing).
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least a source and one sensor")
+    if area_m <= 0:
+        raise ValueError("area side must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if placement == "uniform":
+        positions = rng.uniform(0.0, area_m, size=(n_nodes, 2))
+        positions[0] = (area_m / 2.0, area_m / 2.0)
+    elif placement == "grid":
+        cols = int(math.ceil(math.sqrt(n_nodes)))
+        rows = int(math.ceil(n_nodes / cols))
+        xs = np.linspace(0.0, area_m, cols) if cols > 1 \
+            else np.array([area_m / 2.0])
+        ys = np.linspace(0.0, area_m, rows) if rows > 1 \
+            else np.array([area_m / 2.0])
+        gx, gy = np.meshgrid(xs, ys)
+        positions = np.column_stack([gx.ravel(), gy.ravel()])[:n_nodes]
+        center = np.array([area_m / 2.0, area_m / 2.0])
+        src = int(np.argmin(((positions - center) ** 2).sum(axis=1)))
+        positions[[0, src]] = positions[[src, 0]]
+    else:
+        raise ValueError(
+            f"unknown placement {placement!r} (valid: ['grid', 'uniform'])"
+        )
     radio = radio or RadioParameters()
     return positions_to_topology(
         positions, radio, rng, neighbor_threshold=neighbor_threshold

@@ -59,6 +59,7 @@ __all__ = [
     "resolve_slot_reps",
     "carrier_sense_groups",
     "csma_select",
+    "csma_select_reps",
 ]
 
 
@@ -498,10 +499,12 @@ class RepSlotOutcome:
     __slots__ = (
         "rec_rep", "rec_receiver", "rec_sender", "rec_packet",
         "rec_overheard", "fail_rep", "fail_sender", "collision_counts",
+        "coll_rows",
     )
 
     def __init__(self, rec_rep, rec_receiver, rec_sender, rec_packet,
-                 rec_overheard, fail_rep, fail_sender, collision_counts):
+                 rec_overheard, fail_rep, fail_sender, collision_counts,
+                 coll_rows=None):
         self.rec_rep = rec_rep
         self.rec_receiver = rec_receiver
         self.rec_sender = rec_sender
@@ -511,11 +514,16 @@ class RepSlotOutcome:
         self.fail_sender = fail_sender
         #: replication id -> number of collision-destroyed transmissions.
         self.collision_counts = collision_counts
+        #: Flat input-row indices of collision-destroyed transmissions,
+        #: populated only when the resolver ran with
+        #: ``collect_collision_rows`` (MAC layers attribute collisions to
+        #: frames across retry rounds with it); ``None`` otherwise.
+        self.coll_rows = coll_rows
 
     @classmethod
     def empty(cls) -> "RepSlotOutcome":
         z = np.empty(0, np.int64)
-        return cls(z, z, z, z, np.empty(0, bool), z, z, {})
+        return cls(z, z, z, z, np.empty(0, bool), z, z, {}, z)
 
 
 def resolve_slot_reps(
@@ -530,6 +538,7 @@ def resolve_slot_reps(
     dynamics=None,
     awake_stack: Optional[np.ndarray] = None,
     arena=None,
+    collect_collision_rows: bool = False,
 ) -> RepSlotOutcome:
     """Resolve one slot's transmissions across R replications at once.
 
@@ -550,6 +559,14 @@ def resolve_slot_reps(
         Indexable by replication id; each replication's channel stream.
     dynamics:
         Optional :class:`~repro.net.dynamics.BatchGilbertElliott`.
+    collect_collision_rows:
+        When true, the outcome's ``coll_rows`` holds the flat input-row
+        indices of collision-destroyed transmissions (each row at most
+        once per call — a frame is addressed to exactly one receiver).
+        MAC layers that retry frames across micro-rounds need the
+        per-frame identity to keep flood-level collision accounting a
+        subset of frame failures. Off by default: the ideal path never
+        pays for it.
 
     Stream identity
     ---------------
@@ -624,6 +641,7 @@ def resolve_slot_reps(
     delivered = arena.buf("radio.delivered", T, np.bool_)
     delivered[:] = False
     collision_counts = {}
+    coll_rows = np.empty(0, np.int64) if collect_collision_rows else None
 
     if tx_idx.size:
         key = arena.buf("radio.key", tx_idx.size, np.int64)
@@ -736,6 +754,14 @@ def resolve_slot_reps(
                 np.add.at(cc, grp_rep_local[hard], n_coll)
                 for li in np.flatnonzero(cc).tolist():
                     collision_counts[int(rep_ids[li])] = int(cc[li])
+                if collect_collision_rows:
+                    # Destroyed addressed frames: every addressed row in
+                    # a contended group except the survivor (surv_h = -1
+                    # never equals a real row, so "no survivor" keeps
+                    # all addressed rows).
+                    coll_rows = rows_f[
+                        addr_s[flat] & (rows_f != np.repeat(surv_h, seg_len))
+                    ].copy()
 
         # Pending receivers across all replications, already in the
         # serial (replication, ascending receiver) order from the group
@@ -781,6 +807,7 @@ def resolve_slot_reps(
     return RepSlotOutcome(
         rep_ids[g_rep_local[okd]], g_recv[okd], ss[acc_rows], pp[acc_rows],
         ~addr_ok, kk[fail_rows], ss[fail_rows], collision_counts,
+        coll_rows,
     )
 
 

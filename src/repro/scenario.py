@@ -83,6 +83,16 @@ LINK_MODELS = ("static", "gilbert_elliott")
 _LINK_KWARGS = ("p_good_to_bad", "p_bad_to_good", "bad_factor",
                 "start_stationary")
 
+#: MAC-layer link models a scenario can name (see :mod:`repro.net.mac`).
+MAC_KINDS = ("ideal", "csma_802154")
+
+#: Per-kind allowed ``mac_kwargs`` keys.
+_MAC_KWARGS: Dict[str, Tuple[str, ...]] = {
+    "ideal": (),
+    "csma_802154": ("mac_min_be", "mac_max_be", "max_csma_backoffs",
+                    "max_frame_retries", "ack_wait_rounds"),
+}
+
 
 class ScenarioError(ValueError):
     """A scenario (or scenario file) failed validation."""
@@ -133,6 +143,10 @@ _TOPOLOGY_PARAMS: Dict[str, Tuple[str, ...]] = {
     "binary_tree": ("depth", "prr"),
     "grid": ("rows", "cols", "spacing_m", "perfect_links"),
     "random_geometric": ("n_nodes", "area_m", "neighbor_threshold"),
+    "geometric": ("n_nodes", "area_m", "placement", "neighbor_threshold",
+                  "tx_power_dbm", "path_loss_exponent",
+                  "reference_distance_m", "reference_loss_db",
+                  "shadowing_sigma_db", "noise_floor_dbm", "frame_bytes"),
 }
 
 _TRANSFORMS = ("homogenize",)
@@ -221,6 +235,17 @@ class TopologySpec:
 
             topo = grid_topology(p.pop("rows", 4), p.pop("cols", 4),
                                  rng=np.random.default_rng(self.seed), **p)
+        elif self.kind == "geometric":
+            from .net.generators import geometric_topology
+            from .net.links import RadioParameters
+
+            radio_keys = {f.name for f in dataclasses.fields(RadioParameters)}
+            radio_p = {k: p.pop(k) for k in list(p) if k in radio_keys}
+            topo = geometric_topology(
+                p.pop("n_nodes", 30), p.pop("area_m", 100.0),
+                radio=RadioParameters(**radio_p) if radio_p else None,
+                rng=np.random.default_rng(self.seed), **p,
+            )
         else:  # random_geometric (kinds validated in __post_init__)
             from .net.generators import random_geometric_topology
 
@@ -326,6 +351,10 @@ class Scenario:
       with ``link_kwargs``, plus ``sim`` overrides (``fast_forward``,
       ``max_slots``, ``track_events`` and a nested ``radio`` object of
       :class:`~repro.net.radio.RadioModel` switches);
+    * **MAC** — ``mac`` (``ideal``, the paper's one-winner CSMA oracle,
+      or ``csma_802154``, ContikiOS-style CSMA-CA) with ``mac_kwargs``
+      (see :mod:`repro.net.mac`); the default ``ideal`` with no kwargs
+      is fingerprint-invariant with pre-MAC scenarios;
     * **bookkeeping** — ``seed``, ``n_replications``,
       ``coverage_target``, ``measure_transmission_delay``;
     * **substrate** — an optional :class:`TopologySpec` naming where the
@@ -345,6 +374,8 @@ class Scenario:
     schedule_jitter: float = 0.0
     link_model: str = "static"
     link_kwargs: Dict[str, Any] = field(default_factory=dict)
+    mac: str = "ideal"
+    mac_kwargs: Dict[str, Any] = field(default_factory=dict)
     sim: Dict[str, Any] = field(default_factory=dict)
     measure_transmission_delay: bool = False
     topology: Optional[TopologySpec] = None
@@ -376,6 +407,18 @@ class Scenario:
             _reject_unknown((self.link_model,), LINK_MODELS, "link model")
         _reject_unknown(self.link_kwargs, _LINK_KWARGS,
                         "link-model parameter")
+        if self.mac not in MAC_KINDS:
+            _reject_unknown((self.mac,), MAC_KINDS, "mac kind")
+        _reject_unknown(self.mac_kwargs, _MAC_KWARGS[self.mac],
+                        f"{self.mac!r} mac parameter")
+        try:
+            self.make_link_model()  # validate parameter values eagerly
+        except ValueError as exc:
+            if isinstance(exc, ScenarioError):
+                raise
+            raise ScenarioError(
+                f"invalid {self.mac!r} mac parameters: {exc}"
+            ) from None
         sim_keys, radio_keys = _sim_override_keys()
         _reject_unknown(self.sim, sim_keys, "sim override")
         radio = self.sim.get("radio", {})
@@ -424,6 +467,12 @@ class Scenario:
 
         return GilbertElliott(topo, rng=rng, **self.link_kwargs)
 
+    def make_link_model(self):
+        """Instantiate the :class:`~repro.net.mac.LinkModel` of ``mac``."""
+        from .net.mac import make_link_model
+
+        return make_link_model(self.mac, **self.mac_kwargs)
+
     # -- serialization ------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -435,6 +484,7 @@ class Scenario:
         }
         data["protocol_kwargs"] = dict(self.protocol_kwargs)
         data["link_kwargs"] = dict(self.link_kwargs)
+        data["mac_kwargs"] = dict(self.mac_kwargs)
         data["sim"] = {k: (dict(v) if isinstance(v, Mapping) else v)
                        for k, v in self.sim.items()}
         data["topology"] = (None if self.topology is None
@@ -485,6 +535,12 @@ class Scenario:
         """
         data = self.to_dict()
         data.pop("topology")
+        if self.mac == "ideal" and not self.mac_kwargs:
+            # The default MAC is the pre-layering engine bit for bit, so
+            # default scenarios keep their historical fingerprints (and
+            # store keys) from before the ``mac`` field existed.
+            data.pop("mac")
+            data.pop("mac_kwargs")
         blob = _canonical_json(data)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -541,6 +597,8 @@ def as_scenario(spec: Any) -> Scenario:
         coverage_target=coverage,
         generation_interval=getattr(spec, "generation_interval", 0),
         protocol_kwargs=dict(getattr(spec, "protocol_kwargs", {})),
+        mac=getattr(spec, "mac", "ideal"),
+        mac_kwargs=dict(getattr(spec, "mac_kwargs", {})),
         sim=sim,
         measure_transmission_delay=getattr(
             spec, "measure_transmission_delay", False),

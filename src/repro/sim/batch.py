@@ -39,13 +39,14 @@ from time import perf_counter
 
 from ..net.dynamics import BatchGilbertElliott
 from ..net.packet import FloodWorkload
-from ..net.radio import Transmission, resolve_slot_reps
+from ..net.radio import Transmission
 from ..net.schedule import ScheduleTable
 from ..net.topology import SOURCE, Topology
 from ..protocols.base import FloodingProtocol, RepSimView, phase_cache_period
 from .arena import ScratchArena
 from .energy import EnergyLedger
 from .engine import (
+    _IDEAL_LINK,
     _LONG_JUMP,
     FloodResult,
     SimConfig,
@@ -120,6 +121,7 @@ def run_flood_batch(
     dynamics_list: Optional[Sequence] = None,
     arena=None,
     profiler=None,
+    link=None,
 ) -> List[FloodResult]:
     """Simulate R replications of one flood scenario in a single batch.
 
@@ -160,6 +162,12 @@ def run_flood_batch(
     profiler:
         Optional :class:`~repro.sim.observers.PhaseProfiler`; when
         present, the loop records per-phase wall time into it.
+    link:
+        The :class:`~repro.net.mac.LinkModel` resolving every traffic
+        slot across replications. Default:
+        :class:`~repro.net.mac.IdealCsmaLink` (the serial engine's
+        default) — any model must consume each replication's stream in
+        serial order so extracted replications stay bit-identical.
 
     Returns one :class:`FloodResult` per replication, index-aligned with
     ``schedules_list``, each bit-identical to its serial counterpart.
@@ -182,6 +190,8 @@ def run_flood_batch(
         if any(w.n_packets != workloads[0].n_packets for w in workloads[1:]):
             raise ValueError("stacked workloads must share n_packets")
     config = config or SimConfig()
+    if link is None:
+        link = _IDEAL_LINK
     if not supports_rep_batching(protocol, config):
         raise ValueError(
             f"protocol {protocol.name!r} / config cannot take the batched "
@@ -440,9 +450,10 @@ def run_flood_batch(
             # Validation just proved per-replication sender uniqueness,
             # so the resolver's duplicate-guard bincount is folded away
             # (the serial engine passes assume_unique_senders likewise).
-            outcome = resolve_slot_reps(
+            outcome = link.resolve_reps(
                 kk, ss, rr, pp, topo, awake_by_rep, rngs, config.radio,
                 dynamics=batch_dyn, awake_stack=awake_stack, arena=arena,
+                profiler=prof,
             )
             if prof is not None:
                 _now = perf_counter()

@@ -39,7 +39,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..net.packet import FloodWorkload
-from ..net.radio import RadioModel, SlotOutcome, Transmission, TxBatch, resolve_slot
+from ..net.mac import IdealCsmaLink, LinkModel
+from ..net.radio import RadioModel, SlotOutcome, Transmission, TxBatch
 from ..net.schedule import ScheduleTable
 from ..net.topology import SOURCE, Topology
 from ..protocols.base import FloodingProtocol, SimView
@@ -68,6 +69,10 @@ ENGINE_VERSION = "2011.1"
 #: if it carried traffic. Purely a performance heuristic — it changes
 #: where frontier queries run, never the trajectory.
 _LONG_JUMP = 4
+
+#: Shared default link model: the paper's idealized slot radio. Stateless
+#: across runs, so one instance serves every flood.
+_IDEAL_LINK = IdealCsmaLink()
 
 
 @dataclass(frozen=True)
@@ -196,6 +201,7 @@ class _SlotPipeline:
         rng: np.random.Generator,
         config: SimConfig,
         dynamics,
+        link: LinkModel,
         observers: Sequence[SimObserver],
     ):
         self.topo = topo
@@ -205,6 +211,7 @@ class _SlotPipeline:
         self.rng = rng
         self.config = config
         self.dynamics = dynamics
+        self.link = link
 
         n_nodes = topo.n_nodes
         M = workload.n_packets
@@ -340,12 +347,15 @@ class _SlotPipeline:
     def resolve(self, batch: TxBatch, actually_awake) -> SlotOutcome:
         """Stage 5: channel resolution (against reality).
 
-        The validate stage already proved per-sender uniqueness, so the
-        resolver's own duplicate guard is folded away.
+        Delegates to the run's :class:`~repro.net.mac.LinkModel` — the
+        MAC layer owns contention, delivery and acknowledgment for the
+        slot. The validate stage already proved per-sender uniqueness,
+        so the resolver's own duplicate guard is folded away.
         """
-        return resolve_slot(
+        return self.link.resolve(
             batch, self.topo, actually_awake, self.rng, self.config.radio,
             dynamics=self.dynamics, assume_unique_senders=True,
+            profiler=self._profiler,
         )
 
     def apply(
@@ -509,6 +519,7 @@ def run_flood(
     dynamics=None,
     true_schedules: Optional[ScheduleTable] = None,
     observers: Sequence[SimObserver] = (),
+    link: Optional[LinkModel] = None,
     _transmission_delay: Optional[np.ndarray] = None,
 ) -> FloodResult:
     """Simulate one flood of ``workload.n_packets`` packets.
@@ -543,6 +554,11 @@ def run_flood(
         into the slot pipeline after the built-in counter/energy/event
         observers. Observers watch; they must not mutate simulation
         state.
+    link:
+        The :class:`~repro.net.mac.LinkModel` resolving every traffic
+        slot. Default: :class:`~repro.net.mac.IdealCsmaLink`, the
+        paper's one-winner CSMA oracle (bit-identical to the
+        pre-layering engine).
     """
     if len(schedules) != topo.n_nodes:
         raise ValueError(
@@ -566,9 +582,11 @@ def run_flood(
         all_observers.append(log_observer)
     all_observers.extend(observers)
 
+    if link is None:
+        link = _IDEAL_LINK
     pipeline = _SlotPipeline(
         topo, schedules, actual_schedules, workload, protocol, rng, config,
-        dynamics, all_observers,
+        dynamics, link, all_observers,
     )
     protocol.prepare(topo, schedules, workload, rng)
     pipeline.run(horizon)
@@ -586,7 +604,7 @@ def run_flood(
         transmission_delay = run_single_packet_floods(
             topo, schedules, workload, type(protocol), rng, config,
             protocol_kwargs=protocol.init_kwargs,
-            dynamics=dynamics, true_schedules=true_schedules,
+            dynamics=dynamics, true_schedules=true_schedules, link=link,
         )
 
     metrics = FloodMetrics(
@@ -629,6 +647,7 @@ def run_single_packet_floods(
     n_probes: Optional[int] = None,
     dynamics=None,
     true_schedules: Optional[ScheduleTable] = None,
+    link: Optional[LinkModel] = None,
 ) -> np.ndarray:
     """Queueing-free per-packet delay: flood packets in isolation.
 
@@ -672,6 +691,7 @@ def run_single_packet_floods(
             config,
             dynamics=probe_dynamics,
             true_schedules=true_schedules,
+            link=link,
         )
         probes[i] = result.metrics.delays.total_delay()[0]
     return probes[np.arange(M) % n_probes]

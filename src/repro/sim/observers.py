@@ -202,7 +202,13 @@ class PhaseProfiler(SimObserver):
     the ``phase_profiler`` marker attribute and call :meth:`note` with
     the wall seconds each pipeline phase consumed (``inject``,
     ``propose``, ``validate``, ``resolve``, ``apply``, ``observe`` —
-    batch only — and ``fastforward``), plus :meth:`note_slot` once per
+    batch only — and ``fastforward``). The link model adds a ``mac``
+    sub-phase *nested inside* ``resolve``: the
+    :class:`~repro.net.mac.LinkModel` reports its own backoff/ack
+    bookkeeping time there, net of the raw resolver calls it makes, so
+    ``resolve`` stays the total and ``mac`` is the layering overhead
+    (recorded at zero for the ideal link). Each engine also calls
+    :meth:`note_slot` once per
     executed loop slot (the batch engine passes the number of
     replications that executed, so ``slots`` counts replication-slots
     while ``loop_slots`` counts loop iterations).
@@ -224,6 +230,10 @@ class PhaseProfiler(SimObserver):
     #: Marker the engines look for (kept as a plain attribute so
     #: duck-typed stand-ins work in tests).
     phase_profiler = True
+
+    #: Sub-phases nested inside a top-level phase's timing; excluded
+    #: from the report's total so they are not double-counted.
+    NESTED = frozenset({"mac"})
 
     def __init__(self, sample_allocs: bool = True):
         self.phase_seconds: Dict[str, float] = {}
@@ -265,7 +275,12 @@ class PhaseProfiler(SimObserver):
         steady-state run can show ``grows == 0`` next to the per-slot
         allocation numbers.
         """
-        total = sum(self.phase_seconds.values())
+        # Nested sub-phases (e.g. "mac" inside "resolve") are already
+        # counted in their parent's wall time.
+        total = sum(
+            secs for name, secs in self.phase_seconds.items()
+            if name not in self.NESTED
+        )
         phases = {
             name: {
                 "seconds": round(secs, 6),

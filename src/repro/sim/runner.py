@@ -207,6 +207,7 @@ def run_replication(topo: Topology, spec, rep: int) -> FloodResult:
         measure_transmission_delay=scenario.measure_transmission_delay,
         dynamics=dynamics,
         true_schedules=true_schedules,
+        link=scenario.make_link_model(),
     )
 
 
@@ -320,7 +321,7 @@ def run_replication_chunk(
     return run_flood_batch(
         topo, schedules_list, workload, protocol, channel_rngs, config,
         dynamics_list=dynamics_list, arena=global_arena(),
-        profiler=profiler,
+        profiler=profiler, link=scenario.make_link_model(),
     )
 
 
@@ -376,9 +377,12 @@ def run_replication_stack(
             workloads.append(workload)
         splits.append(n_reps)
     protocol = make_protocol(base.protocol, **base.protocol_kwargs)
+    # The stack key folds ``mac``/``mac_kwargs`` in (they are part of the
+    # fingerprint), so every stacked cell shares the base's link model.
     results = run_flood_batch(
         topo, schedules_list, workloads, protocol, channel_rngs, config,
         dynamics_list=dynamics_list, arena=global_arena(),
+        link=base.make_link_model(),
     )
     out: List[List[FloodResult]] = []
     pos = 0

@@ -6,6 +6,7 @@ import pytest
 from repro.net.generators import (
     binary_tree_topology,
     clustered_positions,
+    geometric_topology,
     grid_topology,
     line_topology,
     positions_to_topology,
@@ -134,3 +135,53 @@ class TestClusteredPositions:
             clustered_positions(10, 100.0, 0, 10.0, rng)
         with pytest.raises(ValueError):
             clustered_positions(10, 100.0, 2, 10.0, rng, background_fraction=1.5)
+
+
+class TestGeometricTopology:
+    """The PHY-layer topology source: placement + log-distance path loss."""
+
+    def test_uniform_is_deterministic_given_rng(self):
+        a = geometric_topology(30, 180.0, rng=np.random.default_rng(3))
+        b = geometric_topology(30, 180.0, rng=np.random.default_rng(3))
+        assert np.array_equal(a.prr, b.prr)
+        assert np.array_equal(a.rssi, b.rssi)
+
+    def test_rssi_and_prr_populated(self, rng):
+        topo = geometric_topology(20, 120.0, rng=rng)
+        assert topo.rssi is not None
+        assert topo.prr.shape == (20, 20)
+        assert (topo.prr >= 0).all() and (topo.prr <= 1).all()
+        assert np.diagonal(topo.prr).sum() == 0
+
+    def test_grid_placement_known_connected(self):
+        # A 4x4 lattice at 30 m pitch under the default CC2420-class
+        # radio: every sensor reaches the flood source.
+        topo = geometric_topology(16, 90.0, placement="grid",
+                                  rng=np.random.default_rng(0))
+        assert topo.reachable_from_source().all()
+
+    def test_grid_source_is_center_nearest(self):
+        topo = geometric_topology(9, 90.0, placement="grid",
+                                  rng=np.random.default_rng(0))
+        pos = topo.positions
+        center = np.array([45.0, 45.0])
+        d = np.linalg.norm(pos - center, axis=1)
+        assert d[0] == d.min()
+
+    def test_radio_parameters_shape_the_links(self):
+        # A hotter transmitter closes more links at the same geometry.
+        weak = geometric_topology(
+            25, 200.0, rng=np.random.default_rng(5),
+            radio=RadioParameters(tx_power_dbm=-10.0, shadowing_sigma_db=0.0))
+        hot = geometric_topology(
+            25, 200.0, rng=np.random.default_rng(5),
+            radio=RadioParameters(tx_power_dbm=5.0, shadowing_sigma_db=0.0))
+        assert (hot.prr > 0).sum() > (weak.prr > 0).sum()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            geometric_topology(1, 100.0, rng=rng)
+        with pytest.raises(ValueError):
+            geometric_topology(10, 0.0, rng=rng)
+        with pytest.raises(ValueError, match="uniform"):
+            geometric_topology(10, 100.0, placement="hex", rng=rng)

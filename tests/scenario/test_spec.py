@@ -31,6 +31,8 @@ def rich_scenario() -> Scenario:
         schedule_jitter=0.1,
         link_model="gilbert_elliott",
         link_kwargs={"p_good_to_bad": 0.02, "bad_factor": 0.3},
+        mac="csma_802154",
+        mac_kwargs={"max_frame_retries": 2},
         sim={"fast_forward": False, "radio": {"collisions": False}},
         measure_transmission_delay=True,
         topology=TopologySpec(kind="line", params={"n_sensors": 9, "prr": 0.8}),
@@ -163,6 +165,62 @@ class TestValidation:
     def test_non_mapping_rejected(self):
         with pytest.raises(ScenarioError, match="object"):
             Scenario.from_dict(["not", "a", "scenario"])
+
+
+class TestMacValidation:
+    def test_unknown_mac_kind_suggests_closest(self):
+        with pytest.raises(ScenarioError, match="csma_802154"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_80215")
+
+    def test_unknown_mac_kwarg_suggests_closest(self):
+        with pytest.raises(ScenarioError,
+                           match="did you mean 'max_frame_retries'"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_802154",
+                     mac_kwargs={"max_frame_retrys": 2})
+
+    def test_mac_kwargs_for_ideal_rejected(self):
+        # The ideal link takes no parameters; passing any is a spec bug.
+        with pytest.raises(ScenarioError, match="mac parameter"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac_kwargs={"mac_min_be": 2})
+
+    def test_bad_mac_parameter_values_rejected_eagerly(self):
+        # Construction-time validation, not first-use: the constructor's
+        # ValueError surfaces as a ScenarioError naming the MAC.
+        with pytest.raises(ScenarioError, match="csma_802154"):
+            Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_802154",
+                     mac_kwargs={"mac_min_be": 6, "mac_max_be": 5})
+
+    def test_make_link_model_honours_kwargs(self):
+        s = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_802154",
+                     mac_kwargs={"max_frame_retries": 1})
+        link = s.make_link_model()
+        assert link.kind == "csma_802154"
+        assert link.max_frame_retries == 1
+
+    def test_default_mac_fingerprint_unchanged(self):
+        # Back-compat: the implicit ideal MAC must not perturb
+        # fingerprints (pinned store keys and expected.json digests
+        # predate the mac field).
+        s = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2)
+        data = s.to_dict()
+        data.pop("mac")
+        data.pop("mac_kwargs")
+        legacy = Scenario.from_dict(data)
+        assert legacy.fingerprint() == s.fingerprint()
+
+    def test_mac_choice_changes_fingerprint(self):
+        a = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2)
+        b = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_802154")
+        c = Scenario(protocol="dbao", duty_ratio=0.1, n_packets=2,
+                     mac="csma_802154",
+                     mac_kwargs={"max_frame_retries": 1})
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
 
 
 class TestDerived:
